@@ -1,0 +1,789 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus the ablations called out in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 -- run every experiment
+     dune exec bench/main.exe -- table1       -- one experiment
+     dune exec bench/main.exe -- bechamel     -- bechamel micro-benchmarks
+     dune exec bench/main.exe -- all --scale 0.05
+
+   The --scale factor multiplies the Table 1 line counts (default 0.05 so
+   the full suite runs in minutes; densities, and therefore measured
+   overheads, are scale-invariant). *)
+
+module Session = Iglr.Session
+module Glr = Iglr.Glr
+module Node = Parsedag.Node
+module Stats = Parsedag.Stats
+module Language = Languages.Language
+module Spec_gen = Workload.Spec_gen
+module Edit_gen = Workload.Edit_gen
+
+let scale = ref 0.05
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers.                                                     *)
+
+let now = Unix.gettimeofday
+
+(* Naive substring search (no Str dependency). *)
+let find_sub text pat =
+  let n = String.length text and m = String.length pat in
+  let rec go i =
+    if i + m > n then raise Not_found
+    else if String.sub text i m = pat then i
+    else go (i + 1)
+  in
+  go 0
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let time_once f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_median ?(runs = 5) f =
+  median (List.init runs (fun _ -> snd (time_once f)))
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let session_of lang text =
+  let s, outcome =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang)
+      text
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered { error; _ } ->
+      failwith
+        (Printf.sprintf "bench: generated program failed to parse (%s at %d)"
+           error.Glr.message error.Glr.offset_tokens));
+  s
+
+let reparse_exn s =
+  match Session.reparse s with
+  | Session.Parsed stats -> stats
+  | Session.Recovered _ -> failwith "bench: unexpected recovery"
+
+(* One §5 self-cancelling edit cycle: edit, reparse, undo, reparse.
+   Returns total seconds for the two reparses. *)
+let edit_cycle s (e : Edit_gen.edit) =
+  let inv = Edit_gen.inverse e (Session.text s) in
+  Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+    ~insert:e.Edit_gen.e_insert;
+  let t1 = time_median ~runs:1 (fun () -> reparse_exn s) in
+  Session.edit s ~pos:inv.Edit_gen.e_pos ~del:inv.Edit_gen.e_del
+    ~insert:inv.Edit_gen.e_insert;
+  let t2 = time_median ~runs:1 (fun () -> reparse_exn s) in
+  t1 +. t2
+
+let mean_incremental_ms s ~seed ~count =
+  let edits = Edit_gen.token_edits ~seed ~count (Session.text s) in
+  let total = List.fold_left (fun acc e -> acc +. edit_cycle s e) 0.0 edits in
+  total /. float_of_int (2 * count) *. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: space overhead of retained ambiguity.                      *)
+
+let table1 () =
+  header "Table 1: space cost of representing ambiguity (dag vs parse tree)";
+  Printf.printf "%-12s %9s %5s %12s %12s %8s %10s\n" "Program" "Lines" "Lang"
+    "%ov (paper)" "%ov (meas)" "#ambig" "unresolved";
+  List.iter
+    (fun (p : Spec_gen.profile) ->
+      (* Floor each program at ~600 generated lines so low-density profiles
+         still exhibit their (rare) ambiguities at small scales. *)
+      let eff_scale =
+        Float.max !scale (600.0 /. float_of_int p.Spec_gen.p_lines)
+      in
+      let src = Spec_gen.generate ~scale:eff_scale p in
+      let lines = List.length (String.split_on_char '\n' src) in
+      let lang = Spec_gen.language_of p in
+      let s = session_of lang src in
+      let m = Stats.measure (Session.root s) in
+      let sem =
+        Semantics.Typedefs.create
+          ~policy:
+            (match p.Spec_gen.p_dialect with
+            | Spec_gen.C -> Semantics.Typedefs.Namespace_only
+            | Spec_gen.Cpp -> Semantics.Typedefs.Prefer_decl)
+          lang.Language.grammar
+      in
+      let rep = Semantics.Typedefs.analyze sem (Session.root s) in
+      Printf.printf "%-12s %9d %5s %12.2f %12.2f %8d %10d\n" p.Spec_gen.p_name
+        lines
+        (match p.Spec_gen.p_dialect with Spec_gen.C -> "C" | Spec_gen.Cpp -> "C++")
+        p.Spec_gen.p_paper_overhead
+        (Stats.space_overhead_pct m)
+        m.Stats.choice_nodes rep.Semantics.Typedefs.unresolved)
+    Spec_gen.table1;
+  Printf.printf
+    "(paper: average 0.00-0.52%% per program; every ambiguity is the typedef \
+     problem,\n two interpretations sharing only terminals, all semantically \
+     resolved)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: distribution of ambiguity by source file in gcc.          *)
+
+let fig4 () =
+  header "Figure 4: ambiguity distribution across gcc-like source files";
+  let files = 120 in
+  let buckets = Array.make 13 0 in
+  for i = 0 to files - 1 do
+    (* Vary density across files the way a real code base does: many files
+       with no ambiguous construct, a tail of header-heavy files. *)
+    let st = Random.State.make [| 1000 + i |] in
+    let density =
+      match Random.State.int st 10 with
+      | 0 | 1 | 2 | 3 -> 0.0
+      | 4 | 5 | 6 -> Random.State.float st 8.0
+      | 7 | 8 -> 8.0 +. Random.State.float st 16.0
+      | _ -> 24.0 +. Random.State.float st 24.0
+    in
+    let profile =
+      {
+        Spec_gen.p_name = Printf.sprintf "gcc-file-%d" i;
+        p_lines = 400 + Random.State.int st 400;
+        p_dialect = Spec_gen.C;
+        p_paper_overhead = 0.0;
+        p_ambig_per_kloc = density;
+      }
+    in
+    let src = Spec_gen.generate ~seed:i ~scale:1.0 profile in
+    let s = session_of Languages.C_subset.language src in
+    let m = Stats.measure (Session.root s) in
+    let pct = Stats.space_overhead_pct m in
+    let bucket = min 12 (int_of_float (pct /. 0.1)) in
+    buckets.(bucket) <- buckets.(bucket) + 1
+  done;
+  Printf.printf "%-14s %6s  histogram (files per 0.1%% bucket)\n"
+    "space increase" "files";
+  Array.iteri
+    (fun i count ->
+      Printf.printf "%5.1f - %4.1f%% %6d  %s\n"
+        (float_of_int i *. 0.1)
+        (float_of_int (i + 1) *. 0.1)
+        count
+        (String.make count '#'))
+    buckets;
+  Printf.printf
+    "(paper: most files have little or no ambiguity; the tail reaches \
+     ~1.2%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 and 7: dynamic lookahead on the LR(2) grammar.            *)
+
+let fig7 () =
+  header "Figures 5/7: dynamic lookahead tracking (LR(2) grammar, LALR(1) tables)";
+  let lang = Languages.Lr2.language in
+  let table = Language.table lang in
+  Printf.printf "table: %s\n"
+    (Format.asprintf "%a" Lrtab.Table.pp_stats table);
+  let s, outcome =
+    Session.create ~table ~lexer:(Language.lexer lang) "x z c"
+  in
+  (match outcome with
+  | Session.Parsed stats ->
+      Printf.printf
+        "parse of \"x z c\": %d parsers at peak (paper: 2), result %s\n"
+        stats.Glr.max_parsers
+        (Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s))
+  | Session.Recovered _ -> failwith "fig7 parse failed");
+  let nostate_nodes = ref 0 in
+  Node.iter
+    (fun n ->
+      match n.Node.kind with
+      | Node.Prod _ when n.Node.state = Node.nostate -> incr nostate_nodes
+      | _ -> ())
+    (Session.root s);
+  Printf.printf
+    "nodes recording the non-deterministic state class: %d (the reductions \
+     performed while two parsers were active)\n"
+    !nostate_nodes;
+  Session.edit s ~pos:4 ~del:1 ~insert:"e";
+  ignore (reparse_exn s);
+  Printf.printf "after editing c -> e: %s (interpretation flipped)\n"
+    (Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s))
+
+(* ------------------------------------------------------------------ *)
+(* §5: batch parsing overhead (deterministic vs IGLR).                 *)
+
+let sec5_batch () =
+  header "§5 batch: deterministic LR vs IGLR on an initial parse";
+  Printf.printf "%-8s %8s %12s %12s %12s %9s\n" "Lang" "Tokens" "automaton"
+    "LR batch" "IGLR batch" "IGLR/LR";
+  let run lang text =
+    let table = Language.table lang in
+    let lexer = Language.lexer lang in
+    let tokens, trailing = Lexgen.Scanner.all lexer text in
+    let terms =
+      Array.of_list
+        (List.map (fun (t : Lexgen.Scanner.token) -> t.Lexgen.Scanner.term) tokens)
+    in
+    let t_rec = time_median (fun () -> Iglr.Lr_parser.recognize table terms) in
+    let t_det =
+      time_median (fun () -> Iglr.Lr_parser.parse table tokens ~trailing)
+    in
+    let t_glr =
+      time_median (fun () -> Glr.parse_tokens table tokens ~trailing)
+    in
+    Printf.printf "%-8s %8d %9.1f ms %9.1f ms %9.1f ms %9.2f\n"
+      lang.Language.name (Array.length terms) (t_rec *. 1e3) (t_det *. 1e3)
+      (t_glr *. 1e3) (t_glr /. t_det);
+    (t_rec, t_det, t_glr)
+  in
+  let tiny_src =
+    (* A deterministic workload: reuse the plain C generator's shape but in
+       the tiny language. *)
+    let b = Buffer.create 4096 in
+    for f = 0 to int_of_float (200. *. (!scale /. 0.05)) do
+      Buffer.add_string b
+        (Printf.sprintf
+           "proc fn%d ( ) { a = 1 + 2 * b; if (a) { b = a; } else { b = 2; } \
+            while (b) { b = b * 2; } print a; }\n"
+           f)
+    done;
+    Buffer.contents b
+  in
+  let _ = run Languages.Tiny.language tiny_src in
+  let plain_c = Spec_gen.plain ~lines:(int_of_float (40000. *. !scale)) ~seed:3 in
+  let t_rec, t_det, t_glr = run Languages.C_subset.language plain_c in
+  Printf.printf
+    "parse-per-se share of the deterministic batch parse: %.0f%%; node \
+     construction and lexing dominate\n"
+    (t_rec /. t_det *. 100.);
+  Printf.printf
+    "(paper: parsing per se is 12%% of batch time for the deterministic \
+     parser, 15%% for IGLR;\n here IGLR/LR total = %.2fx, paper ≈ 1.03x)\n"
+    (t_glr /. t_det)
+
+(* ------------------------------------------------------------------ *)
+(* §5: incremental parsing — self-cancelling token edits.              *)
+
+let sec5_incremental () =
+  header "§5 incremental: self-cancelling single-token edits";
+  (* Deterministic language: both the IGLR parser and the deterministic
+     state-matching baseline can run; the paper reports their running
+     times as indistinguishable. *)
+  let lines = max 400 (int_of_float (20000. *. !scale)) in
+  let src = Spec_gen.plain ~lines ~seed:11 in
+  let lang = Languages.C_subset.language in
+  let table = Language.table lang in
+  let lexer = Language.lexer lang in
+  let count = 30 in
+  (* IGLR. *)
+  let s = session_of lang src in
+  let t_batch = time_median ~runs:3 (fun () ->
+      session_of lang src) in
+  let iglr_ms = mean_incremental_ms s ~seed:21 ~count in
+  (* Deterministic incremental baseline on its own document. *)
+  let doc = Vdoc.Document.create ~lexer src in
+  ignore (Iglr.Inc_lr.parse table (Vdoc.Document.root doc));
+  let edits = Edit_gen.token_edits ~seed:21 ~count src in
+  let det_total = ref 0.0 in
+  List.iter
+    (fun (e : Edit_gen.edit) ->
+      let inv = Edit_gen.inverse e (Vdoc.Document.text doc) in
+      ignore
+        (Vdoc.Document.edit doc ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+           ~insert:e.Edit_gen.e_insert);
+      det_total :=
+        !det_total
+        +. time_median ~runs:1 (fun () ->
+               Iglr.Inc_lr.parse table (Vdoc.Document.root doc));
+      ignore
+        (Vdoc.Document.edit doc ~pos:inv.Edit_gen.e_pos ~del:inv.Edit_gen.e_del
+           ~insert:inv.Edit_gen.e_insert);
+      det_total :=
+        !det_total
+        +. time_median ~runs:1 (fun () ->
+               Iglr.Inc_lr.parse table (Vdoc.Document.root doc)))
+    edits;
+  let det_ms = !det_total /. float_of_int (2 * count) *. 1e3 in
+  (* Sentential-form baseline on its own document. *)
+  let doc_sf = Vdoc.Document.create ~lexer src in
+  ignore (Iglr.Sf_lr.parse table (Vdoc.Document.root doc_sf));
+  let sf_total = ref 0.0 in
+  List.iter
+    (fun (e : Edit_gen.edit) ->
+      let inv = Edit_gen.inverse e (Vdoc.Document.text doc_sf) in
+      ignore
+        (Vdoc.Document.edit doc_sf ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+           ~insert:e.Edit_gen.e_insert);
+      sf_total :=
+        !sf_total
+        +. time_median ~runs:1 (fun () ->
+               Iglr.Sf_lr.parse table (Vdoc.Document.root doc_sf));
+      ignore
+        (Vdoc.Document.edit doc_sf ~pos:inv.Edit_gen.e_pos
+           ~del:inv.Edit_gen.e_del ~insert:inv.Edit_gen.e_insert);
+      sf_total :=
+        !sf_total
+        +. time_median ~runs:1 (fun () ->
+               Iglr.Sf_lr.parse table (Vdoc.Document.root doc_sf)))
+    edits;
+  let sf_ms = !sf_total /. float_of_int (2 * count) *. 1e3 in
+  Printf.printf "program: %d lines; %d reparses each\n" lines (2 * count);
+  Printf.printf "%-28s %10s %14s\n" "Parser" "ms/reparse" "vs batch";
+  Printf.printf "%-28s %10.3f %13.0fx\n" "sentential-form incremental" sf_ms
+    (t_batch *. 1e3 /. sf_ms);
+  Printf.printf "%-28s %10.3f %13.0fx\n" "deterministic incremental" det_ms
+    (t_batch *. 1e3 /. det_ms);
+  Printf.printf "%-28s %10.3f %13.0fx\n" "IGLR incremental" iglr_ms
+    (t_batch *. 1e3 /. iglr_ms);
+  Printf.printf
+    "(paper: the difference between the two incremental parsers was \
+     undetectable; here %.2fx)\n"
+    (iglr_ms /. det_ms)
+
+(* ------------------------------------------------------------------ *)
+(* §5: space — state words and dag overhead.                           *)
+
+let sec5_space () =
+  header "§5 space: abstract parse dag vs sentential-form tree";
+  Printf.printf "%-12s %10s %10s %12s %11s %11s\n" "Program" "dag (w)"
+    "tree (w)" "dag/tree %" "state-w %" "env %";
+  List.iter
+    (fun name ->
+      let p = Spec_gen.find name in
+      let src = Spec_gen.generate ~scale:!scale p in
+      let s = session_of (Spec_gen.language_of p) src in
+      let m = Stats.measure (Session.root s) in
+      (* The state word is exactly one word per node; with the paper's
+         environment nodes (semantic attributes, presentation data — about
+         20 words each) the same word is the ≈5% the paper reports. *)
+      let nodes = m.Stats.tree_words - m.Stats.sentential_words in
+      let env_pct =
+        float_of_int nodes
+        /. float_of_int (m.Stats.sentential_words + (14 * nodes))
+        *. 100.
+      in
+      Printf.printf "%-12s %10d %10d %12.2f %11.2f %11.2f\n" name
+        m.Stats.dag_words m.Stats.tree_words
+        (Stats.space_overhead_pct m)
+        (Stats.state_word_overhead_pct m)
+        env_pct)
+    [ "compress"; "gcc"; "emacs"; "ghostscript"; "ensemble" ];
+  Printf.printf
+    "(state-w: one state word per bare parse node; env: the same word \
+     relative to the paper's\n attribute-laden environment nodes, where it \
+     reports ≈5%% and \"becomes negligible\")\n"
+
+(* ------------------------------------------------------------------ *)
+(* §5: ambiguous-region reconstruction overhead.                       *)
+
+let sec5_reconstruct () =
+  header
+    "§5 reconstruction: atomic rebuilding of ambiguous regions (edit sites \
+     inside vs outside)";
+  let lines = max 400 (int_of_float (20000. *. !scale)) in
+  let ambig_profile =
+    {
+      Spec_gen.p_name = "ambig";
+      p_lines = lines;
+      p_dialect = Spec_gen.C;
+      p_paper_overhead = 0.5;
+      p_ambig_per_kloc = 19.5 (* the Table 1 calibration for 0.5% *);
+    }
+  in
+  let ambig, amb_offsets = Spec_gen.generate_info ~seed:5 ambig_profile in
+  let lang = Languages.C_subset.language in
+  let s = session_of lang ambig in
+  (* Edits at random plain statements. *)
+  let t_plain_edits = mean_incremental_ms s ~seed:31 ~count:25 in
+  (* Edits inside ambiguous regions: change the digit of the leading
+     identifier, forcing atomic reconstruction of the whole region. *)
+  let cycles = ref 0 in
+  let total = ref 0.0 in
+  List.iteri
+    (fun i pos ->
+      if i < 25 then begin
+        let e = { Edit_gen.e_pos = pos; e_del = 1; e_insert = "9" } in
+        total := !total +. edit_cycle s e;
+        incr cycles
+      end)
+    amb_offsets;
+  let t_amb_edits =
+    if !cycles = 0 then nan else !total /. float_of_int (2 * !cycles) *. 1e3
+  in
+  Printf.printf "%-44s %10.3f ms/reparse\n"
+    "edits in ordinary statements" t_plain_edits;
+  Printf.printf "%-44s %10.3f ms/reparse (%d regions)\n"
+    "edits inside ambiguous regions (atomic rebuild)" t_amb_edits !cycles;
+  Printf.printf
+    "atomic rebuild of the enclosing region costs %+.1f%% on the rare edits \
+     that hit one\n"
+    ((t_amb_edits -. t_plain_edits) /. t_plain_edits *. 100.);
+  (* The paper's claim is about the total reconstruction time over an edit
+     stream: regions are tiny and rare, so their atomic rebuild is a
+     sub-1% effect overall. *)
+  let doc_tokens = Vdoc.Document.token_count (Session.document s) in
+  let region_tokens = 7 * List.length amb_offsets in
+  let fraction = float_of_int region_tokens /. float_of_int doc_tokens in
+  Printf.printf
+    "ambiguous regions hold %.2f%% of tokens; contribution to total \
+     reconstruction time: %+.2f%%\n (paper: well under 1%%, independent of \
+     the program)\n"
+    (fraction *. 100.)
+    (fraction *. (t_amb_edits -. t_plain_edits) /. t_plain_edits *. 100.);
+  (* Secondary view: the same edit stream on an ambiguity-free program of
+     the same shape (the spine-shaped sequence representation re-exposes
+     regions that follow an edit point; see EXPERIMENTS.md). *)
+  let plain = Spec_gen.plain ~lines ~seed:5 in
+  let s_plain = session_of lang plain in
+  let t_plain = mean_incremental_ms s_plain ~seed:31 ~count:25 in
+  Printf.printf
+    "(same edits on an ambiguity-free program: %.3f ms/reparse — the \
+     difference includes re-exposed\n regions under our list-shaped \
+     sequences)\n"
+    t_plain
+
+(* ------------------------------------------------------------------ *)
+(* §3.4: asymptotics — incremental cost vs document size.              *)
+
+let asymptotic () =
+  header "§3.4 asymptotics: reparse time vs document size";
+  Printf.printf "%-8s %8s %12s %12s %10s\n" "Lines" "Tokens" "batch (ms)"
+    "incr (ms)" "speedup";
+  List.iter
+    (fun lines ->
+      let src = Spec_gen.plain ~lines ~seed:13 in
+      let lang = Languages.C_subset.language in
+      let s = session_of lang src in
+      let tokens = Vdoc.Document.token_count (Session.document s) in
+      let t_batch = time_median ~runs:3 (fun () -> session_of lang src) in
+      let t_incr = mean_incremental_ms s ~seed:17 ~count:15 in
+      Printf.printf "%-8d %8d %12.2f %12.3f %9.0fx\n" lines tokens
+        (t_batch *. 1e3) t_incr
+        (t_batch *. 1e3 /. t_incr))
+    [ 250; 500; 1000; 2000; 4000 ];
+  Printf.printf
+    "(batch grows linearly; incremental cost follows the depth of the \
+     structure, O(t + s·lg N) for\n bounded-depth grammars — deep \
+     left-recursive sequences degrade toward linear, see the ablation)\n";
+  Printf.printf "\nnested blocks (structure depth = lg N):\n";
+  Printf.printf "%-8s %8s %12s %12s\n" "Depth" "Tokens" "batch (ms)" "incr (ms)";
+  List.iter
+    (fun depth ->
+      let src = Spec_gen.nested ~depth ~seed:3 in
+      let lang = Languages.C_subset.language in
+      let s = session_of lang src in
+      let tokens = Vdoc.Document.token_count (Session.document s) in
+      let t_batch = time_median ~runs:3 (fun () -> session_of lang src) in
+      let t_incr = mean_incremental_ms s ~seed:19 ~count:10 in
+      Printf.printf "%-8d %8d %12.2f %12.3f\n" depth tokens (t_batch *. 1e3)
+        t_incr)
+    [ 7; 9; 11; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: state-matching subtree reuse and node reuse.              *)
+
+let ablate_reuse () =
+  header "Ablation: subtree reuse (state-matching) and node reuse";
+  let lines = max 400 (int_of_float (10000. *. !scale)) in
+  let src = Spec_gen.plain ~lines ~seed:23 in
+  let lang = Languages.C_subset.language in
+  let run name config =
+    let s, outcome =
+      Session.create ~config ~table:(Language.table lang)
+        ~lexer:(Language.lexer lang) src
+    in
+    (match outcome with
+    | Session.Parsed _ -> ()
+    | Session.Recovered _ -> failwith "ablation parse failed");
+    let ms = mean_incremental_ms s ~seed:29 ~count:15 in
+    Printf.printf "%-44s %10.3f ms/reparse\n" name ms;
+    ms
+  in
+  let full = run "state-matching + node reuse (the paper)" Glr.default_config in
+  let no_sm =
+    run "no state-matching (decompose to terminals)"
+      { Glr.default_config with state_matching = false }
+  in
+  let no_nr =
+    run "no bottom-up node reuse"
+      { Glr.default_config with reuse_nodes = false }
+  in
+  Printf.printf
+    "state-matching buys %.0fx; bottom-up node reuse costs %.2fx parse time \
+     and exists to preserve\n node identity for annotations and semantic \
+     attributes (ref [25])\n"
+    (no_sm /. full) (full /. no_nr)
+
+(* ------------------------------------------------------------------ *)
+(* §4.2/§6: incremental semantic work after an edit.                   *)
+
+let attrs () =
+  header
+    "§4.2 incremental attribution: re-evaluations after an edit vs tree size";
+  let lang = Languages.C_subset.language in
+  let g = lang.Language.grammar in
+  Printf.printf "%-8s %10s %12s %14s %10s\n" "Lines" "nodes" "initial evals"
+    "evals per edit" "ratio";
+  List.iter
+    (fun lines ->
+      let src = Spec_gen.plain ~lines ~seed:61 in
+      let s = session_of lang src in
+      let ev =
+        Semantics.Attrs.create g
+          ~leaf:(fun _ -> 1)
+          ~rule:(fun _ kids -> 1 + Array.fold_left ( + ) 0 kids)
+          ~choice:(fun vs -> Array.fold_left max 0 vs)
+      in
+      let total_nodes = Semantics.Attrs.eval ev (Session.root s) in
+      let initial = Semantics.Attrs.evaluations ev in
+      let count = 20 in
+      let edits = Edit_gen.token_edits ~seed:67 ~count (Session.text s) in
+      List.iter
+        (fun (e : Edit_gen.edit) ->
+          let inv = Edit_gen.inverse e (Session.text s) in
+          Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+            ~insert:e.Edit_gen.e_insert;
+          ignore (reparse_exn s);
+          ignore (Semantics.Attrs.eval ev (Session.root s));
+          Session.edit s ~pos:inv.Edit_gen.e_pos ~del:inv.Edit_gen.e_del
+            ~insert:inv.Edit_gen.e_insert;
+          ignore (reparse_exn s);
+          ignore (Semantics.Attrs.eval ev (Session.root s)))
+        edits;
+      let per_edit =
+        float_of_int (Semantics.Attrs.evaluations ev - initial)
+        /. float_of_int (2 * count)
+      in
+      Printf.printf "%-8d %10d %12d %14.1f %9.4f\n" lines total_nodes initial
+        per_edit
+        (per_edit /. float_of_int total_nodes))
+    [ 250; 1000; 4000 ];
+  Printf.printf
+    "(node retention keeps attribute values alive across reparses: the \
+     per-edit evaluation count\n follows the damage, not the document — \
+     the incremental semantic analysis of §4.2)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: Earley vs LR/GLR (the §2.1 footnote).                     *)
+
+let earley () =
+  header "Baseline: Earley vs deterministic LR vs GLR (batch recognition)";
+  let lang = Languages.Tiny.language in
+  let table = Language.table lang in
+  let g = lang.Language.grammar in
+  Printf.printf "%-8s %12s %12s %12s %14s\n" "Tokens" "Earley (ms)"
+    "LR (ms)" "GLR (ms)" "Earley items";
+  List.iter
+    (fun funcs ->
+      let b = Buffer.create 4096 in
+      for f = 0 to funcs do
+        Buffer.add_string b
+          (Printf.sprintf
+             "proc fn%d ( ) { a = 1 + 2 * b; while (b) { b = b * 2; } }\n" f)
+      done;
+      let text = Buffer.contents b in
+      let tokens, trailing = Lexgen.Scanner.all (Language.lexer lang) text in
+      let terms =
+        Array.of_list
+          (List.map
+             (fun (t : Lexgen.Scanner.token) -> t.Lexgen.Scanner.term)
+             tokens)
+      in
+      let result = ref { Earley.accepted = false; items = 0 } in
+      let t_earley =
+        time_median ~runs:3 (fun () -> result := Earley.recognize g terms)
+      in
+      assert !result.Earley.accepted;
+      let t_lr =
+        time_median ~runs:3 (fun () -> Iglr.Lr_parser.recognize table terms)
+      in
+      let t_glr =
+        time_median ~runs:3 (fun () -> Glr.parse_tokens table tokens ~trailing)
+      in
+      Printf.printf "%-8d %12.2f %12.2f %12.2f %14d\n" (Array.length terms)
+        (t_earley *. 1e3) (t_lr *. 1e3) (t_glr *. 1e3)
+        !result.Earley.items)
+    [ 10; 20; 40; 80 ];
+  Printf.printf
+    "(GLR stays linear on near-LR grammars — the Tomita/Rekers observation \
+     the paper builds on)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure.          *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let compress =
+    lazy
+      (let p = Spec_gen.find "compress" in
+       (Spec_gen.generate ~scale:1.0 p, Spec_gen.language_of p))
+  in
+  let amb_session =
+    lazy
+      (let src, lang = Lazy.force compress in
+       session_of lang src)
+  in
+  let tiny_tokens =
+    lazy
+      (let lang = Languages.Tiny.language in
+       let text =
+         String.concat "\n"
+           (List.init 50 (fun f ->
+                Printf.sprintf "proc fn%d ( ) { a = 1 + 2 * b; }" f))
+       in
+       (Lexgen.Scanner.all (Language.lexer lang) text, lang))
+  in
+  [
+    Test.make ~name:"table1/space-accounting"
+      (Staged.stage (fun () ->
+           let s = Lazy.force amb_session in
+           Stats.measure (Session.root s)));
+    Test.make ~name:"fig4/file-overhead"
+      (Staged.stage (fun () ->
+           let src = Spec_gen.generate ~seed:9 ~scale:1.0
+               { Spec_gen.p_name = "file"; p_lines = 300; p_dialect = Spec_gen.C;
+                 p_paper_overhead = 0.3; p_ambig_per_kloc = 12.0 } in
+           let s = session_of Languages.C_subset.language src in
+           Stats.space_overhead_pct (Stats.measure (Session.root s))));
+    Test.make ~name:"fig7/lr2-parse"
+      (Staged.stage (fun () ->
+           let lang = Languages.Lr2.language in
+           Session.create
+             ~table:(Language.table lang)
+             ~lexer:(Language.lexer lang)
+             "x z c"));
+    Test.make ~name:"sec5a/batch-glr"
+      (Staged.stage (fun () ->
+           let (tokens, trailing), lang = Lazy.force tiny_tokens in
+           Glr.parse_tokens (Language.table lang) tokens ~trailing));
+    Test.make ~name:"sec5b/incremental-cycle"
+      (Staged.stage
+         (let s = lazy (session_of Languages.C_subset.language
+                          (Spec_gen.plain ~lines:1000 ~seed:41)) in
+          fun () ->
+            let s = Lazy.force s in
+            let e = List.hd (Edit_gen.token_edits ~seed:43 ~count:1
+                               (Session.text s)) in
+            ignore (edit_cycle s e)));
+    Test.make ~name:"sec5c/space-measure"
+      (Staged.stage (fun () ->
+           let s = Lazy.force amb_session in
+           Stats.state_word_overhead_pct (Stats.measure (Session.root s))));
+    Test.make ~name:"sec5d/amb-region-edit"
+      (Staged.stage
+         (let s = lazy (Lazy.force amb_session) in
+          fun () ->
+            let s = Lazy.force s in
+            let text = Session.text s in
+            (* Edit next to an ambiguous construct: find "t0 (" *)
+            let pos = try find_sub text "(v0);" with Not_found -> 10 in
+            Session.edit s ~pos ~del:0 ~insert:" ";
+            ignore (reparse_exn s);
+            Session.edit s ~pos ~del:1 ~insert:"";
+            ignore (reparse_exn s)));
+    Test.make ~name:"a34/incremental-4k"
+      (Staged.stage
+         (let s = lazy (session_of Languages.C_subset.language
+                          (Spec_gen.plain ~lines:4000 ~seed:47)) in
+          fun () ->
+            let s = Lazy.force s in
+            let e = List.hd (Edit_gen.token_edits ~seed:53 ~count:1
+                               (Session.text s)) in
+            ignore (edit_cycle s e)));
+    Test.make ~name:"x1/no-state-matching"
+      (Staged.stage
+         (let s =
+            lazy
+              (let s, _ =
+                 Session.create
+                   ~config:{ Glr.default_config with state_matching = false }
+                   ~table:(Language.table Languages.C_subset.language)
+                   ~lexer:(Language.lexer Languages.C_subset.language)
+                   (Spec_gen.plain ~lines:1000 ~seed:59)
+               in
+               s)
+          in
+          fun () ->
+            let s = Lazy.force s in
+            let e = List.hd (Edit_gen.token_edits ~seed:61 ~count:1
+                               (Session.text s)) in
+            ignore (edit_cycle s e)));
+    Test.make ~name:"x2/earley-200"
+      (Staged.stage
+         (let input =
+            lazy
+              (let (tokens, _), lang = Lazy.force tiny_tokens in
+               ( lang.Language.grammar,
+                 Array.of_list
+                   (List.map
+                      (fun (t : Lexgen.Scanner.token) -> t.Lexgen.Scanner.term)
+                      tokens) ))
+          in
+          fun () ->
+            let g, terms = Lazy.force input in
+            Earley.recognize g terms));
+  ]
+
+let bechamel () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              Printf.printf "%-32s %12.1f ns/run\n" (Test.Elt.name elt) t
+          | _ -> Printf.printf "%-32s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig4", fig4);
+    ("fig7", fig7);
+    ("sec5-batch", sec5_batch);
+    ("sec5-incremental", sec5_incremental);
+    ("sec5-space", sec5_space);
+    ("sec5-reconstruct", sec5_reconstruct);
+    ("asymptotic", asymptotic);
+    ("attrs", attrs);
+    ("ablate-reuse", ablate_reuse);
+    ("earley", earley);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse_args picked = function
+    | [] -> picked
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse_args picked rest
+    | name :: rest when List.mem_assoc name experiments ->
+        parse_args (name :: picked) rest
+    | "all" :: rest -> parse_args picked rest
+    | arg :: rest ->
+        if arg <> Sys.argv.(0) then
+          Printf.eprintf "ignoring unknown argument %S\n" arg;
+        parse_args picked rest
+  in
+  let picked = List.rev (parse_args [] (List.tl args)) in
+  let to_run =
+    if picked = [] then List.map fst experiments else picked
+  in
+  Printf.printf
+    "Incremental Analysis of Real Programming Languages — evaluation \
+     (scale %.3f)\n"
+    !scale;
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run

@@ -1,0 +1,235 @@
+(* iglrc — command-line driver for the incremental-analysis library.
+
+   Subcommands:
+     parse   parse a file (or stdin) with one of the bundled languages
+     table   show parse-table statistics and retained conflicts
+     sem     parse a C/C++ file and run semantic disambiguation
+     gen     emit a synthetic SPEC-like program
+     demo    the paper's Figure 1 walkthrough *)
+
+open Cmdliner
+
+let languages =
+  [
+    ("calc", Languages.Calc.language);
+    ("tiny", Languages.Tiny.language);
+    ("c", Languages.C_subset.language);
+    ("cpp", Languages.Cpp_subset.language);
+    ("lr2", Languages.Lr2.language);
+    ("modula2", Languages.Modula2.language);
+    ("lisp", Languages.Lisp.language);
+    ("java", Languages.Java_subset.language);
+  ]
+
+let lang_arg =
+  let lang_conv = Arg.enum languages in
+  Arg.(
+    value
+    & opt lang_conv Languages.C_subset.language
+    & info [ "l"; "lang" ] ~docv:"LANG"
+        ~doc:"Language: calc, tiny, c, cpp or lr2.")
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Input file; stdin when omitted.")
+
+let read_input = function
+  | None -> In_channel.input_all stdin
+  | Some path -> In_channel.with_open_bin path In_channel.input_all
+
+let print_stats (st : Iglr.Glr.stats) =
+  Printf.printf
+    "parse: terminals=%d subtrees=%d reductions=%d breakdowns=%d \
+     max-parsers=%d created=%d reused=%d\n"
+    st.Iglr.Glr.shifted_terminals st.Iglr.Glr.shifted_subtrees
+    st.Iglr.Glr.reductions st.Iglr.Glr.breakdowns st.Iglr.Glr.max_parsers
+    st.Iglr.Glr.nodes_created st.Iglr.Glr.nodes_reused
+
+let parse_cmd =
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the parse dag.")
+  in
+  let sexp =
+    Arg.(value & flag & info [ "sexp" ] ~doc:"Print a compact s-expression.")
+  in
+  let run lang file dump sexp =
+    let text = read_input file in
+    let s, outcome =
+      Iglr.Session.create
+        ~table:(Languages.Language.table lang)
+        ~lexer:(Languages.Language.lexer lang)
+        text
+    in
+    (match outcome with
+    | Iglr.Session.Parsed st ->
+        print_stats st;
+        let m = Parsedag.Stats.measure (Iglr.Session.root s) in
+        Format.printf "space: %a@." Parsedag.Stats.pp m
+    | Iglr.Session.Recovered { error; flagged } ->
+        Printf.printf "syntax error near token %d (%s); %d token(s) flagged\n"
+          error.Iglr.Glr.offset_tokens error.Iglr.Glr.message flagged);
+    if dump then
+      Format.printf "%a"
+        (Parsedag.Pp.pp lang.Languages.Language.grammar)
+        (Iglr.Session.root s);
+    if sexp then
+      print_endline
+        (Parsedag.Pp.to_sexp lang.Languages.Language.grammar
+           (Iglr.Session.root s))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a file with the IGLR parser")
+    Term.(const run $ lang_arg $ file_arg $ dump $ sexp)
+
+let table_cmd =
+  let run lang =
+    let table = Languages.Language.table lang in
+    Format.printf "%a@." Lrtab.Table.pp_stats table;
+    List.iter
+      (fun c -> Format.printf "  %a@." (Lrtab.Table.pp_conflict table) c)
+      (Lrtab.Table.conflicts table)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Show parse-table statistics and conflicts")
+    Term.(const run $ lang_arg)
+
+let sem_cmd =
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("c", Semantics.Typedefs.Namespace_only);
+                    ("cpp", Semantics.Typedefs.Prefer_decl) ])
+          Semantics.Typedefs.Namespace_only
+      & info [ "policy" ] ~doc:"Disambiguation policy: c or cpp.")
+  in
+  let run lang file policy =
+    let text = read_input file in
+    let s, _ =
+      Iglr.Session.create
+        ~table:(Languages.Language.table lang)
+        ~lexer:(Languages.Language.lexer lang)
+        text
+    in
+    let sem =
+      Semantics.Typedefs.create ~policy lang.Languages.Language.grammar
+    in
+    let r = Semantics.Typedefs.analyze sem (Iglr.Session.root s) in
+    Printf.printf
+      "typedefs=%d choices=%d decided=%d reinterpreted=%d unresolved=%d \
+       prefer-decl=%d\n"
+      r.Semantics.Typedefs.typedefs r.choices r.decided r.reinterpreted
+      r.unresolved r.prefer_decl_applied;
+    List.iter
+      (fun (kind, detail) -> Printf.printf "error: %s (%s)\n" kind detail)
+      r.Semantics.Typedefs.errors
+  in
+  Cmd.v
+    (Cmd.info "sem" ~doc:"Parse and semantically disambiguate a C-like file")
+    Term.(const run $ lang_arg $ file_arg $ policy)
+
+let gen_cmd =
+  let program =
+    Arg.(
+      value & opt string "compress"
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:"Table 1 program profile (compress, gcc, ghostscript, ...).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~doc:"Scale factor on the profile's line count.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let run program scale seed =
+    let p = Workload.Spec_gen.find program in
+    print_string (Workload.Spec_gen.generate ~seed ~scale p)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a synthetic SPEC-like program")
+    Term.(const run $ program $ scale $ seed)
+
+let replay_cmd =
+  let script =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "edits" ] ~docv:"SCRIPT"
+          ~doc:
+            "Edit script: one edit per line, \"POS DEL TEXT\" (TEXT may be \
+             empty; use _ for a space).")
+  in
+  let run lang file script =
+    let text = read_input file in
+    let session, outcome =
+      Iglr.Session.create
+        ~table:(Languages.Language.table lang)
+        ~lexer:(Languages.Language.lexer lang)
+        text
+    in
+    (match outcome with
+    | Iglr.Session.Parsed _ -> print_endline "initial parse ok"
+    | Iglr.Session.Recovered _ -> print_endline "initial parse recovered");
+    let lines =
+      In_channel.with_open_bin script In_channel.input_all
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    List.iteri
+      (fun i line ->
+        match String.split_on_char ' ' line with
+        | pos :: del :: rest ->
+            let insert =
+              String.concat " " rest
+              |> String.map (fun c -> if c = '_' then ' ' else c)
+            in
+            let pos = int_of_string pos and del = int_of_string del in
+            Iglr.Session.edit session ~pos ~del ~insert;
+            (match Iglr.Session.reparse session with
+            | Iglr.Session.Parsed st ->
+                Printf.printf
+                  "edit %d: ok (subtrees=%d terminals=%d created=%d)\n" i
+                  st.Iglr.Glr.shifted_subtrees st.Iglr.Glr.shifted_terminals
+                  st.Iglr.Glr.nodes_created
+            | Iglr.Session.Recovered { flagged; _ } ->
+                Printf.printf "edit %d: recovered (%d flagged)\n" i flagged)
+        | _ -> Printf.eprintf "bad edit line: %s\n" line)
+      lines;
+    print_endline "final text:";
+    print_string (Iglr.Session.text session)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Apply an edit script with incremental reparses")
+    Term.(const run $ lang_arg $ file_arg $ script)
+
+let demo_cmd =
+  let run () =
+    let lang = Languages.C_subset.language in
+    let src = "typedef int a;\nint foo () { int i; a (b); c (d); i = 1; }\n" in
+    print_endline "--- source ---";
+    print_string src;
+    let s, _ =
+      Iglr.Session.create
+        ~table:(Languages.Language.table lang)
+        ~lexer:(Languages.Language.lexer lang)
+        src
+    in
+    print_endline "--- parse dag (ambiguities as amb<...>) ---";
+    Format.printf "%a"
+      (Parsedag.Pp.pp lang.Languages.Language.grammar)
+      (Iglr.Session.root s);
+    let sem = Semantics.Typedefs.create lang.Languages.Language.grammar in
+    let r = Semantics.Typedefs.analyze sem (Iglr.Session.root s) in
+    Printf.printf
+      "--- semantic disambiguation: %d choices decided (a -> declaration, \
+       c -> call) ---\n"
+      r.Semantics.Typedefs.decided
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Figure 1 walkthrough") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "iglrc" ~doc:"Incremental GLR analysis toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; table_cmd; sem_cmd; gen_cmd; replay_cmd; demo_cmd ]))

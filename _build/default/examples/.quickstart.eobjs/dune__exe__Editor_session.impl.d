@@ -1,0 +1,1 @@
+examples/editor_session.ml: Iglr Languages List Printf String Unix Workload

@@ -1,0 +1,1 @@
+examples/editor_session.mli:

@@ -1,0 +1,1 @@
+examples/ide_session.ml: Array Iglr Languages List Out_channel Parsedag Printf Semantics String

@@ -1,0 +1,1 @@
+examples/ide_session.mli:

@@ -1,0 +1,1 @@
+examples/lookahead_demo.ml: Iglr Languages List Parsedag Printf

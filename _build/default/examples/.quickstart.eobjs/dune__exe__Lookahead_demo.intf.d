@@ -1,0 +1,1 @@
+examples/lookahead_demo.mli:

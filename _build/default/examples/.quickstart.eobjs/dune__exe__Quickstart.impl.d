@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iglr Languages Parsedag Printf

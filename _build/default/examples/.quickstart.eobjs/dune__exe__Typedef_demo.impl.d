@@ -1,0 +1,1 @@
+examples/typedef_demo.ml: Array Iglr Languages Parsedag Printf Semantics String

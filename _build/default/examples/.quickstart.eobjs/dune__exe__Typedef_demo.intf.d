@@ -1,0 +1,1 @@
+examples/typedef_demo.mli:

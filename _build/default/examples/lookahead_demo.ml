@@ -1,0 +1,64 @@
+(* Dynamic lookahead tracking on an LR(2) grammar (Figures 5 and 7).
+
+   The grammar  A -> B c | D e;  B -> U z;  D -> V z;  U -> x;  V -> x
+   needs two tokens of lookahead: after reading "x" an LALR(1) parser
+   cannot choose between U -> x and V -> x.  The IGLR parser forks, runs
+   both parsers in tandem, and discards the loser when the disambiguating
+   terminal arrives.  Nodes built while several parsers were active record
+   the non-deterministic state class, so a later edit of the third token
+   re-examines exactly that region.
+
+   Run with:  dune exec examples/lookahead_demo.exe *)
+
+module Session = Iglr.Session
+module Node = Parsedag.Node
+module Language = Languages.Language
+
+let lang = Languages.Lr2.language
+let g = lang.Language.grammar
+
+let show session =
+  print_endline
+    (Parsedag.Pp.to_sexp g (Session.root session))
+
+let () =
+  let trace_lines = ref [] in
+  let config =
+    {
+      Iglr.Glr.default_config with
+      trace = Some (fun line -> trace_lines := line :: !trace_lines);
+    }
+  in
+  print_endline "--- parsing \"x z c\" with LALR(1) tables ---";
+  let session, outcome =
+    Session.create ~config ~table:(Language.table lang)
+      ~lexer:(Language.lexer lang) "x z c"
+  in
+  (match outcome with
+  | Session.Parsed stats ->
+      Printf.printf "accepted with %d simultaneous parsers at peak\n"
+        stats.Iglr.Glr.max_parsers
+  | Session.Recovered _ -> failwith "parse failed");
+  print_endline "--- parser actions (note the fork after \"x\") ---";
+  List.iter print_endline (List.rev !trace_lines);
+  show session;
+
+  (* Nodes inside the non-deterministic region carry no reusable state. *)
+  let nostate = ref 0 in
+  Node.iter
+    (fun n ->
+      match n.Node.kind with
+      | Node.Prod _ when n.Node.state = Node.nostate -> incr nostate
+      | _ -> ())
+    (Session.root session);
+  Printf.printf
+    "%d production node(s) recorded the non-deterministic state class\n"
+    !nostate;
+
+  print_endline "--- editing the disambiguator: \"c\" becomes \"e\" ---";
+  Session.edit session ~pos:4 ~del:1 ~insert:"e";
+  (match Session.reparse session with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> failwith "reparse failed");
+  show session;
+  print_endline "(the x z region was re-parsed: U became V)"

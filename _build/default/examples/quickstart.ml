@@ -1,0 +1,54 @@
+(* Quickstart: create a session, parse, edit, reparse incrementally.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Session = Iglr.Session
+module Language = Languages.Language
+
+let () =
+  let lang = Languages.Calc.language in
+  let table = Language.table lang in
+  let lexer = Language.lexer lang in
+
+  (* 1. Parse a small program. *)
+  let source = "a = 1 + 2 * x;\ny = a * 4;\n" in
+  let session, outcome = Session.create ~table ~lexer source in
+  (match outcome with
+  | Session.Parsed stats ->
+      Printf.printf "initial parse: %d tokens shifted, %d reductions\n"
+        stats.Iglr.Glr.shifted_terminals stats.Iglr.Glr.reductions
+  | Session.Recovered _ -> failwith "unexpected parse failure");
+
+  print_endline "--- initial tree ---";
+  print_endline
+    (Parsedag.Pp.to_sexp lang.Language.grammar (Session.root session));
+
+  (* 2. Apply a textual edit: replace the "1" with "41". *)
+  Session.edit session ~pos:4 ~del:1 ~insert:"41";
+  Printf.printf "--- after edit, text is ---\n%s" (Session.text session);
+
+  (* 3. Reparse incrementally: unchanged statements are shifted whole. *)
+  (match Session.reparse session with
+  | Session.Parsed stats ->
+      Printf.printf
+        "incremental reparse: %d whole subtrees reused, %d terminals \
+         reshifted, %d nodes rebuilt\n"
+        stats.Iglr.Glr.shifted_subtrees stats.Iglr.Glr.shifted_terminals
+        stats.Iglr.Glr.nodes_created
+  | Session.Recovered _ -> failwith "unexpected parse failure");
+
+  print_endline "--- final tree ---";
+  print_endline
+    (Parsedag.Pp.to_sexp lang.Language.grammar (Session.root session));
+
+  (* 4. Syntax errors do not lose the document: history-based recovery
+        keeps the previous structure and flags the unincorporated edit. *)
+  Session.edit session ~pos:0 ~del:0 ~insert:"= = =";
+  (match Session.reparse session with
+  | Session.Recovered { flagged; _ } ->
+      Printf.printf "broken edit recovered; %d token(s) flagged\n" flagged
+  | Session.Parsed _ -> failwith "expected recovery");
+  Session.edit session ~pos:0 ~del:5 ~insert:"";
+  match Session.reparse session with
+  | Session.Parsed _ -> print_endline "repaired: parse is clean again"
+  | Session.Recovered _ -> failwith "repair failed"

@@ -1,0 +1,1 @@
+lib/core/glr.ml: Array Format Grammar Gss Hashtbl Lexgen List Lrtab Parsedag Printf String

@@ -1,0 +1,1 @@
+lib/core/glr.mli: Lexgen Lrtab Parsedag

@@ -1,0 +1,1 @@
+lib/core/gss.ml: List Parsedag

@@ -1,0 +1,1 @@
+lib/core/inc_lr.ml: Array Glr Grammar List Lrtab Option Parsedag

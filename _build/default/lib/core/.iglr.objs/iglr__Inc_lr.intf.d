@@ -1,0 +1,1 @@
+lib/core/inc_lr.mli: Glr Lrtab Parsedag

@@ -1,0 +1,1 @@
+lib/core/lr_parser.ml: Array Grammar Lexgen List Lrtab Option Parsedag

@@ -1,0 +1,1 @@
+lib/core/lr_parser.mli: Lexgen Lrtab Parsedag

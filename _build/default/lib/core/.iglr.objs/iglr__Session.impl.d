@@ -1,0 +1,1 @@
+lib/core/session.ml: Glr List Lrtab Parsedag Syn_filter Vdoc

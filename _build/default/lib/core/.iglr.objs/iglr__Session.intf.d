@@ -1,0 +1,1 @@
+lib/core/session.mli: Glr Lexgen Lrtab Parsedag Syn_filter Vdoc

@@ -1,0 +1,1 @@
+lib/core/sf_lr.ml: Array Glr Grammar List Lrtab Option Parsedag

@@ -1,0 +1,1 @@
+lib/core/sf_lr.mli: Glr Lrtab Parsedag

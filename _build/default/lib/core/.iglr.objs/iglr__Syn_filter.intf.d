@@ -1,0 +1,1 @@
+lib/core/syn_filter.mli: Grammar Parsedag

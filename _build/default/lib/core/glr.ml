@@ -1,0 +1,663 @@
+module Cfg = Grammar.Cfg
+module Table = Lrtab.Table
+module Node = Parsedag.Node
+module Traverse = Parsedag.Traverse
+module Unshare = Parsedag.Unshare
+
+type error = { offset_tokens : int; message : string }
+
+exception Parse_error of error
+
+type stats = {
+  mutable shifted_subtrees : int;
+  mutable shifted_terminals : int;
+  mutable reductions : int;
+  mutable breakdowns : int;
+  mutable max_parsers : int;
+  mutable forks : int;
+  mutable nodes_created : int;
+  mutable nodes_reused : int;
+}
+
+let fresh_stats () =
+  {
+    shifted_subtrees = 0;
+    shifted_terminals = 0;
+    reductions = 0;
+    breakdowns = 0;
+    max_parsers = 0;
+    forks = 0;
+    nodes_created = 0;
+    nodes_reused = 0;
+  }
+
+type config = {
+  reuse_nodes : bool;
+  unshare_eps : bool;
+  state_matching : bool;
+  trace : (string -> unit) option;
+}
+
+let default_config =
+  { reuse_nodes = true; unshare_eps = true; state_matching = true;
+    trace = None }
+
+(* Proxy entry of the lazy symbol-node table: the first interpretation
+   stands for its symbol node until a second one arrives (footnote 10). *)
+type sym_entry = {
+  mutable alts : Node.t list;  (* reversed *)
+  mutable choice : Node.t option;  (* materialized symbol node *)
+}
+
+type run = {
+  table : Table.t;
+  g : Cfg.t;
+  cfgc : config;
+  stats : stats;
+  cursor : Traverse.cursor;  (* the input stream over the previous tree *)
+  mutable red_term : Node.t option;  (* cached reduction lookahead *)
+  mutable active : Gss.node list;
+  mutable for_actor : Gss.node list;
+  mutable for_shifter : (Gss.node * int) list;
+  mutable multiple_states : bool;
+  mutable nondet_round : bool;
+      (* true while the current reduce phase could produce merges: several
+         parsers were active at round start or some lookup returned
+         multiple actions.  Deterministic rounds skip the merge tables
+         entirely — the paper's "deterministic behavior is assumed to be
+         the common case". *)
+  mutable accepting : Gss.node option;
+  mutable pos : int;  (* token offset of shift_la *)
+  mutable round_nodes : Node.t list;  (* nodes built this round *)
+  nodes_tab : (int * int list, Node.t) Hashtbl.t;
+  sym_tab : (int * int * int, sym_entry) Hashtbl.t;
+}
+
+let trace r msg =
+  match r.cfgc.trace with None -> () | Some f -> f (msg ())
+
+let [@inline] tracing r = r.cfgc.trace <> None
+
+(* ------------------------------------------------------------------ *)
+(* Token positions and spans.                                          *)
+
+let tok_count _r n = Node.token_count n
+
+(* Spans are positional: reductions complete exactly at the current token
+   offset, so a node reduced (or merged) this round spans
+   [pos - token_count, pos] — no side table needed (Appendix A's cover()). *)
+let span r n = (r.pos - Node.token_count n, r.pos)
+
+(* ------------------------------------------------------------------ *)
+(* Lookahead handling.                                                 *)
+
+let term_of n =
+  match n.Node.kind with
+  | Node.Term i -> i.term
+  | Node.Eos _ -> Cfg.eof
+  | Node.Bos | Node.Prod _ | Node.Choice _ | Node.Root ->
+      invalid_arg "Glr.term_of: not a terminal"
+
+let red_term r =
+  match r.red_term with
+  | Some t -> t
+  | None ->
+      let t = Traverse.peek_terminal r.cursor in
+      r.red_term <- Some t;
+      t
+
+(* Actions for parser [p] on the current lookahead.  When the lookahead is
+   an unmodified subtree, the precomputed nonterminal reductions (§3.2)
+   avoid descending to the leftmost terminal. *)
+let lookup_actions r (p : Gss.node) =
+  let fallback () =
+    Table.actions r.table ~state:p.state ~term:(term_of (red_term r))
+  in
+  let la = Traverse.current r.cursor in
+  match la.Node.kind with
+  | Node.Term _ | Node.Eos _ -> fallback ()
+  | Node.Prod _ | Node.Choice _ when not (Node.has_changes la) -> (
+      match Node.symbol r.g la with
+      | `N nt -> (
+          match Table.actions_on_nt r.table ~state:p.state ~nt with
+          | Some acts -> acts
+          | None -> fallback ())
+      | `T _ | `Other -> fallback ())
+  | Node.Prod _ | Node.Choice _ | Node.Bos | Node.Root -> fallback ()
+
+(* ------------------------------------------------------------------ *)
+(* Node construction with merging and bottom-up reuse.                 *)
+
+let find_reusable_old_node rule kids =
+  match kids with
+  | k0 :: _ -> (
+      match k0.Node.parent with
+      | Some p
+        when (match p.Node.kind with Node.Prod r -> r = rule | _ -> false)
+             && (not (Node.has_changes p))
+             && Array.length p.Node.kids = List.length kids
+             && List.for_all2 ( == ) (Array.to_list p.Node.kids) kids ->
+          Some p
+      | _ -> None)
+  | [] -> None
+
+let build_node r rule kids preceding_state =
+  let state = if r.multiple_states then Node.nostate else preceding_state in
+  match
+    if r.cfgc.reuse_nodes then find_reusable_old_node rule kids else None
+  with
+  | Some old ->
+      r.stats.nodes_reused <- r.stats.nodes_reused + 1;
+      old.Node.state <- state;
+      old
+  | None ->
+      r.stats.nodes_created <- r.stats.nodes_created + 1;
+      Node.make_prod ~prod:rule ~state (Array.of_list kids)
+
+(* In a deterministic round every reduction fires once, so the memo table
+   (which exists to share identical productions between parsers) is
+   skipped; [round_nodes] still records creations so a merge discovered
+   later in the round can redirect captures. *)
+let get_node r rule kids preceding_state =
+  if not r.nondet_round then begin
+    let n = build_node r rule kids preceding_state in
+    r.round_nodes <- n :: r.round_nodes;
+    n
+  end
+  else
+    let key = (rule, List.map (fun (k : Node.t) -> k.Node.nid) kids) in
+    match Hashtbl.find_opt r.nodes_tab key with
+    | Some n -> n
+    | None ->
+        let n = build_node r rule kids preceding_state in
+        r.round_nodes <- n :: r.round_nodes;
+        Hashtbl.replace r.nodes_tab key n;
+        n
+
+(* When an interpretation that already escaped into the round's structure
+   (as a kid of a cascaded reduction, or as a GSS link label) turns out to
+   be one of several, every capture must be redirected to the choice node;
+   otherwise parents built before the merge bypass the ambiguity. *)
+let redirect_captures r ~old_node ~canonical =
+  List.iter
+    (fun (n : Node.t) ->
+      if n != canonical then
+        Array.iteri
+          (fun i k -> if k == old_node then n.Node.kids.(i) <- canonical)
+          n.Node.kids)
+    r.round_nodes;
+  List.iter
+    (fun (p : Gss.node) ->
+      List.iter
+        (fun (l : Gss.link) ->
+          if l.Gss.label == old_node then l.Gss.label <- canonical)
+        p.Gss.links)
+    r.active
+
+(* Register [node] as an interpretation of its (symbol, span) region and
+   return the canonical label: the node itself while it is the only
+   interpretation, the (shared) choice node afterwards. *)
+let get_symbol_node r node =
+  if not r.nondet_round then node
+  else
+  let nt =
+    match Node.symbol r.g node with
+    | `N nt -> nt
+    | `T _ | `Other -> invalid_arg "Glr.get_symbol_node: not a production"
+  in
+  let s, e = span r node in
+  let entry =
+    match Hashtbl.find_opt r.sym_tab (nt, s, e) with
+    | Some entry -> entry
+    | None ->
+        let entry = { alts = []; choice = None } in
+        Hashtbl.replace r.sym_tab (nt, s, e) entry;
+        entry
+  in
+  if not (List.memq node entry.alts) then begin
+    entry.alts <- node :: entry.alts;
+    match entry.choice with
+    | Some c ->
+        if not (Array.exists (fun k -> k == node) c.Node.kids) then
+          c.Node.kids <- Array.append c.Node.kids [| node |];
+        redirect_captures r ~old_node:node ~canonical:c;
+        trace r (fun () ->
+            Printf.sprintf "merge: new interpretation of %s"
+              (Cfg.nonterminal_name r.g nt))
+    | None ->
+        if List.length entry.alts >= 2 then begin
+          let kids = Array.of_list (List.rev entry.alts) in
+          (* Node retention for symbol nodes: when an ambiguous region is
+             reconstructed with the same interpretations (their roots were
+             themselves reused bottom-up), keep the previous choice node so
+             annotations and identity survive (ref [25]). *)
+          let old_choice =
+            if not r.cfgc.reuse_nodes then None
+            else
+              Array.fold_left
+                (fun acc (alt : Node.t) ->
+                  match acc, alt.Node.parent with
+                  | None, Some p -> (
+                      match p.Node.kind with
+                      | Node.Choice ci when ci.nt = nt && not (Node.has_changes p)
+                        ->
+                          Some p
+                      | _ -> None)
+                  | acc, _ -> acc)
+                None kids
+          in
+          let c =
+            match old_choice with
+            | Some old ->
+                r.stats.nodes_reused <- r.stats.nodes_reused + 1;
+                let same_kids =
+                  Array.length old.Node.kids = Array.length kids
+                  && Array.for_all2 ( == ) old.Node.kids kids
+                in
+                if not same_kids then begin
+                  old.Node.kids <- kids;
+                  match old.Node.kind with
+                  | Node.Choice ci -> ci.selected <- -1
+                  | _ -> assert false
+                end;
+                old
+            | None -> Node.make_choice ~nt kids
+          in
+          ignore (s, e);
+          entry.choice <- Some c;
+          Array.iter
+            (fun alt -> redirect_captures r ~old_node:alt ~canonical:c)
+            kids;
+          trace r (fun () ->
+              Printf.sprintf "amb: symbol node for %s (%d interpretations)"
+                (Cfg.nonterminal_name r.g nt) (Array.length kids))
+        end
+  end;
+  match entry.choice with Some c -> c | None -> node
+
+(* ------------------------------------------------------------------ *)
+(* Reductions (Rekers-style, breadth-first on the current lookahead).   *)
+
+let rec reducer r (q : Gss.node) target rule kids =
+  r.stats.reductions <- r.stats.reductions + 1;
+  let node = get_node r rule kids q.Gss.state in
+  if tracing r then
+    trace r (fun () ->
+        Printf.sprintf "reduce: %s (target state %d)"
+          (Format.asprintf "%a" (Cfg.pp_production r.g) rule)
+          target);
+  match List.find_opt (fun (p : Gss.node) -> p.Gss.state = target) r.active with
+  | Some p -> (
+      match List.find_opt (fun (l : Gss.link) -> l.Gss.head == q) p.Gss.links with
+      | Some link ->
+          (* A second interpretation of the same region: merge into a
+             choice node, upgrading the proxy label lazily.  Merges can be
+             discovered in a round that started deterministically (a forked
+             GSS region being popped), so turn the machinery on here. *)
+          if link.Gss.label != node then begin
+            if not r.nondet_round then begin
+              r.nondet_round <- true;
+              Hashtbl.reset r.nodes_tab;
+              Hashtbl.reset r.sym_tab
+            end;
+            (match link.Gss.label.Node.kind with
+            | Node.Choice _ -> ()
+            | _ -> ignore (get_symbol_node r link.Gss.label));
+            link.Gss.label <- get_symbol_node r node
+          end
+      | None ->
+          let label = get_symbol_node r node in
+          let link = Gss.make_link ~head:q ~label in
+          Gss.add_link p link;
+          (* Parsers already processed this round may enable further
+             reductions through the new link. *)
+          List.iter
+            (fun (m : Gss.node) ->
+              if not (List.memq m r.for_actor) then
+                List.iter
+                  (function
+                    | Table.Reduce rule' -> do_limited_reductions r m rule' link
+                    | Table.Shift _ | Table.Accept -> ())
+                  (lookup_actions r m))
+            r.active)
+  | None ->
+      let label = get_symbol_node r node in
+      let p = Gss.make_node ~state:target [ Gss.make_link ~head:q ~label ] in
+      r.active <- p :: r.active;
+      r.for_actor <- p :: r.for_actor
+
+and do_reduction_paths r paths rule =
+  (match paths with
+  | _ :: _ :: _ ->
+      (* Several stack paths: the GSS is locally forked and reductions may
+         converge. *)
+      if not r.nondet_round then begin
+        r.nondet_round <- true;
+        Hashtbl.reset r.nodes_tab;
+        Hashtbl.reset r.sym_tab
+      end
+  | [] | [ _ ] -> ());
+  let prod = Cfg.production r.g rule in
+  List.iter
+    (fun ((q : Gss.node), kids) ->
+      let target = Table.goto r.table ~state:q.Gss.state ~nt:prod.Cfg.lhs in
+      if target >= 0 then reducer r q target rule kids)
+    paths
+
+and do_reductions r (p : Gss.node) rule =
+  let arity = Array.length (Cfg.production r.g rule).Cfg.rhs in
+  do_reduction_paths r (Gss.paths p ~arity) rule
+
+and do_limited_reductions r (m : Gss.node) rule link =
+  let arity = Array.length (Cfg.production r.g rule).Cfg.rhs in
+  do_reduction_paths r (Gss.paths_through m ~arity ~link) rule
+
+(* ------------------------------------------------------------------ *)
+(* The actor / shifter cycle.                                           *)
+
+let actor r (p : Gss.node) =
+  let acts = lookup_actions r p in
+  (match acts with
+  | _ :: _ :: _ ->
+      r.stats.forks <- r.stats.forks + 1;
+      r.multiple_states <- true;
+      r.nondet_round <- true
+  | [] | [ _ ] -> ());
+  List.iter
+    (function
+      | Table.Accept ->
+          (match (red_term r).Node.kind with
+          | Node.Eos _ -> r.accepting <- Some p
+          | _ -> () (* this parser cannot finish here; it dies *))
+      | Table.Reduce rule -> do_reductions r p rule
+      | Table.Shift s -> r.for_shifter <- (p, s) :: r.for_shifter)
+    acts
+
+(* Decompose the lookahead until it is shiftable: a terminal, or — in a
+   deterministic configuration — an unmodified subtree whose recorded
+   state matches the single active parser (state-matching, §3.2/3.3). *)
+let settle_lookahead r =
+  let single_parser =
+    match r.for_shifter with [ (p, _) ] -> Some p | _ -> None
+  in
+  let rec settle () =
+    let la = Traverse.current r.cursor in
+    match la.Node.kind with
+    | Node.Term _ -> ()
+    | Node.Eos _ ->
+        raise
+          (Parse_error
+             { offset_tokens = r.pos; message = "internal: shift past eos" })
+    | Node.Bos | Node.Root ->
+        invalid_arg "Glr.settle_lookahead: sentinel lookahead"
+    | Node.Prod _ | Node.Choice _ ->
+        let ok =
+          r.cfgc.state_matching
+          && (not r.multiple_states)
+          && (not (Node.has_changes la))
+          && la.Node.state <> Node.nostate
+          &&
+          match single_parser with
+          | Some p ->
+              la.Node.state = p.Gss.state
+              && (match Node.symbol r.g la with
+                 | `N nt -> Table.goto r.table ~state:p.Gss.state ~nt >= 0
+                 | `T _ | `Other -> false)
+          | None -> false
+        in
+        if not ok then begin
+          r.stats.breakdowns <- r.stats.breakdowns + 1;
+          Traverse.descend r.cursor;
+          settle ()
+        end
+  in
+  settle ()
+
+let shifter r =
+  r.active <- [];
+  r.multiple_states <- List.length r.for_shifter > 1;
+  if r.for_shifter <> [] then begin
+    settle_lookahead r;
+    let la = Traverse.current r.cursor in
+    (match la.Node.kind with
+    | Node.Term _ -> r.stats.shifted_terminals <- r.stats.shifted_terminals + 1
+    | _ -> r.stats.shifted_subtrees <- r.stats.shifted_subtrees + 1);
+    List.iter
+      (fun ((p : Gss.node), s) ->
+        let target =
+          match Node.symbol r.g la with
+          | `T _ -> s
+          | `N nt -> Table.goto r.table ~state:p.Gss.state ~nt
+          | `Other -> -1
+        in
+        if target >= 0 then begin
+          la.Node.state <-
+            (if r.multiple_states then Node.nostate else p.Gss.state);
+          let link = Gss.make_link ~head:p ~label:la in
+          match
+            List.find_opt (fun (q : Gss.node) -> q.Gss.state = target) r.active
+          with
+          | Some q -> Gss.add_link q link
+          | None -> r.active <- Gss.make_node ~state:target [ link ] :: r.active
+        end)
+      r.for_shifter;
+    if tracing r then
+      trace r (fun () ->
+          let y = Node.text_yield la in
+          let y =
+            if String.length y > 24 then String.sub y 0 24 ^ "..." else y
+          in
+          Printf.sprintf "shift: %S -> %d parser(s)" y (List.length r.active));
+    if List.length r.active > r.stats.max_parsers then
+      r.stats.max_parsers <- List.length r.active
+  end
+
+let parse_next_symbol r =
+  r.for_actor <- r.active;
+  r.for_shifter <- [];
+  r.nondet_round <-
+    (match r.active with [] | [ _ ] -> r.multiple_states | _ -> true);
+  r.round_nodes <- [];
+  if r.nondet_round then begin
+    Hashtbl.reset r.nodes_tab;
+    Hashtbl.reset r.sym_tab
+  end;
+  let rec drain () =
+    match r.for_actor with
+    | [] -> ()
+    | p :: rest ->
+        r.for_actor <- rest;
+        actor r p;
+        drain ()
+  in
+  drain ();
+  if r.accepting = None then begin
+    shifter r;
+    if r.active = [] then
+      raise
+        (Parse_error
+           { offset_tokens = r.pos; message = "no parser can proceed" });
+    (* Advance past whatever was actually shifted. *)
+    r.pos <- r.pos + tok_count r (Traverse.current r.cursor);
+    Traverse.advance r.cursor;
+    r.red_term <- None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Damage marking: Appendix A's process_modifications.                 *)
+
+(* The implicit one-terminal lookahead of LR reductions means a subtree is
+   reusable only if the terminal following its yield is unchanged.  For
+   each modified terminal [t], walk to the previous terminal [u] and mark
+   [u] and every ancestor whose yield ends at [u]: those are exactly the
+   nodes with [t] in their one-terminal right context. *)
+let process_modifications root =
+  let changed_terms = ref [] in
+  (* Only the head of a contiguous run of changed sibling terminals needs
+     right-context marking: the rest are preceded by an already-changed
+     terminal, which can never be reused above anyway. *)
+  let collect_kids collect (n : Node.t) =
+    let prev_changed_term = ref false in
+    Array.iter
+      (fun (k : Node.t) ->
+        (if k.Node.changed && Node.is_terminal k then
+           if not !prev_changed_term then changed_terms := k :: !changed_terms);
+        prev_changed_term := k.Node.changed && Node.is_terminal k;
+        collect k)
+      n.Node.kids
+  in
+  let rec collect (n : Node.t) =
+    if n.Node.nested then collect_kids collect n
+    else if n.Node.changed && not (Node.is_terminal n) then
+      (* A structurally edited interior node: treat every terminal beneath
+         as changed for right-context purposes. *)
+      collect_kids collect n
+  in
+  (if root.Node.changed && Node.is_terminal root then assert false);
+  collect root;
+  let prev_terminal (t : Node.t) =
+    (* Climb until [t]'s subtree has a left neighbour, then descend to its
+       rightmost terminal. *)
+    let rec climb (n : Node.t) =
+      match n.Node.parent with
+      | None -> None
+      | Some p -> (
+          match p.Node.kind with
+          | Node.Choice _ -> climb p
+          | _ -> (
+              let idx =
+                let rec find i =
+                  if i >= Array.length p.Node.kids then None
+                  else if p.Node.kids.(i) == n then Some i
+                  else find (i + 1)
+                in
+                find 0
+              in
+              match idx with
+              | None -> None
+              | Some 0 -> climb p
+              | Some i ->
+                  let rec rightmost_term j =
+                    if j < 0 then climb p
+                    else
+                      let k = p.Node.kids.(j) in
+                      let rec rightmost (n : Node.t) =
+                        match n.Node.kind with
+                        | Node.Term _ | Node.Bos -> Some n
+                        | Node.Eos _ -> None
+                        | Node.Choice _ -> rightmost n.Node.kids.(0)
+                        | Node.Prod _ | Node.Root ->
+                            let rec scan j =
+                              if j < 0 then None
+                              else
+                                match rightmost n.Node.kids.(j) with
+                                | Some t -> Some t
+                                | None -> scan (j - 1)
+                            in
+                            scan (Array.length n.Node.kids - 1)
+                      in
+                      (match rightmost k with
+                      | Some t -> Some t
+                      | None -> rightmost_term (j - 1))
+                  in
+                  rightmost_term (i - 1)))
+    in
+    climb t
+  in
+  List.iter
+    (fun t ->
+      match prev_terminal t with
+      | None -> ()
+      | Some u ->
+          Node.mark_changed u;
+          (* Mark ancestors whose yield ends at [u]. *)
+          let rec up (n : Node.t) =
+            match n.Node.parent with
+            | None -> ()
+            | Some p -> (
+                match p.Node.kind with
+                | Node.Choice _ ->
+                    Node.mark_changed p;
+                    up p
+                | Node.Root -> ()
+                | _ ->
+                    (* [n] must be the last yield-bearing kid of [p]. *)
+                    let rec last_with_tokens i =
+                      if i < 0 then None
+                      else if Node.token_count p.Node.kids.(i) > 0 then Some i
+                      else last_with_tokens (i - 1)
+                    in
+                    let li = last_with_tokens (Array.length p.Node.kids - 1) in
+                    (match li with
+                    | Some i when p.Node.kids.(i) == n ->
+                        Node.mark_changed p;
+                        up p
+                    | _ -> ()))
+          in
+          up u)
+    !changed_terms
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+
+let make_run config table root =
+  {
+    table;
+    g = Table.grammar table;
+    cfgc = config;
+    stats = fresh_stats ();
+    cursor = Traverse.cursor_at root;
+    red_term = None;
+    active = [];
+    for_actor = [];
+    for_shifter = [];
+    multiple_states = false;
+    nondet_round = false;
+    accepting = None;
+    pos = 0;
+    round_nodes = [];
+    nodes_tab = Hashtbl.create 64;
+    sym_tab = Hashtbl.create 64;
+  }
+
+let parse ?(config = default_config) table root =
+  (match root.Node.kind with
+  | Node.Root -> ()
+  | _ -> invalid_arg "Glr.parse: not a document root");
+  process_modifications root;
+  let r = make_run config table root in
+  let bos = root.Node.kids.(0) in
+  r.active <- [ Gss.make_node ~state:(Table.start_state table) [] ];
+  r.stats.max_parsers <- 1;
+  while r.accepting = None do
+    parse_next_symbol r
+  done;
+  (match r.accepting with
+  | Some p -> (
+      match p.Gss.links with
+      | link :: _ ->
+          let eos = root.Node.kids.(Array.length root.Node.kids - 1) in
+          root.Node.kids <- [| bos; link.Gss.label; eos |];
+          Node.refresh_token_count root;
+          if config.unshare_eps then ignore (Unshare.run root);
+          Node.commit root
+      | [] -> assert false)
+  | None -> assert false);
+  r.stats
+
+let parse_tokens ?(config = default_config) table tokens ~trailing =
+  let terms =
+    List.map
+      (fun (t : Lexgen.Scanner.token) ->
+        Node.make_term ~term:t.Lexgen.Scanner.term ~text:t.Lexgen.Scanner.text
+          ~trivia:t.Lexgen.Scanner.trivia ~lex_la:t.Lexgen.Scanner.lookahead)
+      tokens
+  in
+  let root =
+    Node.make_root
+      (Array.of_list
+         ((Node.make_bos () :: terms) @ [ Node.make_eos ~trailing ]))
+  in
+  Node.commit root;
+  let stats = parse ?config:(Some config) table root in
+  (root, stats)

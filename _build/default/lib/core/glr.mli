@@ -1,0 +1,73 @@
+(** The incremental GLR (IGLR) parser — the paper's main algorithm
+    (§3.3, Appendix A).
+
+    One engine serves both batch and incremental parsing: the input stream
+    is a left-to-right traversal of the previous version of the parse dag
+    (fresh documents are a flat list of terminals under the root, so the
+    initial parse degenerates to batch GLR).  Deterministic regions reuse
+    whole subtrees via state-matching; conflicts fork parsers over a
+    graph-structured stack; ambiguous regions are merged into choice nodes
+    with optimal sharing and are decomposed and reconstructed atomically on
+    later parses (their nodes carry {!Parsedag.Node.nostate}).
+
+    Invariants required of the input dag:
+    - [root] has kind {!Parsedag.Node.Root} with [bos]/[eos] sentinels;
+    - textual edits have been applied by relexing (changed terminals are
+      fresh nodes with their [changed] bit set);
+    - parent pointers describe the previous version (as left by
+      {!Parsedag.Node.commit}). *)
+
+type error = {
+  offset_tokens : int;  (** token position where every parser died *)
+  message : string;
+}
+
+exception Parse_error of error
+
+type stats = {
+  mutable shifted_subtrees : int;
+  mutable shifted_terminals : int;
+  mutable reductions : int;
+  mutable breakdowns : int;
+  mutable max_parsers : int;  (** peak simultaneously active parsers *)
+  mutable forks : int;
+      (** table interrogations that returned multiple actions *)
+  mutable nodes_created : int;
+  mutable nodes_reused : int;  (** bottom-up node reuse hits *)
+}
+
+val fresh_stats : unit -> stats
+
+type config = {
+  reuse_nodes : bool;
+      (** bottom-up node reuse of unchanged productions (ref [25]) *)
+  unshare_eps : bool;  (** run the ε-duplication post-pass (§3.5) *)
+  state_matching : bool;
+      (** subtree reuse via state-matching; [false] decomposes every
+          lookahead to terminals (ablation: incremental node reuse only) *)
+  trace : (string -> unit) option;
+      (** parser-action trace hook (Appendix B) *)
+}
+
+val default_config : config
+
+(** [parse table root] reparses the document in place: on success
+    [root.kids] becomes [[bos; top; eos]], parents are repaired and change
+    bits cleared.  On failure the old tree is left structurally intact and
+    {!Parse_error} is raised.  Returns parse statistics. *)
+val parse : ?config:config -> Lrtab.Table.t -> Parsedag.Node.t -> stats
+
+(** [parse_tokens table tokens] — batch parse: builds a fresh document
+    root over the token list and parses it.  The token list excludes
+    sentinels. *)
+val parse_tokens :
+  ?config:config ->
+  Lrtab.Table.t ->
+  Lexgen.Scanner.token list ->
+  trailing:string ->
+  Parsedag.Node.t * stats
+
+(** Expose the damage pass for tests: marks every node whose yield or
+    one-terminal right context contains a modified terminal (Appendix A's
+    [process_modifications]). *)
+val process_modifications : Parsedag.Node.t -> unit

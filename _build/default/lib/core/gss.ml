@@ -1,0 +1,35 @@
+type node = { gid : int; state : int; mutable links : link list }
+and link = { head : node; mutable label : Parsedag.Node.t }
+
+let counter = ref 0
+
+let make_node ~state links =
+  incr counter;
+  { gid = !counter; state; links }
+
+let add_link n l = n.links <- l :: n.links
+let make_link ~head ~label = { head; label }
+
+let paths node ~arity =
+  let acc = ref [] in
+  let rec go n depth labels =
+    if depth = 0 then acc := (n, labels) :: !acc
+    else
+      List.iter (fun l -> go l.head (depth - 1) (l.label :: labels)) n.links
+  in
+  go node arity [];
+  !acc
+
+let paths_through node ~arity ~link =
+  let acc = ref [] in
+  let rec go n depth labels used =
+    if depth = 0 then begin
+      if used then acc := (n, labels) :: !acc
+    end
+    else
+      List.iter
+        (fun l -> go l.head (depth - 1) (l.label :: labels) (used || l == link))
+        n.links
+  in
+  go node arity [] false;
+  !acc

@@ -1,0 +1,34 @@
+(** The graph-structured parse stack (Tomita/Rekers, §3.1).
+
+    Each node is one active parser configuration; links point toward the
+    stack bottom and are labeled by the dag node spanning that edge.  The
+    GSS is a {e transient} structure of one parse (§3.5) — unlike
+    Ferro & Dion's persistent-GSS representation, nothing of it survives
+    into the program representation. *)
+
+type node = {
+  gid : int;
+  state : int;
+  mutable links : link list;
+}
+
+and link = {
+  head : node;  (** toward the bottom of the stack *)
+  mutable label : Parsedag.Node.t;  (** upgraded in place when a second
+                                        interpretation merges (the lazy
+                                        symbol-node installation) *)
+}
+
+val make_node : state:int -> link list -> node
+val add_link : node -> link -> unit
+val make_link : head:node -> label:Parsedag.Node.t -> link
+
+(** [paths node ~arity] — all downward paths of exactly [arity] links;
+    each result is [(bottom, labels)] with labels in left-to-right (yield)
+    order. *)
+val paths : node -> arity:int -> (node * Parsedag.Node.t list) list
+
+(** [paths_through node ~arity ~link] — only paths using [link] at least
+    once. *)
+val paths_through :
+  node -> arity:int -> link:link -> (node * Parsedag.Node.t list) list

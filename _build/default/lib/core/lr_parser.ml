@@ -1,0 +1,94 @@
+module Cfg = Grammar.Cfg
+module Table = Lrtab.Table
+module Node = Parsedag.Node
+
+exception Error of { offset : int; message : string }
+
+let fail offset message = raise (Error { offset; message })
+
+let single_action table ~state ~term ~offset =
+  match Table.actions table ~state ~term with
+  | [ a ] -> a
+  | [] -> fail offset "syntax error"
+  | _ :: _ :: _ -> fail offset "conflicted entry (grammar not deterministic)"
+
+let parse table tokens ~trailing =
+  let g = Table.grammar table in
+  let input = Array.of_list tokens in
+  let n = Array.length input in
+  let stack = ref [ (Table.start_state table, None) ] in
+  let top () = fst (List.hd !stack) in
+  let pos = ref 0 in
+  let la () =
+    if !pos < n then input.(!pos).Lexgen.Scanner.term else Cfg.eof
+  in
+  let result = ref None in
+  while !result = None do
+    match single_action table ~state:(top ()) ~term:(la ()) ~offset:!pos with
+    | Table.Shift s ->
+        let t = input.(!pos) in
+        let node =
+          Node.make_term ~term:t.Lexgen.Scanner.term ~text:t.Lexgen.Scanner.text
+            ~trivia:t.Lexgen.Scanner.trivia ~lex_la:t.Lexgen.Scanner.lookahead
+        in
+        node.Node.state <- top ();
+        stack := (s, Some node) :: !stack;
+        incr pos
+    | Table.Reduce p ->
+        let prod = Cfg.production g p in
+        let arity = Array.length prod.Cfg.rhs in
+        let kids = Array.make arity None in
+        for i = arity - 1 downto 0 do
+          (match !stack with
+          | (_, node) :: rest ->
+              kids.(i) <- node;
+              stack := rest
+          | [] -> assert false)
+        done;
+        let preceding = top () in
+        let kids =
+          Array.map
+            (function Some k -> k | None -> assert false)
+            kids
+        in
+        let node = Node.make_prod ~prod:p ~state:preceding kids in
+        let target = Table.goto table ~state:preceding ~nt:prod.Cfg.lhs in
+        if target < 0 then fail !pos "internal: goto undefined";
+        stack := (target, Some node) :: !stack
+    | Table.Accept -> (
+        match !stack with
+        | (_, Some topnode) :: _ -> result := Some topnode
+        | _ -> fail !pos "internal: accept with empty stack")
+  done;
+  let topnode = Option.get !result in
+  let root =
+    Node.make_root [| Node.make_bos (); topnode; Node.make_eos ~trailing |]
+  in
+  Node.commit root;
+  root
+
+let recognize table terms =
+  let g = Table.grammar table in
+  let n = Array.length terms in
+  let stack = ref [ Table.start_state table ] in
+  let pos = ref 0 in
+  let reductions = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let state = List.hd !stack in
+    let term = if !pos < n then terms.(!pos) else Cfg.eof in
+    match single_action table ~state ~term ~offset:!pos with
+    | Table.Shift s ->
+        stack := s :: !stack;
+        incr pos
+    | Table.Reduce p ->
+        incr reductions;
+        let prod = Cfg.production g p in
+        let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+        stack := drop (Array.length prod.Cfg.rhs) !stack;
+        let target = Table.goto table ~state:(List.hd !stack) ~nt:prod.Cfg.lhs in
+        if target < 0 then fail !pos "internal: goto undefined";
+        stack := target :: !stack
+    | Table.Accept -> finished := true
+  done;
+  !reductions

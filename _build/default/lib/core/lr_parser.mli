@@ -1,0 +1,24 @@
+(** Plain deterministic LR parsing over a token array.
+
+    The batch baseline of §5: no graph-structured stack, no subtree reuse,
+    no incrementality.  Requires a conflict-free table entry at every step.
+    [~build:false] runs the automaton without constructing nodes, used to
+    separate parse time from node-construction time in the benchmarks. *)
+
+exception
+  Error of {
+    offset : int;  (** token index *)
+    message : string;
+  }
+
+(** [parse table tokens ~trailing] — full parse producing a document root.
+    @raise Error on syntax errors or conflicted entries. *)
+val parse :
+  Lrtab.Table.t ->
+  Lexgen.Scanner.token list ->
+  trailing:string ->
+  Parsedag.Node.t
+
+(** [recognize table terms] — run the automaton only (no tree); [terms]
+    are terminal ids.  Returns the number of reductions performed. *)
+val recognize : Lrtab.Table.t -> int array -> int

@@ -1,0 +1,55 @@
+module Node = Parsedag.Node
+module Document = Vdoc.Document
+
+type t = {
+  table : Lrtab.Table.t;
+  config : Glr.config;
+  syn_filters : Syn_filter.rule list;
+  doc : Document.t;
+  mutable errors : bool;
+}
+
+type outcome =
+  | Parsed of Glr.stats
+  | Recovered of { flagged : int; error : Glr.error }
+
+let document t = t.doc
+let root t = Document.root t.doc
+let text t = Document.text t.doc
+let table t = t.table
+let has_errors t = t.errors
+
+let reparse t =
+  match Glr.parse ~config:t.config t.table (Document.root t.doc) with
+  | stats ->
+      if t.syn_filters <> [] then
+        ignore
+          (Syn_filter.apply
+             (Lrtab.Table.grammar t.table)
+             t.syn_filters (Document.root t.doc));
+      t.errors <- false;
+      Parsed stats
+  | exception Glr.Parse_error error ->
+      (* History-based, non-correcting recovery: the previous structure is
+         intact (the parser only commits on success); flag the pending
+         modifications as unincorporated and leave their change bits set so
+         future edits re-attempt integration. *)
+      let flagged = ref 0 in
+      List.iter
+        (fun (l : Node.t) ->
+          if not l.Node.error then begin
+            l.Node.error <- true;
+            incr flagged
+          end)
+        (Document.changed_tokens t.doc);
+      t.errors <- true;
+      Recovered { flagged = !flagged; error }
+
+let create ?(config = Glr.default_config) ?(syn_filters = []) ~table ~lexer
+    text =
+  let doc = Document.create ~lexer text in
+  let t = { table; config; syn_filters; doc; errors = false } in
+  (t, reparse t)
+
+let edit t ~pos ~del ~insert =
+  ignore (Document.edit t.doc ~pos ~del ~insert)

@@ -1,0 +1,43 @@
+(** Editing sessions: document + table + incremental parser + recovery.
+
+    The convenience layer a tool builds on: create a session from source
+    text, apply edits, reparse incrementally.  Failed parses fall back to
+    the history-based non-correcting recovery of §4.3: the previous
+    structure is retained and the unincorporated modifications stay marked
+    (their change bits survive), so later edits can still repair the
+    program. *)
+
+type t
+
+type outcome =
+  | Parsed of Glr.stats  (** clean parse; tree committed *)
+  | Recovered of {
+      flagged : int;  (** terminals flagged as unincorporated *)
+      error : Glr.error;
+    }
+      (** the parse failed; previous structure kept, damage still pending *)
+
+(** [syn_filters] are dynamic syntactic filters (§4.1) applied after every
+    successful parse; rejected interpretations are discarded. *)
+val create :
+  ?config:Glr.config ->
+  ?syn_filters:Syn_filter.rule list ->
+  table:Lrtab.Table.t ->
+  lexer:Lexgen.Spec.t ->
+  string ->
+  t * outcome
+
+val document : t -> Vdoc.Document.t
+val root : t -> Parsedag.Node.t
+val text : t -> string
+val table : t -> Lrtab.Table.t
+
+(** [edit t ~pos ~del ~insert] — textual edit (no reparse). *)
+val edit : t -> pos:int -> del:int -> insert:string -> unit
+
+(** [reparse t] — incremental reparse of all pending edits. *)
+val reparse : t -> outcome
+
+(** [has_errors t] — true after a [Recovered] outcome until a later clean
+    parse. *)
+val has_errors : t -> bool

@@ -1,0 +1,1 @@
+lib/dag/node.ml: Array Buffer Grammar Hashtbl String

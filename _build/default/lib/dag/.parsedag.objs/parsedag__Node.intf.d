@@ -1,0 +1,1 @@
+lib/dag/node.mli: Grammar

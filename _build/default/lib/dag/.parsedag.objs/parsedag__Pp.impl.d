@@ -1,0 +1,1 @@
+lib/dag/pp.ml: Array Buffer Format Grammar Hashtbl Node Printf

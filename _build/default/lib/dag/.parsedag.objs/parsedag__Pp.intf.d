@@ -1,0 +1,1 @@
+lib/dag/pp.mli: Format Grammar Node

@@ -1,0 +1,1 @@
+lib/dag/sequence.ml: Array Grammar List Node

@@ -1,0 +1,1 @@
+lib/dag/sequence.mli: Grammar Node

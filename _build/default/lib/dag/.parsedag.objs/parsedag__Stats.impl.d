@@ -1,0 +1,1 @@
+lib/dag/stats.ml: Array Format Hashtbl Node String

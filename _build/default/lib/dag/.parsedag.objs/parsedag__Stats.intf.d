@@ -1,0 +1,1 @@
+lib/dag/stats.mli: Format Node

@@ -1,0 +1,1 @@
+lib/dag/traverse.ml: Array Node

@@ -1,0 +1,1 @@
+lib/dag/traverse.mli: Node

@@ -1,0 +1,1 @@
+lib/dag/unshare.ml: Array Hashtbl Node

@@ -1,0 +1,1 @@
+lib/dag/unshare.mli: Node

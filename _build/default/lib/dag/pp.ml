@@ -1,0 +1,109 @@
+module Cfg = Grammar.Cfg
+
+let node_label g n =
+  match n.Node.kind with
+  | Node.Term i -> Printf.sprintf "%s %S" (Cfg.terminal_name g i.term) i.text
+  | Node.Prod p ->
+      let prod = Cfg.production g p in
+      Printf.sprintf "%s [p%d]" (Cfg.nonterminal_name g prod.lhs) p
+  | Node.Choice c -> Printf.sprintf "amb<%s>" (Cfg.nonterminal_name g c.nt)
+  | Node.Bos -> "<bos>"
+  | Node.Eos _ -> "<eos>"
+  | Node.Root -> "<root>"
+
+let pp g ppf root =
+  let rec walk indent n =
+    Format.fprintf ppf "%s%s" indent (node_label g n);
+    if n.Node.state <> Node.nostate then
+      Format.fprintf ppf " @%d" n.Node.state;
+    if n.Node.changed then Format.pp_print_string ppf " *";
+    if n.Node.nested then Format.pp_print_string ppf " ~";
+    if n.Node.error then Format.pp_print_string ppf " !";
+    Format.pp_print_newline ppf ();
+    Array.iter (walk (indent ^ "  ")) n.Node.kids
+  in
+  walk "" root
+
+let to_sexp g root =
+  let buf = Buffer.create 256 in
+  let rec walk n =
+    match n.Node.kind with
+    | Node.Term i -> Buffer.add_string buf (Printf.sprintf "%S" i.text)
+    | Node.Bos -> Buffer.add_string buf "<bos>"
+    | Node.Eos _ -> Buffer.add_string buf "<eos>"
+    | Node.Prod p ->
+        let prod = Cfg.production g p in
+        Buffer.add_char buf '(';
+        Buffer.add_string buf (Cfg.nonterminal_name g prod.lhs);
+        Array.iter
+          (fun k ->
+            Buffer.add_char buf ' ';
+            walk k)
+          n.Node.kids;
+        Buffer.add_char buf ')'
+    | Node.Choice _ ->
+        Buffer.add_string buf "(amb";
+        Array.iter
+          (fun k ->
+            Buffer.add_char buf ' ';
+            walk k)
+          n.Node.kids;
+        Buffer.add_char buf ')'
+    | Node.Root ->
+        Buffer.add_string buf "(root";
+        Array.iter
+          (fun k ->
+            match k.Node.kind with
+            | Node.Bos | Node.Eos _ -> ()
+            | _ ->
+                Buffer.add_char buf ' ';
+                walk k)
+          n.Node.kids;
+        Buffer.add_char buf ')'
+  in
+  walk root;
+  Buffer.contents buf
+
+let to_dot g root =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph parsedag {\n  node [fontname=\"monospace\"];\n";
+  let seen = Hashtbl.create 64 in
+  let rec walk (n : Node.t) =
+    if not (Hashtbl.mem seen n.Node.nid) then begin
+      Hashtbl.replace seen n.Node.nid ();
+      let attrs =
+        match n.Node.kind with
+        | Node.Term i ->
+            Printf.sprintf "label=%S shape=box style=filled fillcolor=lightgrey"
+              i.Node.text
+        | Node.Prod p ->
+            let prod = Cfg.production g p in
+            Printf.sprintf "label=%S shape=ellipse"
+              (Cfg.nonterminal_name g prod.lhs)
+        | Node.Choice ci ->
+            Printf.sprintf
+              "label=\"%s?\" shape=diamond style=filled fillcolor=gold"
+              (Cfg.nonterminal_name g ci.nt)
+        | Node.Bos -> "label=\"bos\" shape=point"
+        | Node.Eos _ -> "label=\"eos\" shape=point"
+        | Node.Root -> "label=\"root\" shape=plaintext"
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" n.Node.nid attrs);
+      Array.iteri
+        (fun i k ->
+          let style =
+            match n.Node.kind with
+            | Node.Choice ci when ci.selected >= 0 && i <> ci.selected ->
+                " [style=dashed]"
+            | Node.Choice _ -> " [style=dotted]"
+            | _ -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d%s;\n" n.Node.nid k.Node.nid style);
+          walk k)
+        n.Node.kids
+    end
+  in
+  walk root;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

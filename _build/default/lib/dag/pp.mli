@@ -1,0 +1,15 @@
+(** Printing and dumping parse dags. *)
+
+(** Indented multi-line rendering with production names, states and change
+    bits; choice nodes print all alternatives. *)
+val pp : Grammar.Cfg.t -> Format.formatter -> Node.t -> unit
+
+(** Compact single-line s-expression: [(E (T (F "x")) "+" ...)]; choice
+    nodes render as [(amb alt1 alt2 ...)].  Stable across runs (no node
+    ids), so suitable for golden tests. *)
+val to_sexp : Grammar.Cfg.t -> Node.t -> string
+
+(** Graphviz rendering of the dag: choice nodes are diamonds, shared
+    terminals show their multiple parents, filtered alternatives are
+    dashed.  Paste into [dot -Tsvg] to visualize Figure 3-style pictures. *)
+val to_dot : Grammar.Cfg.t -> Node.t -> string

@@ -1,0 +1,21 @@
+(** Utilities over sequence spines (the builder's [star]/[plus] notation).
+
+    Sequence nonterminals parse as left-recursive spines; tools usually
+    want the flat element list (the paper's "abstract" view of associative
+    sequences, §3.4).  These helpers flatten and measure spines without
+    the caller knowing the desugared productions. *)
+
+(** [elements g node] — the elements of a sequence spine rooted at [node]
+    (a node whose symbol is a sequence nonterminal), in source order,
+    skipping separators.  For a non-sequence node, the singleton list.
+    Choice nodes inside follow the selected (or first) alternative. *)
+val elements : Grammar.Cfg.t -> Node.t -> Node.t list
+
+(** [spine_depth g node] — length of the left-recursive spine (the list
+    length); the paper's motivation for balancing: access to the i-th
+    element costs O(depth - i). *)
+val spine_depth : Grammar.Cfg.t -> Node.t -> int
+
+(** [max_depth node] — structural depth of the whole subtree (via first
+    alternatives); the quantity that bounds incremental reparse cost. *)
+val max_depth : Node.t -> int

@@ -1,0 +1,50 @@
+let rec deep_copy n =
+  match n.Node.kind with
+  | Node.Term i ->
+      Node.make_term ~term:i.term ~text:i.text ~trivia:i.trivia
+        ~lex_la:i.lex_la
+  | Node.Prod p ->
+      let c =
+        Node.make_prod ~prod:p ~state:n.Node.state
+          (Array.map deep_copy n.Node.kids)
+      in
+      c
+  | Node.Choice ci ->
+      let c = Node.make_choice ~nt:ci.nt (Array.map deep_copy n.Node.kids) in
+      (match c.Node.kind with
+      | Node.Choice ci' -> ci'.selected <- ci.selected
+      | _ -> assert false);
+      c
+  | Node.Bos -> Node.make_bos ()
+  | Node.Eos e -> Node.make_eos ~trailing:e.trailing
+  | Node.Root -> Node.make_root (Array.map deep_copy n.Node.kids)
+
+let run root =
+  let seen = Hashtbl.create 64 in
+  let duplicated = ref 0 in
+  (* Runs before commit: a kid whose parent pointer already points here
+     and which carries no change bits is an intact previous-version
+     subtree — already unshared by earlier passes — so only the freshly
+     built region is walked. *)
+  let intact (n : Node.t) (k : Node.t) =
+    (match k.Node.parent with Some p -> p == n | None -> false)
+    && not (Node.has_changes k)
+  in
+  let rec walk n =
+    Array.iteri
+      (fun i k ->
+        if not (intact n k) then begin
+          if Node.token_count k = 0 && not (Node.is_sentinel k) then
+            if Hashtbl.mem seen k.Node.nid then begin
+              let copy = deep_copy k in
+              n.Node.kids.(i) <- copy;
+              copy.Node.parent <- Some n;
+              incr duplicated
+            end
+            else Hashtbl.replace seen k.Node.nid ();
+          walk n.Node.kids.(i)
+        end)
+      n.Node.kids
+  in
+  walk root;
+  !duplicated

@@ -1,0 +1,10 @@
+(** Correction of ε over-sharing (§3.5).
+
+    GLR parsing of grammars with ε-productions can share a null-yield
+    subtree between several parents even in unambiguous grammars, which
+    prevents per-instance semantic attributes.  This post-pass duplicates
+    every null-yield subtree reached through more than one parent, so each
+    production instance with an empty yield is a distinct node. *)
+
+(** [run root] — returns the number of subtrees duplicated. *)
+val run : Node.t -> int

@@ -1,0 +1,1 @@
+lib/document/document.ml: Array Lexgen List Parsedag Relex String

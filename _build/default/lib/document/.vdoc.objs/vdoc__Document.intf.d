@@ -1,0 +1,1 @@
+lib/document/document.mli: Lexgen Parsedag

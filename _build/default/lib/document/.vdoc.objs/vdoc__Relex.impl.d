@@ -1,0 +1,1 @@
+lib/document/relex.ml: Array Hashtbl Lexgen List Parsedag String

@@ -1,0 +1,1 @@
+lib/document/relex.mli: Lexgen Parsedag

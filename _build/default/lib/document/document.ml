@@ -1,0 +1,182 @@
+module Node = Parsedag.Node
+module Scanner = Lexgen.Scanner
+
+type t = {
+  lexer : Lexgen.Spec.t;
+  mutable root : Node.t;
+  mutable leaves : Node.t array;
+  mutable text : string;
+}
+
+let node_of_token (tok : Scanner.token) =
+  Node.make_term ~term:tok.Scanner.term ~text:tok.Scanner.text
+    ~trivia:tok.Scanner.trivia ~lex_la:tok.Scanner.lookahead
+
+let create ~lexer text =
+  let tokens, trailing = Scanner.all lexer text in
+  let leaves = Array.of_list (List.map node_of_token tokens) in
+  let root =
+    Node.make_root
+      (Array.concat
+         [ [| Node.make_bos () |]; leaves; [| Node.make_eos ~trailing |] ])
+  in
+  Node.commit root;
+  { lexer; root; leaves; text }
+
+let root t = t.root
+let text t = t.text
+let length t = String.length t.text
+let leaves t = t.leaves
+let token_count t = Array.length t.leaves
+
+let index_in_parent (p : Node.t) (n : Node.t) =
+  let rec find i =
+    if i >= Array.length p.Node.kids then
+      invalid_arg "Document: stale parent pointer"
+    else if p.Node.kids.(i) == n then i
+    else find (i + 1)
+  in
+  find 0
+
+let remove_from_parent (n : Node.t) =
+  match n.Node.parent with
+  | None -> invalid_arg "Document: leaf without parent"
+  | Some p ->
+      let i = index_in_parent p n in
+      p.Node.kids <-
+        Array.append (Array.sub p.Node.kids 0 i)
+          (Array.sub p.Node.kids (i + 1) (Array.length p.Node.kids - i - 1));
+      Node.adjust_token_count p (-Node.token_count n);
+      Node.mark_changed p
+
+let insert_kids (p : Node.t) ~at (nodes : Node.t array) =
+  p.Node.kids <-
+    Array.concat
+      [
+        Array.sub p.Node.kids 0 at;
+        nodes;
+        Array.sub p.Node.kids at (Array.length p.Node.kids - at);
+      ];
+  let added =
+    Array.fold_left (fun acc k -> acc + Node.token_count k) 0 nodes
+  in
+  Node.adjust_token_count p added;
+  Array.iter
+    (fun k ->
+      k.Node.parent <- Some p;
+      Node.mark_changed k)
+    nodes;
+  Node.mark_changed p
+
+let eos_of t = t.root.Node.kids.(Array.length t.root.Node.kids - 1)
+
+let set_trailing t trailing =
+  let eos = eos_of t in
+  (match eos.Node.kind with
+  | Node.Eos e ->
+      if not (String.equal e.Node.trailing trailing) then begin
+        e.Node.trailing <- trailing;
+        Node.mark_changed eos
+      end
+  | _ -> assert false)
+
+let edit t ~pos ~del ~insert =
+  if pos < 0 || del < 0 || pos + del > String.length t.text then
+    invalid_arg "Document.edit: range out of bounds";
+  let new_text =
+    String.concat ""
+      [
+        String.sub t.text 0 pos;
+        insert;
+        String.sub t.text (pos + del) (String.length t.text - pos - del);
+      ]
+  in
+  (* Relex before touching the tree so a lex error leaves us unchanged. *)
+  let r =
+    Relex.relex ~lexer:t.lexer ~old_text:t.text ~leaves:t.leaves ~pos ~del
+      ~insert ~new_text
+  in
+  let n = Array.length t.leaves in
+  (* Trim replacement tokens that are identical to the leaves they would
+     replace (tokens rescanned only because their lookahead reached the
+     edit): keeping the old nodes preserves subtree reuse around the
+     damage. *)
+  let token_equals_leaf (tok : Scanner.token) (leaf : Node.t) =
+    match leaf.Node.kind with
+    | Node.Term i ->
+        i.Node.term = tok.Scanner.term
+        && String.equal i.Node.text tok.Scanner.text
+        && String.equal i.Node.trivia tok.Scanner.trivia
+        && i.Node.lex_la = tok.Scanner.lookahead
+    | _ -> false
+  in
+  let r =
+    let first = ref r.Relex.first
+    and replaced = ref r.Relex.replaced
+    and tokens = ref r.Relex.tokens in
+    while
+      !replaced > 0 && !tokens <> []
+      && token_equals_leaf (List.hd !tokens) t.leaves.(!first)
+    do
+      incr first;
+      decr replaced;
+      tokens := List.tl !tokens
+    done;
+    let rev = ref (List.rev !tokens) in
+    while
+      !replaced > 0 && !rev <> []
+      && token_equals_leaf (List.hd !rev) t.leaves.(!first + !replaced - 1)
+    do
+      decr replaced;
+      rev := List.tl !rev
+    done;
+    {
+      r with
+      Relex.first = !first;
+      replaced = !replaced;
+      tokens = List.rev !rev;
+    }
+  in
+  let new_terms = Array.of_list (List.map node_of_token r.Relex.tokens) in
+  (* Splice into the tree: the replacement terminals take the tree position
+     of the first replaced leaf (or sit just before eos when appending);
+     the remaining replaced leaves are unlinked from their own parents. *)
+  if r.Relex.replaced > 0 || Array.length new_terms > 0 then begin
+    let insert_parent, insert_at =
+      if r.Relex.first < n then begin
+        let anchor = t.leaves.(r.Relex.first) in
+        match anchor.Node.parent with
+        | Some p -> (p, index_in_parent p anchor)
+        | None -> invalid_arg "Document: leaf without parent"
+      end
+      else
+        let eos = eos_of t in
+        match eos.Node.parent with
+        | Some p -> (p, index_in_parent p eos)
+        | None -> invalid_arg "Document: eos without parent"
+    in
+    (* Unlink replaced leaves.  The anchor's slot index was captured above;
+       removing the anchor first keeps [insert_at] pointing at its spot. *)
+    for i = r.Relex.first to r.Relex.first + r.Relex.replaced - 1 do
+      remove_from_parent t.leaves.(i)
+    done;
+    insert_kids insert_parent ~at:insert_at new_terms
+  end;
+  (match r.Relex.trailing with
+  | Some trailing -> set_trailing t trailing
+  | None -> ());
+  t.leaves <-
+    Array.concat
+      [
+        Array.sub t.leaves 0 r.Relex.first;
+        new_terms;
+        Array.sub t.leaves
+          (r.Relex.first + r.Relex.replaced)
+          (n - r.Relex.first - r.Relex.replaced);
+      ];
+  t.text <- new_text;
+  r.Relex.replaced
+
+let changed_tokens t =
+  Array.to_list t.leaves
+  |> List.filter (fun (l : Node.t) -> l.Node.changed)

@@ -1,0 +1,41 @@
+(** Self-versioning documents (the OCaml analogue of reference [26]).
+
+    A document owns the parse dag for one source text, supports textual
+    edits at byte offsets, and keeps the tree consistent with the text by
+    incremental relexing: damaged tokens are replaced by fresh terminal
+    nodes spliced into the {e previous} tree structure, with change bits
+    marking the damage for the incremental parser.  The tree's terminal
+    yield (trivia + lexemes + trailing trivia) is always exactly the
+    current text.
+
+    The parser consumes the document root ({!root}) and commits a new tree
+    over the same terminals; {!leaves} stays valid across parses because
+    parsing never creates or destroys terminals. *)
+
+type t
+
+(** [create ~lexer text] lexes [text] and builds an unparsed document
+    (root's children are the flat token list between the sentinels).
+    @raise Lexgen.Scanner.Lex_error on unscannable input. *)
+val create : lexer:Lexgen.Spec.t -> string -> t
+
+val root : t -> Parsedag.Node.t
+val text : t -> string
+val length : t -> int
+
+val leaves : t -> Parsedag.Node.t array
+(** Terminal nodes in source order (no sentinels).  Do not mutate. *)
+
+val token_count : t -> int
+
+(** [edit t ~pos ~del ~insert] replaces [del] bytes at [pos] with
+    [insert].  Relexes the damaged region, splices replacement terminals
+    into the tree and marks changes.  Several edits may be applied before
+    a reparse.  Returns the number of tokens replaced (diagnostic).
+    @raise Invalid_argument if the range is out of bounds.
+    @raise Lexgen.Scanner.Lex_error if the resulting text is unscannable
+    (the document is left unchanged). *)
+val edit : t -> pos:int -> del:int -> insert:string -> int
+
+(** Terminals whose change bit is set (pending modifications). *)
+val changed_tokens : t -> Parsedag.Node.t list

@@ -1,0 +1,33 @@
+(** Incremental relexing.
+
+    Given the old token sequence (the tree's terminal leaves), the old
+    text, and one textual edit, computes the minimal damaged token range
+    and the replacement tokens, resynchronizing with the old stream at the
+    first clean boundary past the edit.
+
+    A token is damaged when the bytes it {e examined} — its trivia, its
+    lexeme, and its recorded lookahead — intersect the edit.  Resynchron-
+    ization happens at a new-text offset that coincides with the start
+    boundary of an old token lying entirely after the edited region; lexing
+    is boundary-deterministic (no cross-token scanner state), so the rest
+    of the old stream is guaranteed to reproduce and can be reused. *)
+
+type result = {
+  first : int;  (** index of the first replaced leaf *)
+  replaced : int;  (** how many old leaves are replaced *)
+  tokens : Lexgen.Scanner.token list;  (** replacement tokens *)
+  trailing : string option;
+      (** new trailing trivia when the edit ran to end of text *)
+}
+
+(** @raise Lexgen.Scanner.Lex_error when the new text is unscannable and
+    the spec has no catch-all rule. *)
+val relex :
+  lexer:Lexgen.Spec.t ->
+  old_text:string ->
+  leaves:Parsedag.Node.t array ->
+  pos:int ->
+  del:int ->
+  insert:string ->
+  new_text:string ->
+  result

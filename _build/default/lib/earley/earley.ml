@@ -1,0 +1,71 @@
+module Cfg = Grammar.Cfg
+
+type result = { accepted : bool; items : int }
+
+type item = { prod : int; dot : int; origin : int }
+
+let recognize g terms =
+  let analysis = Grammar.Analysis.compute g in
+  let n = Array.length terms in
+  let chart = Array.init (n + 1) (fun _ -> Hashtbl.create 64) in
+  let queues = Array.init (n + 1) (fun _ -> Queue.create ()) in
+  let total = ref 0 in
+  let add k item =
+    if not (Hashtbl.mem chart.(k) item) then begin
+      Hashtbl.replace chart.(k) item ();
+      Queue.add item queues.(k);
+      incr total
+    end
+  in
+  Array.iter
+    (fun pid -> add 0 { prod = pid; dot = 0; origin = 0 })
+    (Cfg.productions_of g (Cfg.start g));
+  for k = 0 to n do
+    while not (Queue.is_empty queues.(k)) do
+      let it = Queue.pop queues.(k) in
+      let prod = Cfg.production g it.prod in
+      if it.dot < Array.length prod.Cfg.rhs then begin
+        match prod.Cfg.rhs.(it.dot) with
+        | Cfg.T t ->
+            (* Scanner. *)
+            if k < n && terms.(k) = t then
+              add (k + 1) { it with dot = it.dot + 1 }
+        | Cfg.N m ->
+            (* Predictor, with the nullable shortcut. *)
+            Array.iter
+              (fun pid -> add k { prod = pid; dot = 0; origin = k })
+              (Cfg.productions_of g m);
+            if Grammar.Analysis.nullable analysis m then
+              add k { it with dot = it.dot + 1 }
+      end
+      else
+        (* Completer: advance items waiting on this nonterminal at the
+           origin position. *)
+        let lhs = prod.Cfg.lhs in
+        (* Snapshot before adding: the origin set may be the one being
+           extended (ε spans); completeness for those is guaranteed by the
+           nullable-prediction shortcut. *)
+        let advance = ref [] in
+        Hashtbl.iter
+          (fun (cand : item) () ->
+            let cp = Cfg.production g cand.prod in
+            if
+              cand.dot < Array.length cp.Cfg.rhs
+              && cp.Cfg.rhs.(cand.dot) = Cfg.N lhs
+            then advance := cand :: !advance)
+          chart.(it.origin);
+        List.iter (fun cand -> add k { cand with dot = cand.dot + 1 }) !advance
+    done
+  done;
+  let accepted =
+    Hashtbl.fold
+      (fun (it : item) () acc ->
+        acc
+        ||
+        let prod = Cfg.production g it.prod in
+        prod.Cfg.lhs = Cfg.start g
+        && it.origin = 0
+        && it.dot = Array.length prod.Cfg.rhs)
+      chart.(n) false
+  in
+  { accepted; items = !total }

@@ -1,0 +1,15 @@
+(** Earley's recognizer (ref [2]) — the classical general-CFG baseline the
+    GLR literature compares against (§2.1, footnote 4).
+
+    Standard three-rule chart parser with the nullable-prediction fix
+    (a predicted nullable nonterminal immediately advances its
+    predictor), so ε-grammars are handled correctly. *)
+
+type result = {
+  accepted : bool;
+  items : int;  (** total chart items (work measure) *)
+}
+
+(** [recognize g terms] — does the start symbol derive the terminal
+    string? *)
+val recognize : Grammar.Cfg.t -> int array -> result

@@ -1,0 +1,1 @@
+lib/grammar/bitset.ml: Array Format Hashtbl List Printf Sys

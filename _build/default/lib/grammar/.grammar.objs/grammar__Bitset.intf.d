@@ -1,0 +1,1 @@
+lib/grammar/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/grammar/builder.ml: Array Cfg Hashtbl List

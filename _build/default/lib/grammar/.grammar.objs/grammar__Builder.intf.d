@@ -1,0 +1,1 @@
+lib/grammar/builder.mli: Cfg

@@ -1,0 +1,1 @@
+lib/grammar/cfg.ml: Array Format Hashtbl List

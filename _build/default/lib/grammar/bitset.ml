@@ -1,0 +1,89 @@
+type t = { bits : int array; capacity : int }
+
+let word_size = Sys.int_size
+let words_for n = (n + word_size - 1) / word_size
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { bits = Array.make (max 1 (words_for n)) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
+
+let mem t i =
+  check t i;
+  t.bits.(i / word_size) land (1 lsl (i mod word_size)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / word_size in
+  t.bits.(w) <- t.bits.(w) lor (1 lsl (i mod word_size))
+
+let remove t i =
+  check t i;
+  let w = i / word_size in
+  t.bits.(w) <- t.bits.(w) land lnot (1 lsl (i mod word_size))
+
+let union_into ~into src =
+  if into.capacity <> src.capacity then
+    invalid_arg "Bitset.union_into: capacity mismatch";
+  let changed = ref false in
+  for w = 0 to Array.length into.bits - 1 do
+    let v = into.bits.(w) lor src.bits.(w) in
+    if v <> into.bits.(w) then begin
+      into.bits.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let subtract_into ~into src =
+  if into.capacity <> src.capacity then
+    invalid_arg "Bitset.subtract_into: capacity mismatch";
+  for w = 0 to Array.length into.bits - 1 do
+    into.bits.(w) <- into.bits.(w) land lnot src.bits.(w)
+  done
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.bits
+
+let popcount =
+  (* Kernighan's loop: adequate for the word counts seen here. *)
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  fun w -> go 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.bits
+let copy t = { bits = Array.copy t.bits; capacity = t.capacity }
+let clear t = Array.fill t.bits 0 (Array.length t.bits) 0
+
+let equal a b =
+  a.capacity = b.capacity
+  && Array.for_all2 (fun x y -> x = y) a.bits b.bits
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if t.bits.(i / word_size) land (1 lsl (i mod word_size)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let hash t = Hashtbl.hash t.bits
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements t)

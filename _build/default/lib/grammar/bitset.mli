@@ -1,0 +1,43 @@
+(** Fixed-capacity bit sets over machine words.
+
+    Used throughout grammar analysis (nullable / FIRST / FOLLOW fixpoints)
+    and LALR lookahead computation, where sets of terminals are unioned
+    millions of times and must be cheap. *)
+
+type t
+
+(** [create n] is an empty set able to hold elements [0 .. n-1]. *)
+val create : int -> t
+
+(** Capacity the set was created with. *)
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+(** [union_into ~into src] adds every element of [src] to [into] and
+    returns [true] iff [into] changed.  This is the primitive driving all
+    fixpoint loops. *)
+val union_into : into:t -> t -> bool
+
+(** [subtract_into ~into src] removes every element of [src] from [into]. *)
+val subtract_into : into:t -> t -> unit
+
+val is_empty : t -> bool
+val cardinal : t -> int
+val copy : t -> t
+val clear : t -> unit
+val equal : t -> t -> bool
+
+(** [iter f s] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+
+(** Hash suitable for use in [Hashtbl] keys; equal sets hash equally. *)
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+type pending_prod = {
+  lhs : int;
+  rhs : Cfg.symbol list;
+  role : Cfg.prod_role;
+  prec_name : string option;
+}
+
+type t = {
+  mutable terms : string list;  (* reversed *)
+  mutable nterms : string list;  (* reversed *)
+  term_ids : (string, int) Hashtbl.t;
+  nterm_ids : (string, int) Hashtbl.t;
+  mutable prods : pending_prod list;  (* reversed *)
+  mutable seq_nts : int list;
+  mutable prec_levels : (string * int * Cfg.assoc) list;
+  mutable next_level : int;
+  mutable start : int option;
+}
+
+let create () =
+  let b =
+    {
+      terms = [];
+      nterms = [];
+      term_ids = Hashtbl.create 64;
+      nterm_ids = Hashtbl.create 64;
+      prods = [];
+      seq_nts = [];
+      prec_levels = [];
+      next_level = 1;
+      start = None;
+    }
+  in
+  (* Terminal 0 is the implicit end-of-input marker. *)
+  Hashtbl.replace b.term_ids "<eof>" 0;
+  b.terms <- [ "<eof>" ];
+  b
+
+let terminal b name =
+  match Hashtbl.find_opt b.term_ids name with
+  | Some i -> Cfg.T i
+  | None ->
+      let i = Hashtbl.length b.term_ids in
+      Hashtbl.replace b.term_ids name i;
+      b.terms <- name :: b.terms;
+      Cfg.T i
+
+let nonterminal b name =
+  match Hashtbl.find_opt b.nterm_ids name with
+  | Some i -> Cfg.N i
+  | None ->
+      let i = Hashtbl.length b.nterm_ids in
+      Hashtbl.replace b.nterm_ids name i;
+      b.nterms <- name :: b.nterms;
+      Cfg.N i
+
+let add_prod b ?prec ~role lhs rhs =
+  match lhs with
+  | Cfg.T _ -> invalid_arg "Builder.prod: lhs must be a nonterminal"
+  | Cfg.N n -> b.prods <- { lhs = n; rhs; role; prec_name = prec } :: b.prods
+
+let prod b ?prec lhs rhs = add_prod b ?prec ~role:Cfg.Plain lhs rhs
+
+let declare_prec b assoc names =
+  let level = b.next_level in
+  b.next_level <- level + 1;
+  List.iter
+    (fun name ->
+      ignore (terminal b name);
+      b.prec_levels <- (name, level, assoc) :: b.prec_levels)
+    names
+
+let mark_seq b = function
+  | Cfg.N n -> b.seq_nts <- n :: b.seq_nts
+  | Cfg.T _ -> assert false
+
+let plus b ?sep ~name elem =
+  let l = nonterminal b name in
+  mark_seq b l;
+  add_prod b ~role:Cfg.Seq_one l [ elem ];
+  (match sep with
+  | None -> add_prod b ~role:Cfg.Seq_cons l [ l; elem ]
+  | Some s -> add_prod b ~role:Cfg.Seq_cons l [ l; s; elem ]);
+  l
+
+let star b ?sep ~name elem =
+  match sep with
+  | None ->
+      let l = nonterminal b name in
+      mark_seq b l;
+      add_prod b ~role:Cfg.Seq_empty l [];
+      add_prod b ~role:Cfg.Seq_cons l [ l; elem ];
+      l
+  | Some s ->
+      (* A separated star needs an auxiliary non-empty list so that the
+         empty case carries no separator. *)
+      let l = nonterminal b name in
+      let l1 = plus b ~sep:s ~name:(name ^ "+") elem in
+      add_prod b ~role:Cfg.Seq_empty l [];
+      add_prod b ~role:Cfg.Plain l [ l1 ];
+      l
+
+let set_start b = function
+  | Cfg.T _ -> invalid_arg "Builder.set_start: start must be a nonterminal"
+  | Cfg.N n -> b.start <- Some n
+
+let build b =
+  let start =
+    match b.start with
+    | Some s -> s
+    | None -> invalid_arg "Builder.build: no start symbol"
+  in
+  let terminal_names = Array.of_list (List.rev b.terms) in
+  let nonterminal_names = Array.of_list (List.rev b.nterms) in
+  let term_precs = Array.make (Array.length terminal_names) None in
+  List.iter
+    (fun (name, level, assoc) ->
+      term_precs.(Hashtbl.find b.term_ids name) <- Some (level, assoc))
+    b.prec_levels;
+  let prod_prec rhs prec_name =
+    match prec_name with
+    | Some name -> (
+        match Hashtbl.find_opt b.term_ids name with
+        | None -> invalid_arg ("Builder: %prec of undeclared terminal " ^ name)
+        | Some t -> term_precs.(t))
+    | None ->
+        (* Yacc default: precedence of the rightmost terminal. *)
+        List.fold_left
+          (fun acc sym ->
+            match sym with Cfg.T t -> (
+              match term_precs.(t) with None -> acc | Some _ as p -> p)
+            | Cfg.N _ -> acc)
+          None rhs
+  in
+  let pending = Array.of_list (List.rev b.prods) in
+  let productions =
+    Array.mapi
+      (fun i (p : pending_prod) ->
+        {
+          Cfg.p_id = i;
+          lhs = p.lhs;
+          rhs = Array.of_list p.rhs;
+          role = p.role;
+          prec = prod_prec p.rhs p.prec_name;
+        })
+      pending
+  in
+  let seq_kinds = Array.make (Array.length nonterminal_names) Cfg.Not_seq in
+  List.iter (fun n -> seq_kinds.(n) <- Cfg.Seq) b.seq_nts;
+  let defined = Array.make (Array.length nonterminal_names) false in
+  Array.iter (fun (p : Cfg.production) -> defined.(p.lhs) <- true) productions;
+  Array.iteri
+    (fun i d ->
+      if not d then
+        invalid_arg
+          ("Builder.build: nonterminal without productions: "
+          ^ nonterminal_names.(i)))
+    defined;
+  Cfg.make ~terminal_names ~nonterminal_names ~productions ~seq_kinds
+    ~term_precs ~start

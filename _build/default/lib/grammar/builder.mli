@@ -1,0 +1,43 @@
+(** Imperative grammar construction API.
+
+    A builder accumulates terminals, nonterminals, productions, yacc-style
+    precedence declarations, and extended sequence notation, then freezes
+    into an immutable {!Cfg.t}.  The [star]/[plus] combinators implement the
+    paper's regular-right-part sequences (§3.4): they desugar to flagged
+    left-recursive productions whose parse-dag representation is re-balanced
+    by the dag layer. *)
+
+type t
+
+val create : unit -> t
+
+(** [terminal b name] declares (or returns the existing) terminal. *)
+val terminal : t -> string -> Cfg.symbol
+
+(** [nonterminal b name] declares (or returns the existing) nonterminal. *)
+val nonterminal : t -> string -> Cfg.symbol
+
+(** [prod b lhs rhs] adds a production.  [lhs] must be a nonterminal.
+    [?prec] names a terminal whose precedence the production borrows
+    (yacc's [%prec]). *)
+val prod : t -> ?prec:string -> Cfg.symbol -> Cfg.symbol list -> unit
+
+(** Declare a precedence level (higher levels bind tighter); each call
+    allocates the next level for the listed terminal names, declaring the
+    terminals if needed. *)
+val declare_prec : t -> Cfg.assoc -> string list -> unit
+
+(** [star b ~name elem] returns a fresh sequence nonterminal deriving zero
+    or more [elem]s ([?sep]-separated when one is given; a separated star
+    introduces an auxiliary nonempty list). *)
+val star : t -> ?sep:Cfg.symbol -> name:string -> Cfg.symbol -> Cfg.symbol
+
+(** [plus b ~name elem] — one or more [elem]s. *)
+val plus : t -> ?sep:Cfg.symbol -> name:string -> Cfg.symbol -> Cfg.symbol
+
+val set_start : t -> Cfg.symbol -> unit
+
+(** Freeze.  @raise Invalid_argument if no start symbol was set, a
+    nonterminal has no production, or a production references undeclared
+    symbols. *)
+val build : t -> Cfg.t

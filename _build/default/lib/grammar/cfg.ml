@@ -1,0 +1,112 @@
+type symbol = T of int | N of int
+
+let equal_symbol a b =
+  match a, b with
+  | T x, T y | N x, N y -> x = y
+  | T _, N _ | N _, T _ -> false
+
+let compare_symbol a b =
+  match a, b with
+  | T x, T y | N x, N y -> compare x y
+  | T _, N _ -> -1
+  | N _, T _ -> 1
+
+type assoc = Left | Right | Nonassoc
+type seq_kind = Not_seq | Seq
+type prod_role = Plain | Seq_empty | Seq_one | Seq_cons
+
+type production = {
+  p_id : int;
+  lhs : int;
+  rhs : symbol array;
+  role : prod_role;
+  prec : (int * assoc) option;
+}
+
+type t = {
+  terminal_names : string array;
+  nonterminal_names : string array;
+  productions : production array;
+  by_lhs : int array array;
+  seq_kinds : seq_kind array;
+  term_precs : (int * assoc) option array;
+  start : int;
+  term_index : (string, int) Hashtbl.t;
+  nonterm_index : (string, int) Hashtbl.t;
+}
+
+let eof = 0
+let num_terminals g = Array.length g.terminal_names
+let num_nonterminals g = Array.length g.nonterminal_names
+let num_productions g = Array.length g.productions
+let terminal_name g i = g.terminal_names.(i)
+let nonterminal_name g i = g.nonterminal_names.(i)
+
+let symbol_name g = function
+  | T i -> terminal_name g i
+  | N i -> nonterminal_name g i
+
+let find_terminal g name = Hashtbl.find g.term_index name
+let find_nonterminal g name = Hashtbl.find g.nonterm_index name
+let production g i = g.productions.(i)
+let productions g = g.productions
+let productions_of g nt = g.by_lhs.(nt)
+let start g = g.start
+let seq_kind g nt = g.seq_kinds.(nt)
+let term_prec g t = g.term_precs.(t)
+
+let pp_symbol g ppf s = Format.pp_print_string ppf (symbol_name g s)
+
+let pp_production g ppf i =
+  let p = g.productions.(i) in
+  Format.fprintf ppf "%s ->" (nonterminal_name g p.lhs);
+  if Array.length p.rhs = 0 then Format.pp_print_string ppf " ε"
+  else
+    Array.iter (fun s -> Format.fprintf ppf " %s" (symbol_name g s)) p.rhs
+
+let pp ppf g =
+  Format.fprintf ppf "start: %s@." (nonterminal_name g g.start);
+  Array.iteri (fun i _ -> Format.fprintf ppf "%3d: %a@." i (pp_production g) i)
+    g.productions
+
+let index_names names =
+  let h = Hashtbl.create 64 in
+  Array.iteri (fun i n -> Hashtbl.replace h n i) names;
+  h
+
+let make ~terminal_names ~nonterminal_names ~productions ~seq_kinds
+    ~term_precs ~start =
+  let nn = Array.length nonterminal_names in
+  if start < 0 || start >= nn then invalid_arg "Cfg.make: bad start";
+  if Array.length seq_kinds <> nn then
+    invalid_arg "Cfg.make: seq_kinds length mismatch";
+  if Array.length term_precs <> Array.length terminal_names then
+    invalid_arg "Cfg.make: term_precs length mismatch";
+  Array.iteri
+    (fun i p ->
+      if p.p_id <> i then invalid_arg "Cfg.make: production ids must be dense";
+      if p.lhs < 0 || p.lhs >= nn then invalid_arg "Cfg.make: bad lhs";
+      Array.iter
+        (function
+          | T t ->
+              if t < 0 || t >= Array.length terminal_names then
+                invalid_arg "Cfg.make: bad terminal in rhs"
+          | N n ->
+              if n < 0 || n >= nn then
+                invalid_arg "Cfg.make: bad nonterminal in rhs")
+        p.rhs)
+    productions;
+  let by_lhs = Array.make nn [] in
+  Array.iter (fun p -> by_lhs.(p.lhs) <- p.p_id :: by_lhs.(p.lhs)) productions;
+  let by_lhs = Array.map (fun l -> Array.of_list (List.rev l)) by_lhs in
+  {
+    terminal_names;
+    nonterminal_names;
+    productions;
+    by_lhs;
+    seq_kinds;
+    term_precs;
+    start;
+    term_index = index_names terminal_names;
+    nonterm_index = index_names nonterminal_names;
+  }

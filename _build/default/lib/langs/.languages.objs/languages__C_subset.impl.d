@@ -1,0 +1,1 @@
+lib/langs/c_subset.ml: Clike Language

@@ -1,0 +1,1 @@
+lib/langs/calc.ml: Grammar Language Lexcommon Lexgen

@@ -1,0 +1,1 @@
+lib/langs/calc.mli: Language

@@ -1,0 +1,1 @@
+lib/langs/clike.ml: Grammar Lexcommon Lexgen List

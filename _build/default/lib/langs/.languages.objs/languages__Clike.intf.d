@@ -1,0 +1,1 @@
+lib/langs/clike.mli: Grammar Lexgen

@@ -1,0 +1,1 @@
+lib/langs/cpp_subset.ml: Clike Language

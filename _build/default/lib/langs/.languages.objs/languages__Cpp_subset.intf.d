@@ -1,0 +1,1 @@
+lib/langs/cpp_subset.mli: Language

@@ -1,0 +1,1 @@
+lib/langs/java_subset.ml: Grammar Language Lexcommon Lexgen List

@@ -1,0 +1,1 @@
+lib/langs/java_subset.mli: Language

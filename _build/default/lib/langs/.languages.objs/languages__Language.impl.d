@@ -1,0 +1,1 @@
+lib/langs/language.ml: Grammar Lazy Lexgen Lrtab

@@ -1,0 +1,1 @@
+lib/langs/language.mli: Grammar Lazy Lexgen Lrtab

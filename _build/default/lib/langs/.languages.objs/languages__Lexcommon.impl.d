@@ -1,0 +1,1 @@
+lib/langs/lexcommon.ml: Lexgen

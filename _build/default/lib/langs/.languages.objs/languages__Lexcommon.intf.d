@@ -1,0 +1,1 @@
+lib/langs/lexcommon.mli: Lexgen

@@ -1,0 +1,1 @@
+lib/langs/lisp.ml: Grammar Language Lexcommon Lexgen Regex Spec

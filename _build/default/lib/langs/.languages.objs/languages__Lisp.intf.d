@@ -1,0 +1,1 @@
+lib/langs/lisp.mli: Language

@@ -1,0 +1,1 @@
+lib/langs/lr2.ml: Grammar Language Lexcommon

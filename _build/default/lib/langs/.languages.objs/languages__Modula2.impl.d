@@ -1,0 +1,1 @@
+lib/langs/modula2.ml: Grammar Language Lexcommon Lexgen List Regex Spec

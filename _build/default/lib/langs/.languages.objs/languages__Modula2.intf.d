@@ -1,0 +1,1 @@
+lib/langs/modula2.mli: Language

@@ -1,0 +1,1 @@
+lib/langs/tiny.ml: Grammar Language Lexcommon Lexgen

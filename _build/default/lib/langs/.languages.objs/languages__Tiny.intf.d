@@ -1,0 +1,1 @@
+lib/langs/tiny.mli: Language

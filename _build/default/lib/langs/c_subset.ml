@@ -1,0 +1,3 @@
+let language =
+  Language.make ~name:"c" ~grammar:(Clike.grammar Clike.C)
+    ~rules:(Clike.rules Clike.C) ()

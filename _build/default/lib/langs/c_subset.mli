@@ -1,0 +1,4 @@
+(** The C subset (see {!Clike}): natural ambiguous syntax, resolved by
+    semantic (typedef) filtering. *)
+
+val language : Language.t

@@ -1,0 +1,47 @@
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  Builder.declare_prec b Cfg.Left [ "+"; "-" ];
+  Builder.declare_prec b Cfg.Left [ "*"; "/" ];
+  let program = Builder.nonterminal b "program" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let expr = Builder.nonterminal b "expr" in
+  let id = Builder.terminal b "id" in
+  let num = Builder.terminal b "num" in
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  Builder.prod b program [ stmts ];
+  Builder.prod b stmt [ id; t "="; expr; t ";" ];
+  Builder.prod b stmt [ expr; t ";" ];
+  Builder.prod b expr [ expr; t "+"; expr ];
+  Builder.prod b expr [ expr; t "-"; expr ];
+  Builder.prod b expr [ expr; t "*"; expr ];
+  Builder.prod b expr [ expr; t "/"; expr ];
+  Builder.prod b expr [ t "("; expr; t ")" ];
+  Builder.prod b expr [ id ];
+  Builder.prod b expr [ num ];
+  Builder.set_start b program;
+  Builder.build b
+
+let rules =
+  Lexcommon.
+    [
+      { Lexgen.Spec.re = ident; action = Lexgen.Spec.Tok "id" };
+      { Lexgen.Spec.re = number; action = Lexgen.Spec.Tok "num" };
+      punct "=";
+      punct ";";
+      punct "+";
+      punct "-";
+      punct "*";
+      punct "/";
+      punct "(";
+      punct ")";
+      skip whitespace;
+      skip block_comment;
+      error_rule;
+    ]
+
+let language = Language.make ~name:"calc" ~grammar ~rules ()

@@ -1,0 +1,16 @@
+(** The quickstart language: assignments and arithmetic expressions.
+
+    The expression grammar is written ambiguously ([E -> E + E | ...]) and
+    disambiguated entirely by static precedence/associativity filters
+    (§4.1), so the table is deterministic and the IGLR parser runs with a
+    single active parser.
+
+    Syntax:
+    {v
+      program ::= stmt*
+      stmt    ::= id = expr ; | expr ;
+      expr    ::= expr + expr | expr - expr | expr * expr | expr / expr
+                | ( expr ) | id | num
+    v} *)
+
+val language : Language.t

@@ -1,0 +1,112 @@
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+
+type dialect = C | Cpp
+
+let grammar dialect =
+  let b = Builder.create () in
+  (* Expression operator precedences (tightest last). *)
+  Builder.declare_prec b Cfg.Right [ "=" ];
+  Builder.declare_prec b Cfg.Left [ "==" ];
+  Builder.declare_prec b Cfg.Left [ "<" ];
+  Builder.declare_prec b Cfg.Left [ "+"; "-" ];
+  Builder.declare_prec b Cfg.Left [ "*"; "/" ];
+  (* Dangling else: shifting [else] beats reducing the short [if]. *)
+  Builder.declare_prec b Cfg.Nonassoc [ "if-prec" ];
+  Builder.declare_prec b Cfg.Nonassoc [ "else" ];
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let id = t "id" and num = t "num" in
+  let unit = Builder.nonterminal b "translation_unit" in
+  let ext = Builder.nonterminal b "ext_decl" in
+  let func = Builder.nonterminal b "func_def" in
+  let decl = Builder.nonterminal b "decl" in
+  let type_spec = Builder.nonterminal b "type_spec" in
+  let init_decl = Builder.nonterminal b "init_decl" in
+  let declarator = Builder.nonterminal b "declarator" in
+  let param = Builder.nonterminal b "param" in
+  let compound = Builder.nonterminal b "compound" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let expr = Builder.nonterminal b "expr" in
+  let ext_decls = Builder.star b ~name:"ext_decl*" ext in
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  let init_decls =
+    Builder.plus b ~sep:(t ",") ~name:"init_decl_list" init_decl
+  in
+  let params = Builder.plus b ~sep:(t ",") ~name:"param_list" param in
+  let args = Builder.plus b ~sep:(t ",") ~name:"arg_list" expr in
+  Builder.prod b unit [ ext_decls ];
+  Builder.prod b ext [ func ];
+  Builder.prod b ext [ decl ];
+  Builder.prod b func [ type_spec; id; t "("; t ")"; compound ];
+  Builder.prod b func [ type_spec; id; t "("; params; t ")"; compound ];
+  Builder.prod b param [ type_spec; id ];
+  Builder.prod b decl [ t "typedef"; type_spec; id; t ";" ];
+  Builder.prod b decl [ type_spec; init_decls; t ";" ];
+  Builder.prod b type_spec [ t "int" ];
+  Builder.prod b type_spec [ t "char" ];
+  Builder.prod b type_spec [ t "void" ];
+  (* The typedef problem: an identifier can be a type name. *)
+  Builder.prod b type_spec [ id ];
+  Builder.prod b init_decl [ declarator ];
+  Builder.prod b init_decl [ declarator; t "="; expr ];
+  Builder.prod b declarator [ id ];
+  Builder.prod b declarator [ t "("; declarator; t ")" ];
+  Builder.prod b declarator [ t "*"; declarator ];
+  Builder.prod b compound [ t "{"; stmts; t "}" ];
+  Builder.prod b stmt [ decl ];
+  Builder.prod b stmt [ expr; t ";" ];
+  Builder.prod b stmt [ t "return"; expr; t ";" ];
+  Builder.prod b stmt ~prec:"if-prec" [ t "if"; t "("; expr; t ")"; stmt ];
+  Builder.prod b stmt
+    [ t "if"; t "("; expr; t ")"; stmt; t "else"; stmt ];
+  Builder.prod b stmt [ t "while"; t "("; expr; t ")"; stmt ];
+  Builder.prod b stmt [ compound ];
+  Builder.prod b stmt [ t ";" ];
+  Builder.prod b expr [ expr; t "="; expr ];
+  Builder.prod b expr [ expr; t "=="; expr ];
+  Builder.prod b expr [ expr; t "<"; expr ];
+  Builder.prod b expr [ expr; t "+"; expr ];
+  Builder.prod b expr [ expr; t "-"; expr ];
+  Builder.prod b expr [ expr; t "*"; expr ];
+  Builder.prod b expr [ expr; t "/"; expr ];
+  Builder.prod b expr [ t "("; expr; t ")" ];
+  Builder.prod b expr [ expr; t "("; t ")" ];
+  Builder.prod b expr [ expr; t "("; args; t ")" ];
+  Builder.prod b expr [ id ];
+  Builder.prod b expr [ num ];
+  (match dialect with
+  | C -> ()
+  | Cpp ->
+      let member = Builder.nonterminal b "member" in
+      let members = Builder.star b ~name:"member*" member in
+      Builder.prod b ext
+        [ t "class"; id; t "{"; members; t "}"; t ";" ];
+      Builder.prod b member [ type_spec; id; t ";" ];
+      Builder.prod b expr [ t "new"; id; t "("; t ")" ];
+      Builder.prod b expr [ t "new"; id; t "("; args; t ")" ]);
+  Builder.set_start b unit;
+  Builder.build b
+
+let rules dialect =
+  let keywords =
+    [ "typedef"; "int"; "char"; "void"; "return"; "if"; "else"; "while" ]
+    @ (match dialect with C -> [] | Cpp -> [ "class"; "new" ])
+  in
+  let puncts =
+    [
+      "=="; "="; "<"; "+"; "-"; "*"; "/"; "("; ")"; "{"; "}"; ";"; ",";
+    ]
+  in
+  List.map Lexcommon.keyword keywords
+  @ [
+      { Lexgen.Spec.re = Lexcommon.ident; action = Lexgen.Spec.Tok "id" };
+      { Lexgen.Spec.re = Lexcommon.number; action = Lexgen.Spec.Tok "num" };
+    ]
+  @ List.map Lexcommon.punct puncts
+  @ [ Lexcommon.skip Lexcommon.whitespace;
+      Lexcommon.skip Lexcommon.block_comment ]
+  @ (match dialect with
+    | C -> []
+    | Cpp -> [ Lexcommon.skip Lexcommon.line_comment ])
+  @ [ Lexcommon.error_rule ]

@@ -1,0 +1,18 @@
+(** Shared definition of the C-like subsets.
+
+    The grammar is written with the {e natural} (ambiguous) context-free
+    syntax of C: an identifier may reduce to a type name or to an
+    expression, so statements like [a (b);] and [a * b;] receive two
+    interpretations (Figure 1).  The conflicts are genuine reduce/reduce
+    conflicts in the LALR(1) table; the IGLR parser forks on them and
+    packs both readings under a choice node, which semantic analysis later
+    filters using typedef binding information (§4.2).
+
+    The [`Cpp] dialect adds line comments, [new]-expressions and class
+    declarations, and is the setting for the "prefer a declaration to an
+    expression" dynamic syntactic filter (§4.1). *)
+
+type dialect = C | Cpp
+
+val grammar : dialect -> Grammar.Cfg.t
+val rules : dialect -> Lexgen.Spec.rule list

@@ -1,0 +1,3 @@
+let language =
+  Language.make ~name:"cpp" ~grammar:(Clike.grammar Clike.Cpp)
+    ~rules:(Clike.rules Clike.Cpp) ()

@@ -1,0 +1,4 @@
+(** The C++ subset (see {!Clike}): adds classes, [new]-expressions and
+    line comments; the setting for the prefer-declaration dynamic filter. *)
+
+val language : Language.t

@@ -1,0 +1,81 @@
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  Builder.declare_prec b Cfg.Left [ "==" ];
+  Builder.declare_prec b Cfg.Left [ "<" ];
+  Builder.declare_prec b Cfg.Left [ "+"; "-" ];
+  Builder.declare_prec b Cfg.Left [ "*"; "/" ];
+  Builder.declare_prec b Cfg.Nonassoc [ "if-prec" ];
+  Builder.declare_prec b Cfg.Nonassoc [ "else" ];
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let id = t "id" and num = t "num" in
+  let unit = Builder.nonterminal b "unit" in
+  let class_decl = Builder.nonterminal b "class_decl" in
+  let member = Builder.nonterminal b "member" in
+  let param = Builder.nonterminal b "param" in
+  let type_ = Builder.nonterminal b "type" in
+  let block = Builder.nonterminal b "block" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let expr = Builder.nonterminal b "expr" in
+  let classes = Builder.star b ~name:"class_decl*" class_decl in
+  let members = Builder.star b ~name:"member*" member in
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  let params = Builder.plus b ~sep:(t ",") ~name:"param_list" param in
+  let args = Builder.plus b ~sep:(t ",") ~name:"arg_list" expr in
+  Builder.prod b unit [ classes ];
+  Builder.prod b class_decl [ t "class"; id; t "{"; members; t "}" ];
+  Builder.prod b member [ type_; id; t ";" ];
+  Builder.prod b member [ type_; id; t "("; t ")"; block ];
+  Builder.prod b member [ type_; id; t "("; params; t ")"; block ];
+  Builder.prod b param [ type_; id ];
+  Builder.prod b type_ [ t "int" ];
+  Builder.prod b type_ [ t "boolean" ];
+  Builder.prod b type_ [ t "void" ];
+  Builder.prod b type_ [ id ];
+  Builder.prod b block [ t "{"; stmts; t "}" ];
+  Builder.prod b stmt [ type_; id; t "="; expr; t ";" ];
+  Builder.prod b stmt [ type_; id; t ";" ];
+  Builder.prod b stmt [ id; t "="; expr; t ";" ];
+  Builder.prod b stmt [ expr; t ";" ];
+  Builder.prod b stmt ~prec:"if-prec" [ t "if"; t "("; expr; t ")"; stmt ];
+  Builder.prod b stmt
+    [ t "if"; t "("; expr; t ")"; stmt; t "else"; stmt ];
+  Builder.prod b stmt [ t "while"; t "("; expr; t ")"; stmt ];
+  Builder.prod b stmt [ t "return"; expr; t ";" ];
+  Builder.prod b stmt [ block ];
+  List.iter
+    (fun op -> Builder.prod b expr [ expr; t op; expr ])
+    [ "+"; "-"; "*"; "/"; "<"; "==" ];
+  Builder.prod b expr [ t "("; expr; t ")" ];
+  Builder.prod b expr [ id; t "("; t ")" ];
+  Builder.prod b expr [ id; t "("; args; t ")" ];
+  Builder.prod b expr [ id ];
+  Builder.prod b expr [ num ];
+  Builder.prod b expr [ t "true" ];
+  Builder.prod b expr [ t "false" ];
+  Builder.set_start b unit;
+  Builder.build b
+
+let rules =
+  List.map Lexcommon.keyword
+    [
+      "class"; "int"; "boolean"; "void"; "if"; "else"; "while"; "return";
+      "true"; "false";
+    ]
+  @ [
+      { Lexgen.Spec.re = Lexcommon.ident; action = Lexgen.Spec.Tok "id" };
+      { Lexgen.Spec.re = Lexcommon.number; action = Lexgen.Spec.Tok "num" };
+    ]
+  @ List.map Lexcommon.punct
+      [ "=="; "="; "<"; "+"; "-"; "*"; "/"; "("; ")"; "{"; "}"; ";"; "," ]
+  @ [
+      Lexcommon.skip Lexcommon.whitespace;
+      Lexcommon.skip Lexcommon.line_comment;
+      Lexcommon.skip Lexcommon.block_comment;
+      Lexcommon.error_rule;
+    ]
+
+let language = Language.make ~name:"java" ~grammar ~rules ()

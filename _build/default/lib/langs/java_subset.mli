@@ -1,0 +1,23 @@
+(** A Java subset (another Ensemble language, §5).
+
+    Classes with fields and methods; statement-level local declarations.
+    Deterministic with one-token lookahead (unlike C, a declaration's
+    leading identifier is always followed by another identifier), so it
+    doubles as evidence that the natural grammars of better-behaved
+    languages need no GLR support at all.
+
+    {v
+      unit   ::= class_decl*
+      class  ::= class id { member* }
+      member ::= type id ; | type id ( params? ) block
+      param  ::= type id
+      type   ::= int | boolean | void | id
+      block  ::= { stmt* }
+      stmt   ::= type id = expr ; | type id ; | id = expr ; | expr ;
+               | if ( expr ) stmt else stmt | if ( expr ) stmt
+               | while ( expr ) stmt | return expr ; | block
+      expr   ::= expr (+|-|*|/|<|==) expr | ( expr ) | id ( args? )
+               | id | num | true | false
+    v} *)
+
+val language : Language.t

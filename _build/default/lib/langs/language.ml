@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  grammar : Grammar.Cfg.t;
+  table : Lrtab.Table.t Lazy.t;
+  lexer : Lexgen.Spec.t Lazy.t;
+}
+
+let make ~name ~grammar ?(algo = Lrtab.Table.LALR) ~rules () =
+  {
+    name;
+    grammar;
+    table = lazy (Lrtab.Table.build ~algo grammar);
+    lexer =
+      lazy
+        (Lexgen.Spec.compile rules
+           ~resolve:(Grammar.Cfg.find_terminal grammar));
+  }
+
+let table t = Lazy.force t.table
+let lexer t = Lazy.force t.lexer

@@ -1,0 +1,23 @@
+(** A language bundle: grammar + parse table + lexer.
+
+    Tables and lexers are built lazily (LALR construction and DFA subset
+    construction are not free) and are shared by tests, examples and
+    benchmarks. *)
+
+type t = {
+  name : string;
+  grammar : Grammar.Cfg.t;
+  table : Lrtab.Table.t Lazy.t;
+  lexer : Lexgen.Spec.t Lazy.t;
+}
+
+val make :
+  name:string ->
+  grammar:Grammar.Cfg.t ->
+  ?algo:Lrtab.Table.algo ->
+  rules:Lexgen.Spec.rule list ->
+  unit ->
+  t
+
+val table : t -> Lrtab.Table.t
+val lexer : t -> Lexgen.Spec.t

@@ -1,0 +1,35 @@
+module Regex = Lexgen.Regex
+
+let letter =
+  Regex.alt [ Regex.range 'a' 'z'; Regex.range 'A' 'Z'; Regex.chr '_' ]
+
+let digit = Regex.range '0' '9'
+let ident = Regex.seq [ letter; Regex.star (Regex.alt [ letter; digit ]) ]
+let number = Regex.plus digit
+let whitespace = Regex.plus (Regex.set " \t\r\n")
+
+let block_comment =
+  (* /* ... */ without a nested terminator: the body is any run of
+     non-stars or star-runs not followed by '/'. *)
+  Regex.seq
+    [
+      Regex.str "/*";
+      Regex.star
+        (Regex.alt
+           [
+             Regex.not_set "*";
+             Regex.seq [ Regex.plus (Regex.chr '*'); Regex.not_set "*/" ];
+           ]);
+      Regex.plus (Regex.chr '*');
+      Regex.chr '/';
+    ]
+
+let line_comment =
+  Regex.seq [ Regex.str "//"; Regex.star (Regex.not_set "\n") ]
+
+let keyword k = { Lexgen.Spec.re = Regex.str k; action = Lexgen.Spec.Tok k }
+let punct p = { Lexgen.Spec.re = Regex.str p; action = Lexgen.Spec.Tok p }
+let skip re = { Lexgen.Spec.re; action = Lexgen.Spec.Skip }
+
+let error_rule =
+  { Lexgen.Spec.re = Regex.any; action = Lexgen.Spec.Tok "<error>" }

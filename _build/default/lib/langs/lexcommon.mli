@@ -1,0 +1,30 @@
+(** Shared lexical building blocks for the bundled languages. *)
+
+val letter : Lexgen.Regex.t
+val digit : Lexgen.Regex.t
+
+val ident : Lexgen.Regex.t
+(** C-style identifier. *)
+
+val number : Lexgen.Regex.t
+(** Decimal integer literal. *)
+
+val whitespace : Lexgen.Regex.t
+val block_comment : Lexgen.Regex.t
+(** C-style [/* ... */] comment (non-nesting). *)
+
+val line_comment : Lexgen.Regex.t
+(** C++-style [// ...] comment, newline excluded. *)
+
+(** [keyword k] — rule producing terminal [k] for the literal [k]. *)
+val keyword : string -> Lexgen.Spec.rule
+
+(** [punct p] — same for operators/punctuation. *)
+val punct : string -> Lexgen.Spec.rule
+
+val skip : Lexgen.Regex.t -> Lexgen.Spec.rule
+
+(** Catch-all rule mapping any single byte to the ["<error>"] terminal;
+    keeps the lexer total so parse errors are reported by the parser and
+    recovered from (§4.3). *)
+val error_rule : Lexgen.Spec.rule

@@ -1,0 +1,50 @@
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let program = Builder.nonterminal b "program" in
+  let sexp = Builder.nonterminal b "sexp" in
+  let atom = Builder.nonterminal b "atom" in
+  let sexps = Builder.star b ~name:"sexp*" sexp in
+  Builder.prod b program [ sexps ];
+  Builder.prod b sexp [ atom ];
+  Builder.prod b sexp [ t "("; sexps; t ")" ];
+  Builder.prod b sexp [ t "'"; sexp ];
+  Builder.prod b atom [ t "id" ];
+  Builder.prod b atom [ t "num" ];
+  Builder.prod b atom [ t "string" ];
+  Builder.set_start b program;
+  Builder.build b
+
+let rules =
+  let open Lexgen in
+  let symbol_char =
+    Regex.alt
+      [
+        Lexcommon.letter; Lexcommon.digit;
+        Regex.set "+-*/<>=!?_.&%$@^~:";
+      ]
+  in
+  [
+    (* Lisp atoms admit operator characters; numbers win via priority on
+       pure-digit lexemes. *)
+    { Spec.re = Lexcommon.number; action = Spec.Tok "num" };
+    { Spec.re = Regex.plus symbol_char; action = Spec.Tok "id" };
+    {
+      Spec.re =
+        Regex.seq
+          [ Regex.chr '"'; Regex.star (Regex.not_set "\""); Regex.chr '"' ];
+      action = Spec.Tok "string";
+    };
+    Lexcommon.punct "(";
+    Lexcommon.punct ")";
+    Lexcommon.punct "'";
+    Lexcommon.skip Lexcommon.whitespace;
+    Lexcommon.skip
+      (Regex.seq [ Regex.chr ';'; Regex.star (Regex.not_set "\n") ]);
+    Lexcommon.error_rule;
+  ]
+
+let language = Language.make ~name:"lisp" ~grammar ~rules ()

@@ -1,0 +1,13 @@
+(** A Lisp subset (another of Ensemble's language definitions, §5).
+
+    S-expressions over atoms; trivially deterministic, with deeply
+    recursive structure — a natural stress test for the traversal cursor
+    and subtree reuse.
+
+    {v
+      program ::= sexp*
+      sexp    ::= atom | ( sexp* ) | ' sexp
+      atom    ::= id | num | string
+    v} *)
+
+val language : Language.t

@@ -1,0 +1,32 @@
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  let a = Builder.nonterminal b "A" in
+  let bb = Builder.nonterminal b "B" in
+  let d = Builder.nonterminal b "D" in
+  let u = Builder.nonterminal b "U" in
+  let v = Builder.nonterminal b "V" in
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  Builder.prod b a [ bb; t "c" ];
+  Builder.prod b a [ d; t "e" ];
+  Builder.prod b bb [ u; t "z" ];
+  Builder.prod b d [ v; t "z" ];
+  Builder.prod b u [ t "x" ];
+  Builder.prod b v [ t "x" ];
+  Builder.set_start b a;
+  Builder.build b
+
+let rules =
+  Lexcommon.
+    [
+      punct "c";
+      punct "e";
+      punct "z";
+      punct "x";
+      skip whitespace;
+      error_rule;
+    ]
+
+let language = Language.make ~name:"lr2" ~grammar ~rules ()

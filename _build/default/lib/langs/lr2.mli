@@ -1,0 +1,10 @@
+(** Figure 7's LR(2) grammar, packaged with a lexer.
+
+    {v A -> B c | D e;  B -> U z;  D -> V z;  U -> x;  V -> x v}
+
+    An LALR(1) table has a reduce/reduce conflict between [U -> x] and
+    [V -> x] (both fire on [z]); the IGLR parser forks, tracks the extra
+    lookahead dynamically, and collapses to a single parser when [c] or
+    [e] arrives (§3.3, Figures 5 and 7). *)
+
+val language : Language.t

@@ -1,0 +1,75 @@
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  Builder.declare_prec b Cfg.Left [ "="; "#"; "<" ];
+  Builder.declare_prec b Cfg.Left [ "+"; "-" ];
+  Builder.declare_prec b Cfg.Left [ "*"; "DIV"; "MOD" ];
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let id = t "id" and num = t "num" in
+  let module_ = Builder.nonterminal b "module" in
+  let decl = Builder.nonterminal b "decl" in
+  let type_ = Builder.nonterminal b "type" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let expr = Builder.nonterminal b "expr" in
+  let decls = Builder.star b ~name:"decl*" decl in
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  Builder.prod b module_
+    [ t "MODULE"; id; t ";"; decls; t "BEGIN"; stmts; t "END"; id; t "." ];
+  Builder.prod b decl [ t "VAR"; id; t ":"; type_; t ";" ];
+  Builder.prod b decl
+    [ t "PROCEDURE"; id; t ";"; t "BEGIN"; stmts; t "END"; id; t ";" ];
+  Builder.prod b type_ [ t "INTEGER" ];
+  Builder.prod b type_ [ t "CARDINAL" ];
+  Builder.prod b type_ [ id ];
+  Builder.prod b stmt [ id; t ":="; expr; t ";" ];
+  Builder.prod b stmt [ t "RETURN"; expr; t ";" ];
+  Builder.prod b stmt [ t "IF"; expr; t "THEN"; stmts; t "END"; t ";" ];
+  Builder.prod b stmt
+    [ t "IF"; expr; t "THEN"; stmts; t "ELSE"; stmts; t "END"; t ";" ];
+  Builder.prod b stmt [ t "WHILE"; expr; t "DO"; stmts; t "END"; t ";" ];
+  List.iter
+    (fun op -> Builder.prod b expr [ expr; t op; expr ])
+    [ "+"; "-"; "*"; "DIV"; "MOD"; "="; "#"; "<" ];
+  Builder.prod b expr [ t "("; expr; t ")" ];
+  Builder.prod b expr [ id ];
+  Builder.prod b expr [ num ];
+  Builder.set_start b module_;
+  Builder.build b
+
+let rules =
+  let open Lexgen in
+  List.map Lexcommon.keyword
+    [
+      "MODULE"; "BEGIN"; "END"; "VAR"; "PROCEDURE"; "INTEGER"; "CARDINAL";
+      "IF"; "THEN"; "ELSE"; "WHILE"; "DO"; "RETURN"; "DIV"; "MOD";
+    ]
+  @ [
+      { Spec.re = Lexcommon.ident; action = Spec.Tok "id" };
+      { Spec.re = Lexcommon.number; action = Spec.Tok "num" };
+    ]
+  @ List.map Lexcommon.punct
+      [ ":="; ":"; ";"; "."; "+"; "-"; "*"; "="; "#"; "<"; "("; ")" ]
+  @ [
+      Lexcommon.skip Lexcommon.whitespace;
+      (* Modula-2 comments: (* ... *) without nesting. *)
+      Lexcommon.skip
+        (Regex.seq
+           [
+             Regex.str "(*";
+             Regex.star
+               (Regex.alt
+                  [
+                    Regex.not_set "*";
+                    Regex.seq
+                      [ Regex.plus (Regex.chr '*'); Regex.not_set "*)" ];
+                  ]);
+             Regex.plus (Regex.chr '*');
+             Regex.chr ')';
+           ]);
+      Lexcommon.error_rule;
+    ]
+
+let language = Language.make ~name:"modula2" ~grammar ~rules ()

@@ -1,0 +1,17 @@
+(** A Modula-2 subset (one of Ensemble's language definitions, §5).
+
+    Deterministic (keyword-delimited statement structure), used alongside
+    [tiny] as a batch/incremental control language.
+
+    {v
+      module  ::= MODULE id ; decl* BEGIN stmt* END id .
+      decl    ::= VAR id : type ;
+                | PROCEDURE id ; BEGIN stmt* END id ;
+      type    ::= INTEGER | CARDINAL | id
+      stmt    ::= id := expr ; | RETURN expr ;
+                | IF expr THEN stmt* END ; | IF expr THEN stmt* ELSE stmt* END ;
+                | WHILE expr DO stmt* END ;
+      expr    ::= expr (+|-|*|DIV|MOD|=|#|<) expr | ( expr ) | id | num
+    v} *)
+
+val language : Language.t

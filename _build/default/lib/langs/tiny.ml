@@ -1,0 +1,59 @@
+module Builder = Grammar.Builder
+
+let grammar =
+  let b = Builder.create () in
+  let program = Builder.nonterminal b "program" in
+  let decl = Builder.nonterminal b "decl" in
+  let block = Builder.nonterminal b "block" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let expr = Builder.nonterminal b "expr" in
+  let term = Builder.nonterminal b "term" in
+  let factor = Builder.nonterminal b "factor" in
+  let t n = Builder.terminal b n in
+  ignore (Builder.terminal b "<error>");
+  let id = t "id" and num = t "num" in
+  let decls = Builder.star b ~name:"decl*" decl in
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  Builder.prod b program [ decls ];
+  Builder.prod b decl [ t "proc"; id; t "("; t ")"; block ];
+  Builder.prod b block [ t "{"; stmts; t "}" ];
+  Builder.prod b stmt [ id; t "="; expr; t ";" ];
+  Builder.prod b stmt
+    [ t "if"; t "("; expr; t ")"; block; t "else"; block ];
+  Builder.prod b stmt [ t "while"; t "("; expr; t ")"; block ];
+  Builder.prod b stmt [ t "print"; expr; t ";" ];
+  Builder.prod b stmt [ block ];
+  Builder.prod b expr [ expr; t "+"; term ];
+  Builder.prod b expr [ term ];
+  Builder.prod b term [ term; t "*"; factor ];
+  Builder.prod b term [ factor ];
+  Builder.prod b factor [ t "("; expr; t ")" ];
+  Builder.prod b factor [ id ];
+  Builder.prod b factor [ num ];
+  Builder.set_start b program;
+  Builder.build b
+
+let rules =
+  Lexcommon.
+    [
+      keyword "proc";
+      keyword "if";
+      keyword "else";
+      keyword "while";
+      keyword "print";
+      { Lexgen.Spec.re = ident; action = Lexgen.Spec.Tok "id" };
+      { Lexgen.Spec.re = number; action = Lexgen.Spec.Tok "num" };
+      punct "=";
+      punct ";";
+      punct "+";
+      punct "*";
+      punct "(";
+      punct ")";
+      punct "{";
+      punct "}";
+      skip whitespace;
+      skip block_comment;
+      error_rule;
+    ]
+
+let language = Language.make ~name:"tiny" ~grammar ~rules ()

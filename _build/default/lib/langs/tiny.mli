@@ -1,0 +1,18 @@
+(** A deterministic imperative language (no conflicts at all).
+
+    Used as the control in the §5 batch-overhead comparison: on a
+    conflict-free table the IGLR parser should track the plain LR parser
+    closely.
+
+    {v
+      program ::= decl*
+      decl    ::= proc id ( ) block
+      block   ::= { stmt* }
+      stmt    ::= id = expr ; | if ( expr ) block else block
+                | while ( expr ) block | print expr ; | block
+      expr    ::= expr + term | term
+      term    ::= term * factor | factor
+      factor  ::= ( expr ) | id | num
+    v} *)
+
+val language : Language.t

@@ -1,0 +1,1 @@
+lib/lexer/dfa.ml: Array Char Hashtbl List Nfa Queue

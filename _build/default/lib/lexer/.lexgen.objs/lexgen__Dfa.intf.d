@@ -1,0 +1,1 @@
+lib/lexer/dfa.mli: Nfa

@@ -1,0 +1,1 @@
+lib/lexer/minimize.ml: Array Char Dfa Hashtbl List

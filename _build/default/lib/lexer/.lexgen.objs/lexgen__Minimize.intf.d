@@ -1,0 +1,1 @@
+lib/lexer/minimize.mli: Dfa

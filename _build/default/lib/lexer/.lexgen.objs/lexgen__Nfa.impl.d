@@ -1,0 +1,1 @@
+lib/lexer/nfa.ml: Array Char Hashtbl List Option Regex

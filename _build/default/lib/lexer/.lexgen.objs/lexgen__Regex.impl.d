@@ -1,0 +1,1 @@
+lib/lexer/regex.ml: Array Char List String

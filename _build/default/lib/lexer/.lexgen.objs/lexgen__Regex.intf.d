@@ -1,0 +1,1 @@
+lib/lexer/regex.mli:

@@ -1,0 +1,1 @@
+lib/lexer/scanner.ml: Dfa Format List Spec String

@@ -1,0 +1,1 @@
+lib/lexer/scanner.mli: Format Spec

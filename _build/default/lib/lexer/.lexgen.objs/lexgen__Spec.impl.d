@@ -1,0 +1,1 @@
+lib/lexer/spec.ml: Array Dfa List Minimize Nfa Regex

@@ -1,0 +1,1 @@
+lib/lexer/spec.mli: Dfa Regex

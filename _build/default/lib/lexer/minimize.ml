@@ -1,0 +1,90 @@
+(* Hopcroft-style partition refinement.  The state count of lexer DFAs is
+   small (hundreds), so the straightforward O(n²·Σ) refinement loop is
+   plenty; the interesting part is the initial partition by accepting
+   rule, which preserves tie-breaking semantics. *)
+
+let minimize dfa =
+  let n = Dfa.num_states dfa in
+  (* A virtual dead state [n] absorbs missing transitions so the
+     refinement sees a total function. *)
+  let next s c =
+    if s = n then n
+    else
+      let t = Dfa.next dfa s (Char.chr c) in
+      if t < 0 then n else t
+  in
+  let accept s = if s = n then None else Dfa.accept dfa s in
+  (* block.(s): current partition block of state s. *)
+  let block = Array.make (n + 1) 0 in
+  let init : (int option, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_block = ref 0 in
+  for s = 0 to n do
+    let key = accept s in
+    match Hashtbl.find_opt init key with
+    | Some b -> block.(s) <- b
+    | None ->
+        Hashtbl.replace init key !next_block;
+        block.(s) <- !next_block;
+        incr next_block
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Split blocks by transition signatures. *)
+    let sig_of s = Array.init 256 (fun c -> block.(next s c)) in
+    let groups : (int * int array, int) Hashtbl.t = Hashtbl.create 64 in
+    let new_block = Array.make (n + 1) 0 in
+    let count = ref 0 in
+    for s = 0 to n do
+      let key = (block.(s), sig_of s) in
+      match Hashtbl.find_opt groups key with
+      | Some b -> new_block.(s) <- b
+      | None ->
+          Hashtbl.replace groups key !count;
+          new_block.(s) <- !count;
+          incr count
+    done;
+    if !count > !next_block then begin
+      changed := true;
+      next_block := !count;
+      Array.blit new_block 0 block 0 (n + 1)
+    end
+  done;
+  (* Rebuild with block 0 = the start state's block (renumber). *)
+  let renumber = Array.make !next_block (-1) in
+  let order = ref [] in
+  let assign b =
+    if renumber.(b) < 0 then begin
+      renumber.(b) <- List.length !order;
+      order := b :: !order
+    end
+  in
+  assign block.(0);
+  for s = 0 to n - 1 do
+    assign block.(s)
+  done;
+  let dead_block = block.(n) in
+  (* A representative original state per block. *)
+  let rep = Array.make !next_block n in
+  for s = n downto 0 do
+    rep.(block.(s)) <- s
+  done;
+  let num_new = List.length !order in
+  let next_tab = Array.make num_new [||] in
+  let accept_tab = Array.make num_new None in
+  List.iter
+    (fun b ->
+      let id = renumber.(b) in
+      let s = rep.(b) in
+      accept_tab.(id) <- accept s;
+      next_tab.(id) <-
+        Array.init 256 (fun c ->
+            let t = block.(next s c) in
+            if t = dead_block && accept (rep.(t)) = None then
+              (* transitions into the dead class become stuck *)
+              -1
+            else renumber.(t)))
+    (List.rev !order);
+  Dfa.make ~next:next_tab ~accept:accept_tab
+
+let savings dfa = Dfa.num_states dfa - Dfa.num_states (minimize dfa)

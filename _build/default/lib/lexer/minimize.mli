@@ -1,0 +1,13 @@
+(** DFA minimization (Hopcroft's partition refinement).
+
+    Subset construction can leave distinguishable-in-name-only states;
+    minimizing keeps the scanner's tables small.  Accepting states are
+    initially partitioned by the {e rule} they accept, so longest-match /
+    priority semantics are preserved exactly. *)
+
+(** [minimize dfa] — an equivalent DFA with the minimum number of states
+    (start state 0 preserved as the image of the old start). *)
+val minimize : Dfa.t -> Dfa.t
+
+(** Convenience for tests: number of states saved by minimization. *)
+val savings : Dfa.t -> int

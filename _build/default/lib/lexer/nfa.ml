@@ -1,0 +1,105 @@
+type t = {
+  (* Per state: list of (char table, target) plus epsilon targets. *)
+  chars : (bool array * int) list array;
+  eps : int list array;
+  accepts : int option array;
+  start : int;
+}
+
+let num_states t = Array.length t.eps
+let start t = t.start
+let accept_rule t s = t.accepts.(s)
+
+let build rules =
+  let chars = ref [] and eps = ref [] and accepts = ref [] in
+  let count = ref 0 in
+  let new_state () =
+    let id = !count in
+    incr count;
+    chars := (id, []) :: !chars;
+    eps := (id, []) :: !eps;
+    accepts := (id, None) :: !accepts;
+    id
+  in
+  let eps_tab : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let char_tab : (int, (bool array * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let acc_tab : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let add_eps a b =
+    Hashtbl.replace eps_tab a
+      (b :: (Option.value ~default:[] (Hashtbl.find_opt eps_tab a)))
+  in
+  let add_char a table b =
+    Hashtbl.replace char_tab a
+      ((table, b) :: Option.value ~default:[] (Hashtbl.find_opt char_tab a))
+  in
+  (* Compile regex [r] between fresh entry/exit states. *)
+  let rec compile r entry exit_ =
+    match (r : Regex.node) with
+    | Regex.Empty -> add_eps entry exit_
+    | Regex.Chars table -> add_char entry table exit_
+    | Regex.Seq (a, b) ->
+        let mid = new_state () in
+        compile a entry mid;
+        compile b mid exit_
+    | Regex.Alt (a, b) ->
+        compile a entry exit_;
+        compile b entry exit_
+    | Regex.Star a ->
+        let s = new_state () in
+        add_eps entry s;
+        add_eps s exit_;
+        let body_entry = new_state () in
+        let body_exit = new_state () in
+        add_eps s body_entry;
+        compile a body_entry body_exit;
+        add_eps body_exit s
+  in
+  let start = new_state () in
+  Array.iteri
+    (fun rule r ->
+      let entry = new_state () in
+      let exit_ = new_state () in
+      add_eps start entry;
+      compile (Regex.view r) entry exit_;
+      Hashtbl.replace acc_tab exit_ rule)
+    rules;
+  let n = !count in
+  let chars_arr = Array.make n [] in
+  let eps_arr = Array.make n [] in
+  let acc_arr = Array.make n None in
+  Hashtbl.iter (fun s l -> chars_arr.(s) <- l) char_tab;
+  Hashtbl.iter (fun s l -> eps_arr.(s) <- l) eps_tab;
+  Hashtbl.iter
+    (fun s rule ->
+      acc_arr.(s) <-
+        (match acc_arr.(s) with
+        | Some r -> Some (min r rule)
+        | None -> Some rule))
+    acc_tab;
+  { chars = chars_arr; eps = eps_arr; accepts = acc_arr; start }
+
+let eps_closure t states =
+  let seen = Hashtbl.create 16 in
+  let rec visit s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      List.iter visit t.eps.(s)
+    end
+  in
+  List.iter visit states;
+  let out = Hashtbl.fold (fun s () acc -> s :: acc) seen [] in
+  let arr = Array.of_list out in
+  Array.sort compare arr;
+  arr
+
+let step t states c =
+  let code = Char.code c in
+  Array.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc (table, target) -> if table.(code) then target :: acc else acc)
+        acc t.chars.(s))
+    [] states
+
+let alive t states =
+  Array.exists (fun s -> t.chars.(s) <> []) states

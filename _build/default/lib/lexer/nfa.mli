@@ -1,0 +1,26 @@
+(** Thompson construction: one NFA for a whole rule set.
+
+    Each rule's accepting state remembers the rule index; on longest-match
+    ties, the {e lowest} rule index wins (declaration order, as in lex). *)
+
+type t
+
+(** [build rules] — one regex per rule, in priority order. *)
+val build : Regex.t array -> t
+
+val num_states : t -> int
+val start : t -> int
+
+(** [eps_closure t states] — all states reachable by ε moves, as a sorted
+    int array. *)
+val eps_closure : t -> int list -> int array
+
+(** [step t states c] — NFA states reachable from [states] on byte [c]
+    (before ε-closure). *)
+val step : t -> int array -> char -> int list
+
+(** [accept_rule t state] — the rule this state accepts, if any. *)
+val accept_rule : t -> int -> int option
+
+(** [alive t states] — true if any outgoing character transition exists. *)
+val alive : t -> int array -> bool

@@ -1,0 +1,37 @@
+type node =
+  | Empty
+  | Chars of bool array
+  | Seq of node * node
+  | Alt of node * node
+  | Star of node
+
+type t = node
+
+let view t = t
+let empty = Empty
+
+let chars_of_pred p =
+  let a = Array.make 256 false in
+  for i = 0 to 255 do
+    if p (Char.chr i) then a.(i) <- true
+  done;
+  Chars a
+
+let chr c = chars_of_pred (Char.equal c)
+let any = chars_of_pred (fun _ -> true)
+let range lo hi = chars_of_pred (fun c -> c >= lo && c <= hi)
+let set s = chars_of_pred (String.contains s)
+let not_set s = chars_of_pred (fun c -> not (String.contains s c))
+
+let seq = function
+  | [] -> Empty
+  | x :: xs -> List.fold_left (fun acc r -> Seq (acc, r)) x xs
+
+let alt = function
+  | [] -> invalid_arg "Regex.alt: empty alternative list"
+  | x :: xs -> List.fold_left (fun acc r -> Alt (acc, r)) x xs
+
+let str s = seq (List.init (String.length s) (fun i -> chr s.[i]))
+let star r = Star r
+let plus r = Seq (r, Star r)
+let opt r = Alt (r, Empty)

@@ -1,0 +1,42 @@
+(** Regular expressions over bytes, built with combinators.
+
+    These feed the Thompson NFA construction in {!Nfa}; the incremental
+    lexer is generated from a list of (regex, action) rules. *)
+
+type t
+
+val empty : t
+(** Matches the empty string. *)
+
+val chr : char -> t
+val any : t
+(** Any single byte. *)
+
+val range : char -> char -> t
+(** Inclusive byte range. *)
+
+val set : string -> t
+(** Any byte occurring in the string. *)
+
+val not_set : string -> t
+(** Any byte {e not} occurring in the string. *)
+
+val str : string -> t
+(** The literal string. *)
+
+val seq : t list -> t
+val alt : t list -> t
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+
+(** [charset_of r] when [r] matches exactly one byte: the 256-slot boolean
+    table; internal to NFA construction. *)
+type node =
+  | Empty
+  | Chars of bool array  (** 256 slots *)
+  | Seq of node * node
+  | Alt of node * node
+  | Star of node
+
+val view : t -> node

@@ -1,0 +1,18 @@
+type action = Tok of string | Skip
+type rule = { re : Regex.t; action : action }
+type t = { dfa : Dfa.t; rule_terms : int array }
+
+let compile rules ~resolve =
+  let regexes = Array.of_list (List.map (fun r -> r.re) rules) in
+  let nfa = Nfa.build regexes in
+  let dfa = Minimize.minimize (Dfa.of_nfa nfa) in
+  let rule_terms =
+    Array.of_list
+      (List.map
+         (fun r -> match r.action with Tok name -> resolve name | Skip -> -1)
+         rules)
+  in
+  { dfa; rule_terms }
+
+let dfa t = t.dfa
+let rule_terminal t i = t.rule_terms.(i)

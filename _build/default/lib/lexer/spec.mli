@@ -1,0 +1,25 @@
+(** Lexer specifications and compiled lexers.
+
+    A spec is an ordered rule list: earlier rules win longest-match ties
+    (so keywords precede identifiers).  [Skip] rules produce no token;
+    their text accumulates as the {e trivia} (whitespace, comments)
+    attached to the front of the next token, keeping the document's yield
+    an exact reconstruction of the source text. *)
+
+type action =
+  | Tok of string  (** produce the named terminal *)
+  | Skip  (** attach the match to the next token's trivia *)
+
+type rule = { re : Regex.t; action : action }
+
+type t
+(** A compiled lexer. *)
+
+(** [compile rules ~resolve] builds the DFA and maps each [Tok name] to a
+    terminal id via [resolve] (typically [Cfg.find_terminal g]). *)
+val compile : rule list -> resolve:(string -> int) -> t
+
+val dfa : t -> Dfa.t
+
+(** Terminal id for a rule index; [-1] for skip rules. *)
+val rule_terminal : t -> int -> int

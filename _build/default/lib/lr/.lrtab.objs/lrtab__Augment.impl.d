@@ -1,0 +1,1 @@
+lib/lr/augment.ml: Array Grammar

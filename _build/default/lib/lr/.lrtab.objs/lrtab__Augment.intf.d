@@ -1,0 +1,1 @@
+lib/lr/augment.mli: Grammar

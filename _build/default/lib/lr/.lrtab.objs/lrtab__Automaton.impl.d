@@ -1,0 +1,1 @@
+lib/lr/automaton.ml: Array Augment Format Grammar Hashtbl Item List

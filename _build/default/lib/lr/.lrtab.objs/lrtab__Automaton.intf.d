@@ -1,0 +1,1 @@
+lib/lr/automaton.mli: Augment Format Grammar Item

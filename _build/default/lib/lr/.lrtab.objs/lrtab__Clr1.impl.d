@@ -1,0 +1,1 @@
+lib/lr/clr1.ml: Array Augment Grammar Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/lr/clr1.mli: Augment Grammar

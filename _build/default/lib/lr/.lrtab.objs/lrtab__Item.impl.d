@@ -1,0 +1,1 @@
+lib/lr/item.ml: Array Format Grammar List

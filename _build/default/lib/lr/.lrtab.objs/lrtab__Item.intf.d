@@ -1,0 +1,1 @@
+lib/lr/item.mli: Format Grammar

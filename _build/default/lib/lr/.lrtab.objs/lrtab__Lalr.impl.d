@@ -1,0 +1,1 @@
+lib/lr/lalr.ml: Array Automaton Grammar Hashtbl Item List

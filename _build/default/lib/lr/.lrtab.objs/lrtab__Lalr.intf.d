@@ -1,0 +1,1 @@
+lib/lr/lalr.mli: Automaton Grammar

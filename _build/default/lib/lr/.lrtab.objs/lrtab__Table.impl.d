@@ -1,0 +1,1 @@
+lib/lr/table.ml: Array Augment Automaton Clr1 Format Grammar Item Lalr List

@@ -1,0 +1,1 @@
+lib/lr/table.mli: Automaton Format Grammar

@@ -1,0 +1,36 @@
+module Cfg = Grammar.Cfg
+
+type t = { grammar : Cfg.t; accept_prod : int; accept_nt : int }
+
+let augment g =
+  let nn = Cfg.num_nonterminals g in
+  let nonterminal_names =
+    Array.append
+      (Array.init nn (Cfg.nonterminal_name g))
+      [| "$accept" |]
+  in
+  let accept_prod = Cfg.num_productions g in
+  let productions =
+    Array.append (Cfg.productions g)
+      [|
+        {
+          Cfg.p_id = accept_prod;
+          lhs = nn;
+          rhs = [| Cfg.N (Cfg.start g) |];
+          role = Cfg.Plain;
+          prec = None;
+        };
+      |]
+  in
+  let seq_kinds =
+    Array.append (Array.init nn (Cfg.seq_kind g)) [| Cfg.Not_seq |]
+  in
+  let terminal_names =
+    Array.init (Cfg.num_terminals g) (Cfg.terminal_name g)
+  in
+  let term_precs = Array.init (Cfg.num_terminals g) (Cfg.term_prec g) in
+  let grammar =
+    Cfg.make ~terminal_names ~nonterminal_names ~productions ~seq_kinds
+      ~term_precs ~start:nn
+  in
+  { grammar; accept_prod; accept_nt = nn }

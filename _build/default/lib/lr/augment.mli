@@ -1,0 +1,13 @@
+(** Grammar augmentation for LR construction.
+
+    Appends the production [$accept -> start] as the last production and
+    [$accept] as the last nonterminal, so all original production and
+    nonterminal indices remain valid. *)
+
+type t = {
+  grammar : Grammar.Cfg.t;  (** the augmented grammar *)
+  accept_prod : int;  (** id of [$accept -> start] *)
+  accept_nt : int;  (** index of [$accept] *)
+}
+
+val augment : Grammar.Cfg.t -> t

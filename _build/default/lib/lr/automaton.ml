@@ -1,0 +1,122 @@
+module Cfg = Grammar.Cfg
+
+type state = { id : int; kernel : int array; items : int array }
+
+type t = {
+  aug : Augment.t;
+  ctx : Item.ctx;
+  states : state array;
+  (* goto.(s) : per-state transition table, one slot per symbol; terminals
+     first then nonterminals. *)
+  goto_tab : int array array;
+  start : int;
+}
+
+let ctx t = t.ctx
+let aug t = t.aug
+let num_states t = Array.length t.states
+let state t i = t.states.(i)
+let start_state t = t.start
+
+let sym_slot g = function
+  | Cfg.T i -> i
+  | Cfg.N i -> Cfg.num_terminals g + i
+
+let goto t s sym = t.goto_tab.(s).(sym_slot t.aug.grammar sym)
+
+let transitions t s =
+  let g = t.aug.grammar in
+  let nt = Cfg.num_terminals g in
+  let acc = ref [] in
+  let row = t.goto_tab.(s) in
+  for slot = Array.length row - 1 downto 0 do
+    if row.(slot) >= 0 then
+      let sym = if slot < nt then Cfg.T slot else Cfg.N (slot - nt) in
+      acc := (sym, row.(slot)) :: !acc
+  done;
+  !acc
+
+let build (aug : Augment.t) =
+  let g = aug.grammar in
+  let ctx = Item.make_ctx g in
+  let num_symbols = Cfg.num_terminals g + Cfg.num_nonterminals g in
+  let kernel_index : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let states = ref [] in
+  let goto_rows = ref [] in
+  let count = ref 0 in
+  let rec intern kernel =
+    match Hashtbl.find_opt kernel_index kernel with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.replace kernel_index kernel id;
+        let items = Item.closure ctx kernel in
+        states := { id; kernel; items } :: !states;
+        let row = Array.make num_symbols (-1) in
+        goto_rows := (id, row) :: !goto_rows;
+        (* Group items by the symbol after the dot. *)
+        let by_sym : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+        Array.iter
+          (fun item ->
+            match Item.next_symbol ctx item with
+            | None -> ()
+            | Some sym ->
+                let slot = sym_slot g sym in
+                let cell =
+                  match Hashtbl.find_opt by_sym slot with
+                  | Some c -> c
+                  | None ->
+                      let c = ref [] in
+                      Hashtbl.replace by_sym slot c;
+                      c
+                in
+                cell := Item.advance ctx item :: !cell)
+          items;
+        let slots =
+          Hashtbl.fold (fun slot cell acc -> (slot, cell) :: acc) by_sym []
+        in
+        let slots = List.sort (fun (a, _) (b, _) -> compare a b) slots in
+        List.iter
+          (fun (slot, cell) ->
+            let kernel' = Array.of_list (List.rev !cell) in
+            Array.sort compare kernel';
+            let target = intern kernel' in
+            row.(slot) <- target)
+          slots;
+        id
+  in
+  let start_kernel = [| Item.encode ctx ~prod:aug.accept_prod ~dot:0 |] in
+  let start = intern start_kernel in
+  let n = !count in
+  let state_arr =
+    let a =
+      Array.make n { id = -1; kernel = [||]; items = [||] }
+    in
+    List.iter (fun s -> a.(s.id) <- s) !states;
+    a
+  in
+  let goto_tab =
+    let a = Array.make n [||] in
+    List.iter (fun (id, row) -> a.(id) <- row) !goto_rows;
+    a
+  in
+  { aug; ctx; states = state_arr; goto_tab; start }
+
+let pp_state t ppf i =
+  let s = t.states.(i) in
+  Format.fprintf ppf "state %d:@." i;
+  Array.iter
+    (fun item -> Format.fprintf ppf "  %a@." (Item.pp t.ctx) item)
+    s.items;
+  List.iter
+    (fun (sym, target) ->
+      Format.fprintf ppf "  %s -> %d@."
+        (Cfg.symbol_name t.aug.grammar sym)
+        target)
+    (transitions t i)
+
+let pp ppf t =
+  for i = 0 to num_states t - 1 do
+    pp_state t ppf i
+  done

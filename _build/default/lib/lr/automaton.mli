@@ -1,0 +1,26 @@
+(** The LR(0) characteristic automaton: canonical collection of item sets
+    and the transition function, over an augmented grammar. *)
+
+type state = {
+  id : int;
+  kernel : int array;  (** sorted item codes *)
+  items : int array;  (** kernel plus closure, sorted *)
+}
+
+type t
+
+val build : Augment.t -> t
+val ctx : t -> Item.ctx
+val aug : t -> Augment.t
+val num_states : t -> int
+val state : t -> int -> state
+val start_state : t -> int
+
+(** [goto a s sym] is the successor state on [sym], or [-1]. *)
+val goto : t -> int -> Grammar.Cfg.symbol -> int
+
+(** All transitions out of a state, in symbol order. *)
+val transitions : t -> int -> (Grammar.Cfg.symbol * int) list
+
+val pp_state : t -> Format.formatter -> int -> unit
+val pp : Format.formatter -> t -> unit

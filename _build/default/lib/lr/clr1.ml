@@ -1,0 +1,143 @@
+module Cfg = Grammar.Cfg
+module Bitset = Grammar.Bitset
+
+type action = Shift of int | Reduce of int | Accept
+
+type t = {
+  num_states : int;
+  start : int;
+  actions : action list array array;
+  goto_nt : int array array;
+}
+
+(* An LR(1) item [A -> α · β, a] is ((prod * stride + dot) * nt) + a. *)
+
+let build (aug : Augment.t) analysis =
+  let g = aug.grammar in
+  let nt = Cfg.num_terminals g in
+  let nn_orig = Cfg.num_nonterminals g - 1 (* exclude $accept *) in
+  let stride =
+    1
+    + Array.fold_left
+        (fun acc (p : Cfg.production) -> max acc (Array.length p.rhs))
+        0 (Cfg.productions g)
+  in
+  let encode ~prod ~dot ~la = (((prod * stride) + dot) * nt) + la in
+  let la_of item = item mod nt in
+  let core item = item / nt in
+  let prod_of item = core item / stride in
+  let dot_of item = core item mod stride in
+  let closure kernel =
+    let seen = Hashtbl.create 64 in
+    let q = Queue.create () in
+    let add item =
+      if not (Hashtbl.mem seen item) then begin
+        Hashtbl.replace seen item ();
+        Queue.add item q
+      end
+    in
+    Array.iter add kernel;
+    while not (Queue.is_empty q) do
+      let item = Queue.pop q in
+      let p = Cfg.production g (prod_of item) in
+      let dot = dot_of item in
+      if dot < Array.length p.Cfg.rhs then
+        match p.Cfg.rhs.(dot) with
+        | Cfg.T _ -> ()
+        | Cfg.N b ->
+            (* Lookaheads: FIRST(β a). *)
+            let first, eps =
+              Grammar.Analysis.first_of_word g analysis p.Cfg.rhs
+                ~from:(dot + 1)
+            in
+            if eps then Bitset.add first (la_of item);
+            Array.iter
+              (fun pid ->
+                Bitset.iter
+                  (fun a -> add (encode ~prod:pid ~dot:0 ~la:a))
+                  first)
+              (Cfg.productions_of g b)
+    done;
+    let items = Hashtbl.fold (fun i () acc -> i :: acc) seen [] in
+    let arr = Array.of_list items in
+    Array.sort compare arr;
+    arr
+  in
+  let num_symbols = nt + Cfg.num_nonterminals g in
+  let sym_slot = function Cfg.T i -> i | Cfg.N i -> nt + i in
+  let index : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let rows = ref [] in
+  let state_items = ref [] in
+  let count = ref 0 in
+  let rec intern kernel =
+    match Hashtbl.find_opt index kernel with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.replace index kernel id;
+        let items = closure kernel in
+        state_items := (id, items) :: !state_items;
+        let row = Array.make num_symbols (-1) in
+        rows := (id, row) :: !rows;
+        let by_slot : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+        Array.iter
+          (fun item ->
+            let p = Cfg.production g (prod_of item) in
+            let dot = dot_of item in
+            if dot < Array.length p.Cfg.rhs then begin
+              let slot = sym_slot p.Cfg.rhs.(dot) in
+              let cell =
+                match Hashtbl.find_opt by_slot slot with
+                | Some c -> c
+                | None ->
+                    let c = ref [] in
+                    Hashtbl.replace by_slot slot c;
+                    c
+              in
+              cell := (item + nt (* dot+1 in the encoding *)) :: !cell
+            end)
+          items;
+        let slots =
+          List.sort compare
+            (Hashtbl.fold (fun slot cell acc -> (slot, !cell) :: acc) by_slot [])
+        in
+        List.iter
+          (fun (slot, kernel') ->
+            let kernel' = Array.of_list kernel' in
+            Array.sort compare kernel';
+            row.(slot) <- intern kernel')
+          slots;
+        id
+  in
+  let start =
+    intern [| encode ~prod:aug.accept_prod ~dot:0 ~la:Cfg.eof |]
+  in
+  let ns = !count in
+  let actions = Array.init ns (fun _ -> Array.make nt []) in
+  let goto_nt = Array.init ns (fun _ -> Array.make nn_orig (-1)) in
+  let row_of = Array.make ns [||] in
+  List.iter (fun (id, row) -> row_of.(id) <- row) !rows;
+  List.iter
+    (fun (id, items) ->
+      for term = 0 to nt - 1 do
+        let target = row_of.(id).(term) in
+        if target >= 0 then actions.(id).(term) <- [ Shift target ]
+      done;
+      for n = 0 to nn_orig - 1 do
+        goto_nt.(id).(n) <- row_of.(id).(nt + n)
+      done;
+      Array.iter
+        (fun item ->
+          let pid = prod_of item in
+          let p = Cfg.production g pid in
+          if dot_of item = Array.length p.Cfg.rhs then
+            if pid = aug.accept_prod then
+              actions.(id).(Cfg.eof) <- actions.(id).(Cfg.eof) @ [ Accept ]
+            else
+              let la = la_of item in
+              actions.(id).(la) <- actions.(id).(la) @ [ Reduce pid ]
+        )
+        items)
+    !state_items;
+  { num_states = ns; start; actions; goto_nt }

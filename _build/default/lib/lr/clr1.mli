@@ -1,0 +1,21 @@
+(** Canonical LR(1) construction (Knuth).
+
+    Exponentially larger than LALR in the worst case, but exact: grammars
+    that are LR(1) yet not LALR(1) get deterministic tables.  The paper's
+    footnote 5 notes that on an LR-but-not-LALR grammar the IGLR parser
+    simply tries the conflicting LALR reductions and resolves at the next
+    shift — having the canonical construction lets the tests demonstrate
+    both behaviours on the same grammar. *)
+
+type action = Shift of int | Reduce of int | Accept
+
+type t = {
+  num_states : int;
+  start : int;
+  (* [actions.(state).(terminal)] and [goto_nt.(state).(nonterminal)]
+     cover the original (un-augmented) grammar's symbols. *)
+  actions : action list array array;
+  goto_nt : int array array;
+}
+
+val build : Augment.t -> Grammar.Analysis.t -> t

@@ -1,0 +1,66 @@
+module Cfg = Grammar.Cfg
+
+type ctx = { g : Cfg.t; stride : int }
+
+let make_ctx g =
+  let max_rhs =
+    Array.fold_left
+      (fun acc (p : Cfg.production) -> max acc (Array.length p.rhs))
+      0 (Cfg.productions g)
+  in
+  { g; stride = max_rhs + 1 }
+
+let encode ctx ~prod ~dot = (prod * ctx.stride) + dot
+let prod_of ctx item = item / ctx.stride
+let dot_of ctx item = item mod ctx.stride
+
+let next_symbol ctx item =
+  let p = Cfg.production ctx.g (prod_of ctx item) in
+  let dot = dot_of ctx item in
+  if dot < Array.length p.rhs then Some p.rhs.(dot) else None
+
+let advance _ctx item = item + 1
+
+let closure ctx kernel =
+  let added = Array.make (Cfg.num_nonterminals ctx.g) false in
+  let acc = ref [] in
+  let rec add_nonterminal n =
+    if not added.(n) then begin
+      added.(n) <- true;
+      Array.iter
+        (fun pid ->
+          let item = encode ctx ~prod:pid ~dot:0 in
+          acc := item :: !acc;
+          match next_symbol ctx item with
+          | Some (Cfg.N m) -> add_nonterminal m
+          | Some (Cfg.T _) | None -> ())
+        (Cfg.productions_of ctx.g n)
+    end
+  in
+  Array.iter
+    (fun item ->
+      match next_symbol ctx item with
+      | Some (Cfg.N n) -> add_nonterminal n
+      | Some (Cfg.T _) | None -> ())
+    kernel;
+  let extra = Array.of_list !acc in
+  let all = Array.append kernel extra in
+  Array.sort compare all;
+  (* Kernels never overlap closure items (dot > 0 vs dot = 0), except the
+     start item; dedupe defensively. *)
+  let out = ref [] in
+  Array.iter
+    (fun i -> match !out with x :: _ when x = i -> () | _ -> out := i :: !out)
+    all;
+  Array.of_list (List.rev !out)
+
+let pp ctx ppf item =
+  let p = Cfg.production ctx.g (prod_of ctx item) in
+  let dot = dot_of ctx item in
+  Format.fprintf ppf "%s ->" (Cfg.nonterminal_name ctx.g p.lhs);
+  Array.iteri
+    (fun i s ->
+      if i = dot then Format.pp_print_string ppf " .";
+      Format.fprintf ppf " %s" (Cfg.symbol_name ctx.g s))
+    p.rhs;
+  if dot = Array.length p.rhs then Format.pp_print_string ppf " ."

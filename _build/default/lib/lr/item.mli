@@ -1,0 +1,26 @@
+(** LR(0) items, packed into integers.
+
+    An item [A -> α · β] is [(production, dot)] encoded as
+    [production * stride + dot], with a per-grammar [stride] wide enough for
+    the longest right-hand side.  Item sets are sorted int arrays, giving
+    cheap hashing and equality for the canonical-collection construction. *)
+
+type ctx
+(** Encoding context (stride plus grammar handle). *)
+
+val make_ctx : Grammar.Cfg.t -> ctx
+val encode : ctx -> prod:int -> dot:int -> int
+val prod_of : ctx -> int -> int
+val dot_of : ctx -> int -> int
+
+(** Symbol after the dot, if any. *)
+val next_symbol : ctx -> int -> Grammar.Cfg.symbol option
+
+(** Item with the dot advanced one position. *)
+val advance : ctx -> int -> int
+
+(** [closure ctx kernel] is the full item set (kernel plus closure items),
+    sorted and deduplicated. *)
+val closure : ctx -> int array -> int array
+
+val pp : ctx -> Format.formatter -> int -> unit

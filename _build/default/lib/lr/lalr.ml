@@ -1,0 +1,172 @@
+module Cfg = Grammar.Cfg
+module Bitset = Grammar.Bitset
+
+type t = { la : (int * int, Bitset.t) Hashtbl.t; num_terminals : int }
+
+let empty_cache = Hashtbl.create 1
+
+let lookahead t ~state ~prod =
+  match Hashtbl.find_opt t.la (state, prod) with
+  | Some s -> s
+  | None -> (
+      (* Share a single empty set per width. *)
+      match Hashtbl.find_opt empty_cache t.num_terminals with
+      | Some s -> s
+      | None ->
+          let s = Bitset.create t.num_terminals in
+          Hashtbl.replace empty_cache t.num_terminals s;
+          s)
+
+(* The digraph algorithm of DeRemer & Pennello: given initial sets F'(x)
+   and a relation R, computes F(x) = F'(x) ∪ (∪ { F(y) | x R y }),
+   collapsing SCCs so each edge is traversed once. *)
+let digraph ~num_nodes ~rel ~(init : int -> Bitset.t) =
+  let f = Array.init num_nodes init in
+  let n = Array.make num_nodes 0 in
+  let stack = ref [] in
+  let depth = ref 0 in
+  let infinity = max_int in
+  let rec traverse x =
+    stack := x :: !stack;
+    incr depth;
+    let d = !depth in
+    n.(x) <- d;
+    List.iter
+      (fun y ->
+        if n.(y) = 0 then traverse y;
+        if n.(y) < n.(x) then n.(x) <- n.(y);
+        ignore (Bitset.union_into ~into:f.(x) f.(y)))
+      (rel x);
+    if n.(x) = d then begin
+      let rec pop () =
+        match !stack with
+        | [] -> assert false
+        | top :: rest ->
+            n.(top) <- infinity;
+            stack := rest;
+            decr depth;
+            if top <> x then begin
+              f.(top) <- Bitset.copy f.(x);
+              pop ()
+            end
+      in
+      pop ()
+    end
+  in
+  for x = 0 to num_nodes - 1 do
+    if n.(x) = 0 then traverse x
+  done;
+  f
+
+let compute auto analysis =
+  let aug = Automaton.aug auto in
+  let g = aug.grammar in
+  let nt = Cfg.num_terminals g in
+  (* Enumerate nonterminal transitions (p, A). *)
+  let trans = ref [] in
+  let trans_id : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let count = ref 0 in
+  for p = 0 to Automaton.num_states auto - 1 do
+    for a = 0 to Cfg.num_nonterminals g - 1 do
+      if Automaton.goto auto p (Cfg.N a) >= 0 then begin
+        Hashtbl.replace trans_id (p, a) !count;
+        trans := (p, a) :: !trans;
+        incr count
+      end
+    done
+  done;
+  let trans = Array.of_list (List.rev !trans) in
+  let num_trans = Array.length trans in
+  (* Direct reads: DR(p,A) = { t | goto(goto(p,A), t) defined }. *)
+  let ctx = Automaton.ctx auto in
+  let accept_done = Item.encode ctx ~prod:aug.accept_prod ~dot:1 in
+  let direct_reads x =
+    let p, a = trans.(x) in
+    let r = Automaton.goto auto p (Cfg.N a) in
+    let s = Bitset.create nt in
+    for t = 0 to nt - 1 do
+      if Automaton.goto auto r (Cfg.T t) >= 0 then Bitset.add s t
+    done;
+    (* In the augmented grammar [$accept -> S], end-of-input implicitly
+       follows the state holding the completed accept item. *)
+    if Array.exists (fun i -> i = accept_done) (Automaton.state auto r).kernel
+    then Bitset.add s Cfg.eof;
+    s
+  in
+  (* reads: (p,A) reads (r,C) iff r = goto(p,A), C nullable, goto(r,C)
+     defined. *)
+  let reads x =
+    let p, a = trans.(x) in
+    let r = Automaton.goto auto p (Cfg.N a) in
+    let acc = ref [] in
+    for c = 0 to Cfg.num_nonterminals g - 1 do
+      if Grammar.Analysis.nullable analysis c
+         && Automaton.goto auto r (Cfg.N c) >= 0
+      then
+        match Hashtbl.find_opt trans_id (r, c) with
+        | Some y -> acc := y :: !acc
+        | None -> ()
+    done;
+    !acc
+  in
+  let read_sets = digraph ~num_nodes:num_trans ~rel:reads ~init:direct_reads in
+  (* includes and lookback, by walking each production from each (p,B). *)
+  let includes = Array.make num_trans [] in
+  let lookback : (int * int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun x (p, b) ->
+      Array.iter
+        (fun pid ->
+          let prod = Cfg.production g pid in
+          let q = ref p in
+          let len = Array.length prod.rhs in
+          Array.iteri
+            (fun i sym ->
+              (match sym with
+              | Cfg.N a ->
+                  (* Suffix after position i must derive ε. *)
+                  let rec suffix_nullable j =
+                    j >= len
+                    ||
+                    match prod.rhs.(j) with
+                    | Cfg.T _ -> false
+                    | Cfg.N m ->
+                        Grammar.Analysis.nullable analysis m
+                        && suffix_nullable (j + 1)
+                  in
+                  if suffix_nullable (i + 1) then (
+                    match Hashtbl.find_opt trans_id (!q, a) with
+                    | Some y -> includes.(y) <- x :: includes.(y)
+                    | None -> ())
+              | Cfg.T _ -> ());
+              q := Automaton.goto auto !q sym;
+              assert (!q >= 0))
+            prod.rhs;
+          (* !q is the state containing the completed item. *)
+          let key = (!q, pid) in
+          let cell =
+            match Hashtbl.find_opt lookback key with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace lookback key c;
+                c
+          in
+          cell := x :: !cell)
+        (Cfg.productions_of g b))
+    trans;
+  let follow_sets =
+    digraph ~num_nodes:num_trans
+      ~rel:(fun x -> includes.(x))
+      ~init:(fun x -> Bitset.copy read_sets.(x))
+  in
+  let la = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (q, pid) cell ->
+      let s = Bitset.create nt in
+      List.iter
+        (fun x -> ignore (Bitset.union_into ~into:s follow_sets.(x)))
+        !cell;
+      Hashtbl.replace la (q, pid) s)
+    lookback;
+  { la; num_terminals = nt }

@@ -1,0 +1,17 @@
+(** LALR(1) lookahead sets via the DeRemer–Pennello relations.
+
+    Computes, for every state [q] and production [A -> ω] whose completed
+    item belongs to [q], the set [LA(q, A -> ω)] of terminals on which the
+    reduction should fire.  Uses the [reads]/[includes]/[lookback] relations
+    and the digraph (SCC-collapsing) algorithm, i.e. the same construction
+    bison uses — matching the paper's "modified version of bison that
+    explicitly records all conflicts". *)
+
+type t
+
+val compute : Automaton.t -> Grammar.Analysis.t -> t
+
+(** [lookahead t ~state ~prod] — LA(state, prod).  Defined for every
+    (state, completed production) pair in the automaton; empty set
+    otherwise.  Do not mutate the result. *)
+val lookahead : t -> state:int -> prod:int -> Grammar.Bitset.t

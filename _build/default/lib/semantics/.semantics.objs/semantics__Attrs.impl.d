@@ -1,0 +1,1 @@
+lib/semantics/attrs.ml: Array Grammar Hashtbl List Parsedag

@@ -1,0 +1,1 @@
+lib/semantics/attrs.mli: Grammar Parsedag

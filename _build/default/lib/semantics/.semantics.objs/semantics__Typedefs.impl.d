@@ -1,0 +1,1 @@
+lib/semantics/typedefs.ml: Array Grammar Hashtbl List Option Parsedag

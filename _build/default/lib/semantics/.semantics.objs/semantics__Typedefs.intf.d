@@ -1,0 +1,1 @@
+lib/semantics/typedefs.mli: Grammar Parsedag

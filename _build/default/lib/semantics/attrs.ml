@@ -1,0 +1,53 @@
+module Cfg = Grammar.Cfg
+
+module Node = Parsedag.Node
+
+type 'a entry = { value : 'a; fingerprint : int array }
+
+type 'a t = {
+  g : Cfg.t;
+  leaf : Node.t -> 'a;
+  rule : Cfg.production -> 'a array -> 'a;
+  choice : 'a array -> 'a;
+  memo : (int, 'a entry) Hashtbl.t;
+  mutable evaluations : int;
+}
+
+let create g ~leaf ~rule ~choice =
+  { g; leaf; rule; choice; memo = Hashtbl.create 256; evaluations = 0 }
+
+let evaluations t = t.evaluations
+let reset t = Hashtbl.reset t.memo
+
+let fingerprint_of (n : Node.t) =
+  Array.map (fun (k : Node.t) -> k.Node.nid) n.Node.kids
+
+let rec eval t (n : Node.t) =
+  let fp = fingerprint_of n in
+  match Hashtbl.find_opt t.memo n.Node.nid with
+  | Some e when e.fingerprint = fp -> e.value
+  | Some _ | None ->
+      let value = compute t n in
+      Hashtbl.replace t.memo n.Node.nid { value; fingerprint = fp };
+      value
+
+and compute t (n : Node.t) =
+  t.evaluations <- t.evaluations + 1;
+  match n.Node.kind with
+  | Node.Term _ -> t.leaf n
+  | Node.Prod p ->
+      t.rule (Cfg.production t.g p) (Array.map (eval t) n.Node.kids)
+  | Node.Choice ci ->
+      if ci.selected >= 0 && ci.selected < Array.length n.Node.kids then
+        (* Disambiguated: transparent, per §4.2(d). *)
+        eval t n.Node.kids.(ci.selected)
+      else t.choice (Array.map (eval t) n.Node.kids)
+  | Node.Root -> (
+      (* The single top-level subtree between the sentinels. *)
+      match
+        Array.to_list n.Node.kids
+        |> List.filter (fun (k : Node.t) -> not (Node.is_sentinel k))
+      with
+      | [ top ] -> eval t top
+      | _ -> invalid_arg "Attrs.eval: unparsed document root")
+  | Node.Bos | Node.Eos _ -> invalid_arg "Attrs.eval: sentinel node"

@@ -1,0 +1,252 @@
+module Cfg = Grammar.Cfg
+module Node = Parsedag.Node
+
+type policy = Namespace_only | Prefer_decl
+
+type report = {
+  typedefs : int;
+  choices : int;
+  decided : int;
+  reinterpreted : int;
+  unresolved : int;
+  prefer_decl_applied : int;
+  errors : (string * string) list;
+}
+
+type decision = {
+  dec_name : string option;  (* leading identifier the decision used *)
+  dec_was_type : bool;
+  dec_selected : int;
+}
+
+type t = {
+  g : Cfg.t;
+  policy : policy;
+  id_term : int;
+  typedef_term : int;
+  decl_nt : int;
+  expr_nt : int;
+  compound_nt : int;
+  memo : (int, decision) Hashtbl.t;
+  mutable globals : string list;
+}
+
+let create ?(policy = Namespace_only) g =
+  {
+    g;
+    policy;
+    id_term = Cfg.find_terminal g "id";
+    typedef_term = Cfg.find_terminal g "typedef";
+    decl_nt = Cfg.find_nonterminal g "decl";
+    expr_nt = Cfg.find_nonterminal g "expr";
+    compound_nt = Cfg.find_nonterminal g "compound";
+    memo = Hashtbl.create 64;
+    globals = [];
+  }
+
+let chosen (n : Node.t) =
+  match n.Node.kind with
+  | Node.Choice c when c.selected >= 0 && c.selected < Array.length n.Node.kids
+    ->
+      Some n.Node.kids.(c.selected)
+  | _ -> None
+
+let global_typedefs t = t.globals
+
+(* Environment: a stack of mutable scope tables. *)
+type env = (string, unit) Hashtbl.t list
+
+let lookup (env : env) name = List.exists (fun s -> Hashtbl.mem s name) env
+
+let declare (env : env) name =
+  match env with
+  | scope :: _ -> Hashtbl.replace scope name ()
+  | [] -> assert false
+
+(* First identifier terminal in a subtree (descending first alternatives
+   of nested choices). *)
+let rec leading_id t (n : Node.t) =
+  match n.Node.kind with
+  | Node.Term i -> if i.Node.term = t.id_term then Some i.Node.text else None
+  | Node.Bos | Node.Eos _ -> None
+  | Node.Choice _ -> leading_id t n.Node.kids.(0)
+  | Node.Prod _ | Node.Root ->
+      let rec scan i =
+        if i >= Array.length n.Node.kids then None
+        else
+          match leading_id t n.Node.kids.(i) with
+          | Some x -> Some x
+          | None ->
+              if Node.token_count n.Node.kids.(i) > 0 then None
+              else scan (i + 1)
+      in
+      scan 0
+
+(* Leading terminal (any kind): used to check whether the region starts
+   with an identifier at all. *)
+let leading_term (n : Node.t) =
+  match Node.first_terminal n with
+  | Some { Node.kind = Node.Term i; _ } -> Some i.Node.term
+  | _ -> None
+
+let alt_symbol t (alt : Node.t) =
+  (* Classify a stmt alternative by its first child's nonterminal. *)
+  match alt.Node.kind with
+  | Node.Prod _ when Array.length alt.Node.kids > 0 -> (
+      match Node.symbol t.g alt.Node.kids.(0) with
+      | `N nt ->
+          if nt = t.decl_nt then `Decl
+          else if nt = t.expr_nt then `Expr
+          else `Other
+      | `T _ | `Other -> `Other)
+  | _ -> `Other
+
+type counters = {
+  mutable c_typedefs : int;
+  mutable c_choices : int;
+  mutable c_decided : int;
+  mutable c_reinterp : int;
+  mutable c_unresolved : int;
+  mutable c_prefer : int;
+  mutable c_errors : (string * string) list;
+}
+
+let is_typedef_decl t (n : Node.t) =
+  match n.Node.kind with
+  | Node.Prod p ->
+      let prod = Cfg.production t.g p in
+      prod.Cfg.lhs = t.decl_nt
+      && Array.length prod.Cfg.rhs > 0
+      && prod.Cfg.rhs.(0) = Cfg.T t.typedef_term
+  | _ -> false
+
+let typedef_name t (n : Node.t) =
+  (* decl -> typedef type_spec id ; — the declared name is the id child. *)
+  let result = ref None in
+  Array.iter
+    (fun (k : Node.t) ->
+      match k.Node.kind with
+      | Node.Term i when i.Node.term = t.id_term -> result := Some i.Node.text
+      | _ -> ())
+    n.Node.kids;
+  !result
+
+let decide t (c : counters) (env : env) (n : Node.t) ci =
+  c.c_choices <- c.c_choices + 1;
+  let name = leading_id t n in
+  let starts_with_id = leading_term n = Some t.id_term in
+  let is_type = match name with Some x -> lookup env x | None -> false in
+  let memoized =
+    match Hashtbl.find_opt t.memo n.Node.nid with
+    | Some d
+      when ci.Node.selected >= 0 && d.dec_selected = ci.Node.selected
+           && d.dec_name = name
+           && d.dec_was_type = is_type ->
+        true
+    | _ -> false
+  in
+  if not memoized then begin
+    c.c_decided <- c.c_decided + 1;
+    let find_alt kind =
+      let rec scan i =
+        if i >= Array.length n.Node.kids then None
+        else if alt_symbol t n.Node.kids.(i) = kind then Some i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let target =
+      if not starts_with_id then
+        (* Ambiguity not rooted in the typedef problem: leave it to other
+           filters. *)
+        None
+      else if is_type then begin
+        match find_alt `Decl with
+        | Some i ->
+            if t.policy = Prefer_decl && find_alt `Expr <> None then
+              c.c_prefer <- c.c_prefer + 1;
+            Some i
+        | None ->
+            c.c_errors <-
+              ("type-in-expression-position", Option.value ~default:"?" name)
+              :: c.c_errors;
+            None
+      end
+      else begin
+        match find_alt `Expr with
+        | Some i -> Some i
+        | None ->
+            (* Only a declaration reading exists but the leading name is
+               not a type: a program error; retain interpretations. *)
+            c.c_errors <-
+              ("unknown-type-name", Option.value ~default:"?" name)
+              :: c.c_errors;
+            None
+      end
+    in
+    let prev = ci.Node.selected in
+    (match target with
+    | Some i ->
+        ci.Node.selected <- i;
+        if prev >= 0 && prev <> i then c.c_reinterp <- c.c_reinterp + 1
+    | None ->
+        ci.Node.selected <- -1;
+        c.c_unresolved <- c.c_unresolved + 1);
+    Hashtbl.replace t.memo n.Node.nid
+      {
+        dec_name = name;
+        dec_was_type = is_type;
+        dec_selected = ci.Node.selected;
+      }
+  end
+
+let analyze t root =
+  let c =
+    {
+      c_typedefs = 0;
+      c_choices = 0;
+      c_decided = 0;
+      c_reinterp = 0;
+      c_unresolved = 0;
+      c_prefer = 0;
+      c_errors = [];
+    }
+  in
+  let is_compound (n : Node.t) =
+    match n.Node.kind with
+    | Node.Prod p -> (Cfg.production t.g p).Cfg.lhs = t.compound_nt
+    | _ -> false
+  in
+  let rec walk env (n : Node.t) =
+    (if is_typedef_decl t n then
+       match typedef_name t n with
+       | Some name ->
+           c.c_typedefs <- c.c_typedefs + 1;
+           declare env name
+       | None -> ());
+    match n.Node.kind with
+    | Node.Choice ci ->
+        decide t c env n ci;
+        (* Continue into the chosen interpretation (or the first while
+           unresolved) so nested structure is processed once. *)
+        let pick = if ci.Node.selected >= 0 then ci.Node.selected else 0 in
+        walk env n.Node.kids.(pick)
+    | Node.Term _ | Node.Bos | Node.Eos _ -> ()
+    | Node.Prod _ | Node.Root ->
+        let env =
+          if is_compound n then Hashtbl.create 8 :: env else env
+        in
+        Array.iter (walk env) n.Node.kids
+  in
+  let global_scope = Hashtbl.create 16 in
+  walk [ global_scope ] root;
+  t.globals <- Hashtbl.fold (fun k () acc -> k :: acc) global_scope [];
+  {
+    typedefs = c.c_typedefs;
+    choices = c.c_choices;
+    decided = c.c_decided;
+    reinterpreted = c.c_reinterp;
+    unresolved = c.c_unresolved;
+    prefer_decl_applied = c.c_prefer;
+    errors = List.rev c.c_errors;
+  }

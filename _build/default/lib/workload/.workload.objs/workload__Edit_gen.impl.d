@@ -1,0 +1,1 @@
+lib/workload/edit_gen.ml: Char List Random String

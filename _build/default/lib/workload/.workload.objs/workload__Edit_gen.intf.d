@@ -1,0 +1,1 @@
+lib/workload/edit_gen.mli:

@@ -1,0 +1,1 @@
+lib/workload/spec_gen.ml: Buffer Hashtbl Languages List Printf Random String

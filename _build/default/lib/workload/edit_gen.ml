@@ -1,0 +1,40 @@
+type edit = { e_pos : int; e_del : int; e_insert : string }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let token_edits ~seed ~count text =
+  let st = Random.State.make [| seed |] in
+  let n = String.length text in
+  if n = 0 then []
+  else
+    List.init count (fun _ ->
+        (* Replace a digit: digits occur only inside numbers and
+           identifier suffixes, so the edit changes a token's text without
+           changing the token kind or fusing neighbours (the paper's
+           syntactically neutral single-token modification). *)
+        let rec probe attempts =
+          let p = Random.State.int st n in
+          if is_digit text.[p] then p
+          else if attempts > 2000 then
+            invalid_arg "Edit_gen.token_edits: no digit in text"
+          else probe (attempts + 1)
+        in
+        let p = probe 0 in
+        let c = text.[p] in
+        let replacement =
+          Char.chr (Char.code '0' + ((Char.code c - Char.code '0' + 1) mod 10))
+        in
+        { e_pos = p; e_del = 1; e_insert = String.make 1 replacement })
+
+let inverse e text =
+  {
+    e_pos = e.e_pos;
+    e_del = String.length e.e_insert;
+    e_insert = String.sub text e.e_pos e.e_del;
+  }
+
+let apply e text =
+  String.sub text 0 e.e_pos
+  ^ e.e_insert
+  ^ String.sub text (e.e_pos + e.e_del)
+      (String.length text - e.e_pos - e.e_del)

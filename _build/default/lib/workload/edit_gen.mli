@@ -1,0 +1,18 @@
+(** Edit-script generation for the incremental benchmarks (§5: repeated
+    self-cancelling modifications to individual tokens). *)
+
+type edit = { e_pos : int; e_del : int; e_insert : string }
+
+(** [token_edits ~seed ~count text] — [count] single-token edits at random
+    identifier/number positions in [text].  Each edit replaces one byte of
+    a token with a different alphanumeric byte, so token boundaries are
+    stable and the edit is syntactically neutral. *)
+val token_edits : seed:int -> count:int -> string -> edit list
+
+(** [self_cancelling e text] — the inverse edit restoring [text]'s
+    contents at [e]'s position (apply [e], reparse, apply the inverse,
+    reparse: the §5 protocol). *)
+val inverse : edit -> string -> edit
+
+(** Apply an edit to a string (for oracle comparisons). *)
+val apply : edit -> string -> string

@@ -1,0 +1,148 @@
+type dialect = C | Cpp
+
+type profile = {
+  p_name : string;
+  p_lines : int;
+  p_dialect : dialect;
+  p_paper_overhead : float;
+  p_ambig_per_kloc : float;
+}
+
+(* Density calibration: one ambiguous statement per kloc of generated
+   code measures about 0.026% of the disambiguated tree in extra
+   interpretation nodes (each ambiguity duplicates one statement's
+   structure, sharing terminals — measured with lib/dag/stats over
+   generated corpora), so densities derive from the paper's overheads. *)
+let density_of_overhead pct = pct *. 39.
+
+let mk name lines dialect pct =
+  {
+    p_name = name;
+    p_lines = lines;
+    p_dialect = dialect;
+    p_paper_overhead = pct;
+    p_ambig_per_kloc = density_of_overhead pct;
+  }
+
+let table1 =
+  [
+    mk "compress" 1934 C 0.21;
+    mk "gcc" 205093 C 0.10;
+    mk "go" 29246 C 0.00;
+    mk "ijpeg" 31211 C 0.02;
+    mk "m88ksim" 19915 C 0.02;
+    mk "perl" 26871 C 0.01;
+    mk "vortex" 67202 C 0.00;
+    mk "xlisp" 7597 C 0.02;
+    mk "emacs" 159921 C 0.47;
+    mk "ensemble" 294204 Cpp 0.26;
+    mk "idl" 29715 Cpp 0.10;
+    mk "ghostscript" 128368 C 0.52;
+    mk "tcl" 26738 C 0.31;
+  ]
+
+let find name =
+  match List.find_opt (fun p -> String.equal p.p_name name) table1 with
+  | Some p -> p
+  | None -> invalid_arg ("Spec_gen.find: unknown program " ^ name)
+
+let language_of p =
+  match p.p_dialect with
+  | C -> Languages.C_subset.language
+  | Cpp -> Languages.Cpp_subset.language
+
+(* One generated function is [body_stmts] statements plus wrapper lines. *)
+let emit_function buf st ~fn_id ~num_typedefs ~ambig_prob ~dialect ~amb_offsets =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let var i = Printf.sprintf "v%d" i in
+  let tname () = Printf.sprintf "t%d" (Random.State.int st num_typedefs) in
+  pr "int fn%d () {\n" fn_id;
+  pr "  int %s; int %s; int %s;\n" (var 0) (var 1) (var 2);
+  let lines = ref 4 in
+  let body_stmts = 6 + Random.State.int st 6 in
+  for s = 0 to body_stmts - 1 do
+    incr lines;
+    if Random.State.float st 1.0 < ambig_prob then begin
+      (* The Figure 1 construct: declaration or call, depending on the
+         namespace of the leading identifier.  Record the offset of the
+         digit in the leading identifier (an edit site inside the
+         ambiguous region). *)
+      amb_offsets := (Buffer.length buf + 3) :: !amb_offsets;
+      if Random.State.bool st then pr "  %s (%s);\n" (tname ()) (var 0)
+      else pr "  %s (%s);\n" (var 1) (var 2)
+    end
+    else
+      match s mod 5 with
+      | 0 -> pr "  %s = %s + %d * %s;\n" (var 0) (var 1)
+               (Random.State.int st 100) (var 2)
+      | 1 -> pr "  if (%s < %d) %s = %s; else %s = %d;\n" (var 0)
+               (Random.State.int st 50) (var 1) (var 2) (var 1)
+               (Random.State.int st 9)
+      | 2 -> pr "  while (%s < %d) %s = %s + 1;\n" (var 2)
+               (Random.State.int st 20) (var 2) (var 2)
+      | 3 ->
+          if dialect = Cpp && Random.State.int st 4 = 0 then
+            pr "  %s = new t%d ( %s );\n" (var 1)
+              (Random.State.int st num_typedefs) (var 0)
+          else pr "  %s = (%s + %s) / 2;\n" (var 1) (var 0) (var 2)
+      | _ -> pr "  %s = %s * %s - %d;\n" (var 2) (var 0) (var 1)
+               (Random.State.int st 7)
+  done;
+  pr "  return %s;\n}\n" (var 0);
+  !lines + body_stmts
+
+let generate_info ?(seed = 42) ?(scale = 1.0) p =
+  let st = Random.State.make [| seed; Hashtbl.hash p.p_name |] in
+  let target_lines =
+    max 20 (int_of_float (float_of_int p.p_lines *. scale))
+  in
+  let buf = Buffer.create (target_lines * 24) in
+  let amb_offsets = ref [] in
+  let num_typedefs = 8 in
+  for i = 0 to num_typedefs - 1 do
+    Buffer.add_string buf (Printf.sprintf "typedef int t%d;\n" i)
+  done;
+  (if p.p_dialect = Cpp then
+     Buffer.add_string buf "class box { int w; int h; };\n");
+  let ambig_prob = p.p_ambig_per_kloc /. 1000.0 in
+  let lines = ref (num_typedefs + 1) in
+  let fn = ref 0 in
+  while !lines < target_lines do
+    lines :=
+      !lines
+      + emit_function buf st ~fn_id:!fn ~num_typedefs ~ambig_prob
+          ~dialect:p.p_dialect ~amb_offsets;
+    incr fn
+  done;
+  (Buffer.contents buf, List.rev !amb_offsets)
+
+let generate ?seed ?scale p = fst (generate_info ?seed ?scale p)
+
+let plain ~lines ~seed =
+  generate ~seed ~scale:1.0
+    {
+      p_name = Printf.sprintf "plain%d" lines;
+      p_lines = lines;
+      p_dialect = C;
+      p_paper_overhead = 0.;
+      p_ambig_per_kloc = 0.;
+    }
+
+let nested ~depth ~seed =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "int deep () {\n  int a; int b;\n";
+  let rec block d =
+    if d = 0 then pr "  a = a + b * %d;\n" (Random.State.int st 50)
+    else begin
+      pr "  {\n";
+      block (d - 1);
+      pr "  b = b + %d;\n" (Random.State.int st 9);
+      block (d - 1);
+      pr "  }\n"
+    end
+  in
+  block depth;
+  pr "  return a;\n}\n";
+  Buffer.contents buf

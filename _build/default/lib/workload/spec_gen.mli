@@ -1,0 +1,47 @@
+(** Synthetic SPEC95-like program generation (substitute for the paper's
+    Table 1 / Figure 4 corpora, which we cannot redistribute).
+
+    Programs are generated in the C/C++ subsets with a controllable
+    density of typedef-ambiguous statements ([t (v);] where [t] is a
+    declared typedef name), mirroring the paper's finding that all gcc/SPEC
+    ambiguities are instances of the typedef problem, with two
+    interpretations each, sharing only terminal symbols.  Generation is
+    deterministic in the seed. *)
+
+type dialect = C | Cpp
+
+type profile = {
+  p_name : string;
+  p_lines : int;  (** Table 1 line count (before scaling) *)
+  p_dialect : dialect;
+  p_paper_overhead : float;  (** Table 1's "%ov" column *)
+  p_ambig_per_kloc : float;  (** ambiguous constructs per 1000 lines *)
+}
+
+(** The thirteen programs of Table 1, with ambiguity densities derived
+    from the paper's reported space overheads. *)
+val table1 : profile list
+
+val find : string -> profile
+
+(** [generate ?seed ?scale profile] — the program text.  [scale] (default
+    [1.0]) multiplies the line count, so benchmarks can run the full suite
+    quickly while preserving densities. *)
+val generate : ?seed:int -> ?scale:float -> profile -> string
+
+(** Like {!generate}, also returning the byte offset of a digit inside
+    each ambiguous statement's leading identifier — edit sites {e inside}
+    the ambiguous regions (for the §5 reconstruction experiment). *)
+val generate_info : ?seed:int -> ?scale:float -> profile -> string * int list
+
+(** [plain ~lines ~seed] — a C-subset program with {e no} ambiguous
+    construct (control workloads, asymptotic sweeps). *)
+val plain : lines:int -> seed:int -> string
+
+(** [nested ~depth ~seed] — a program whose blocks nest to [depth],
+    giving the tree logarithmic shape in its size (the §3.4 discussion:
+    incremental cost follows structure depth). *)
+val nested : depth:int -> seed:int -> string
+
+(** Language the profile parses with. *)
+val language_of : profile -> Languages.Language.t

@@ -1,0 +1,1 @@
+test/test_attrs.ml: Alcotest Array Grammar Iglr Languages List Parsedag Printf Semantics String

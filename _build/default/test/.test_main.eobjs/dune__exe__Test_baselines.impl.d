@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fixtures Grammar Iglr Languages Lexgen List Lrtab Parsedag QCheck QCheck_alcotest Random Seq String Vdoc

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Grammar List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Grammar Parsedag Printf String

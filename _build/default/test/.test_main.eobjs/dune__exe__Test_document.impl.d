@@ -1,0 +1,1 @@
+test/test_document.ml: Alcotest Array Languages Lexgen List Parsedag Printf QCheck QCheck_alcotest Random String Vdoc

@@ -1,0 +1,1 @@
+test/test_earley.ml: Alcotest Array Earley Fixtures Grammar Iglr Lexgen List Lrtab QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_glr_batch.ml: Alcotest Array Fixtures Grammar Iglr Lexgen List Lrtab Parsedag

@@ -1,0 +1,1 @@
+test/test_glr_random.ml: Array Earley Grammar Iglr Lexgen List Lrtab Parsedag Printf QCheck QCheck_alcotest Random String Test_grammar

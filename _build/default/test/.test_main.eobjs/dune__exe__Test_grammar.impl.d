@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array Fixtures Grammar List Printf QCheck QCheck_alcotest Random String

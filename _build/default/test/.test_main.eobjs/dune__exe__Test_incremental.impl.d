@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Iglr Languages Lexgen List Parsedag QCheck QCheck_alcotest Random String Vdoc

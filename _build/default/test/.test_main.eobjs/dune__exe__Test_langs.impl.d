@@ -1,0 +1,1 @@
+test/test_langs.ml: Alcotest Iglr Languages List Lrtab Parsedag String

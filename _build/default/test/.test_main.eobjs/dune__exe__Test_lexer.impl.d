@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Lexgen List QCheck QCheck_alcotest String

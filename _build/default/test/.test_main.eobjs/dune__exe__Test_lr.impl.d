@@ -1,0 +1,1 @@
+test/test_lr.ml: Alcotest Array Fixtures Grammar List Lrtab QCheck QCheck_alcotest Random Test_grammar

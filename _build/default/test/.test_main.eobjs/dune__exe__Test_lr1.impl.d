@@ -1,0 +1,1 @@
+test/test_lr1.ml: Alcotest Fixtures Grammar Iglr Lexgen List Lrtab Parsedag QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_minimize.ml: Alcotest Array Lexgen List QCheck QCheck_alcotest String

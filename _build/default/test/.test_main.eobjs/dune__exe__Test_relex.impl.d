@@ -1,0 +1,1 @@
+test/test_relex.ml: Alcotest Array Iglr Languages Lazy Lexgen List Parsedag String Vdoc

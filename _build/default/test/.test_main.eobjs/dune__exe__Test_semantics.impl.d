@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Grammar Iglr Languages List Parsedag Semantics String Workload

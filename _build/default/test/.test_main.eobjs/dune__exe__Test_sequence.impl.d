@@ -1,0 +1,1 @@
+test/test_sequence.ml: Alcotest Array Grammar Iglr Languages List Parsedag String

@@ -1,0 +1,1 @@
+test/test_sf_lr.ml: Alcotest Grammar Iglr Languages Lazy Lexgen List Parsedag Printf QCheck QCheck_alcotest Random Seq String Vdoc

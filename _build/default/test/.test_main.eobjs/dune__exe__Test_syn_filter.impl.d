@@ -1,0 +1,1 @@
+test/test_syn_filter.ml: Alcotest Array Fixtures Grammar Iglr Languages Lazy Lexgen List Lrtab Parsedag String

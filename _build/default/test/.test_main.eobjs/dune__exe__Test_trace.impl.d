@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Iglr Languages List String

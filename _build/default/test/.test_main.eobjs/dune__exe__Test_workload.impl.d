@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Iglr Languages List String Workload

@@ -1,0 +1,137 @@
+(* Shared grammar fixtures used across test suites. *)
+
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+
+(* The dragon-book expression grammar:
+   E -> E + T | T;  T -> T * F | F;  F -> ( E ) | id.  LALR-deterministic. *)
+let expr_grammar () =
+  let b = Builder.create () in
+  let e = Builder.nonterminal b "E" in
+  let t = Builder.nonterminal b "T" in
+  let f = Builder.nonterminal b "F" in
+  let plus = Builder.terminal b "+" in
+  let times = Builder.terminal b "*" in
+  let lparen = Builder.terminal b "(" in
+  let rparen = Builder.terminal b ")" in
+  let id = Builder.terminal b "id" in
+  Builder.prod b e [ e; plus; t ];
+  Builder.prod b e [ t ];
+  Builder.prod b t [ t; times; f ];
+  Builder.prod b t [ f ];
+  Builder.prod b f [ lparen; e; rparen ];
+  Builder.prod b f [ id ];
+  Builder.set_start b e;
+  Builder.build b
+
+(* Ambiguous expression grammar: E -> E + E | E * E | ( E ) | id.
+   With precedence declarations it becomes deterministic; without them the
+   table retains shift/reduce conflicts (GLR yields all parse trees). *)
+let ambig_expr_grammar ~with_prec () =
+  let b = Builder.create () in
+  let e = Builder.nonterminal b "E" in
+  if with_prec then begin
+    Builder.declare_prec b Cfg.Left [ "+" ];
+    Builder.declare_prec b Cfg.Left [ "*" ]
+  end;
+  let plus = Builder.terminal b "+" in
+  let times = Builder.terminal b "*" in
+  let lparen = Builder.terminal b "(" in
+  let rparen = Builder.terminal b ")" in
+  let id = Builder.terminal b "id" in
+  Builder.prod b e [ e; plus; e ];
+  Builder.prod b e [ e; times; e ];
+  Builder.prod b e [ lparen; e; rparen ];
+  Builder.prod b e [ id ];
+  Builder.set_start b e;
+  Builder.build b
+
+(* LALR-but-not-SLR grammar (dragon book 4.39):
+   S -> L = R | R;  L -> * R | id;  R -> L. *)
+let lalr_not_slr_grammar () =
+  let b = Builder.create () in
+  let s = Builder.nonterminal b "S" in
+  let l = Builder.nonterminal b "L" in
+  let r = Builder.nonterminal b "R" in
+  let eq = Builder.terminal b "=" in
+  let star = Builder.terminal b "*" in
+  let id = Builder.terminal b "id" in
+  Builder.prod b s [ l; eq; r ];
+  Builder.prod b s [ r ];
+  Builder.prod b l [ star; r ];
+  Builder.prod b l [ id ];
+  Builder.prod b r [ l ];
+  Builder.set_start b s;
+  Builder.build b
+
+(* Figure 7 of the paper: an LR(2) grammar.
+   A -> B c | D e;  B -> U z;  D -> V z;  U -> x;  V -> x.
+   After reading "x", an LALR(1) parser cannot decide between U -> x and
+   V -> x (both have lookahead z): a GLR parser forks and the fork
+   collapses once "c" or "e" arrives. *)
+let lr2_grammar () =
+  let b = Builder.create () in
+  let a = Builder.nonterminal b "A" in
+  let bb = Builder.nonterminal b "B" in
+  let d = Builder.nonterminal b "D" in
+  let u = Builder.nonterminal b "U" in
+  let v = Builder.nonterminal b "V" in
+  let c = Builder.terminal b "c" in
+  let e = Builder.terminal b "e" in
+  let z = Builder.terminal b "z" in
+  let x = Builder.terminal b "x" in
+  Builder.prod b a [ bb; c ];
+  Builder.prod b a [ d; e ];
+  Builder.prod b bb [ u; z ];
+  Builder.prod b d [ v; z ];
+  Builder.prod b u [ x ];
+  Builder.prod b v [ x ];
+  Builder.set_start b a;
+  Builder.build b
+
+(* A grammar with nullable nonterminals exercising FIRST/FOLLOW and
+   epsilon handling:  S -> A B end;  A -> a | ε;  B -> b | ε. *)
+let nullable_grammar () =
+  let b = Builder.create () in
+  let s = Builder.nonterminal b "S" in
+  let aa = Builder.nonterminal b "A" in
+  let bb = Builder.nonterminal b "B" in
+  let ta = Builder.terminal b "a" in
+  let tb = Builder.terminal b "b" in
+  let tend = Builder.terminal b "end" in
+  Builder.prod b s [ aa; bb; tend ];
+  Builder.prod b aa [ ta ];
+  Builder.prod b aa [];
+  Builder.prod b bb [ tb ];
+  Builder.prod b bb [];
+  Builder.set_start b s;
+  Builder.build b
+
+(* Statement-list grammar using the sequence notation:
+   prog -> stmt* ; stmt -> id = id ; | { stmt* } *)
+let seq_grammar () =
+  let b = Builder.create () in
+  let prog = Builder.nonterminal b "prog" in
+  let stmt = Builder.nonterminal b "stmt" in
+  let id = Builder.terminal b "id" in
+  let eq = Builder.terminal b "=" in
+  let semi = Builder.terminal b ";" in
+  let lbrace = Builder.terminal b "{" in
+  let rbrace = Builder.terminal b "}" in
+  let stmts = Builder.star b ~name:"stmt*" stmt in
+  Builder.prod b prog [ stmts ];
+  Builder.prod b stmt [ id; eq; id; semi ];
+  Builder.prod b stmt [ lbrace; stmts; rbrace ];
+  Builder.set_start b prog;
+  Builder.build b
+
+(* Palindrome-ish truly ambiguous grammar: S -> S S | a.  Exponentially
+   many parses; exercises GLR packing (local ambiguity). *)
+let sss_grammar () =
+  let b = Builder.create () in
+  let s = Builder.nonterminal b "S" in
+  let a = Builder.terminal b "a" in
+  Builder.prod b s [ s; s ];
+  Builder.prod b s [ a ];
+  Builder.set_start b s;
+  Builder.build b

@@ -1,0 +1,115 @@
+(* Unit and property tests for Grammar.Bitset. *)
+
+module Bitset = Grammar.Bitset
+
+let test_empty () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "cardinal 0" 0 (Bitset.cardinal s);
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity s)
+
+let test_add_mem () =
+  let s = Bitset.create 200 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 199;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem s 0);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "mem 199" true (Bitset.mem s 199);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s)
+
+let test_remove () =
+  let s = Bitset.of_list 50 [ 1; 2; 3 ] in
+  Bitset.remove s 2;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 2);
+  Alcotest.(check (list int)) "rest" [ 1; 3 ] (Bitset.elements s)
+
+let test_union_into () =
+  let a = Bitset.of_list 70 [ 1; 5 ] in
+  let b = Bitset.of_list 70 [ 5; 69 ] in
+  let changed = Bitset.union_into ~into:a b in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check (list int)) "union" [ 1; 5; 69 ] (Bitset.elements a);
+  let changed2 = Bitset.union_into ~into:a b in
+  Alcotest.(check bool) "idempotent" false changed2
+
+let test_subtract () =
+  let a = Bitset.of_list 10 [ 1; 2; 3; 4 ] in
+  let b = Bitset.of_list 10 [ 2; 4; 9 ] in
+  Bitset.subtract_into ~into:a b;
+  Alcotest.(check (list int)) "subtract" [ 1; 3 ] (Bitset.elements a)
+
+let test_equal_copy () =
+  let a = Bitset.of_list 33 [ 0; 32 ] in
+  let b = Bitset.copy a in
+  Alcotest.(check bool) "copy equal" true (Bitset.equal a b);
+  Bitset.add b 1;
+  Alcotest.(check bool) "copy distinct" false (Bitset.equal a b);
+  Alcotest.(check bool) "original unchanged" false (Bitset.mem a 1)
+
+let test_bounds () =
+  let s = Bitset.create 5 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index -1 out of [0,5)") (fun () ->
+      Bitset.add s (-1));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Bitset: index 5 out of [0,5)") (fun () ->
+      ignore (Bitset.mem s 5))
+
+let test_clear () =
+  let s = Bitset.of_list 40 [ 3; 17; 39 ] in
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s)
+
+let test_iter_order () =
+  let s = Bitset.of_list 128 [ 100; 2; 64; 17 ] in
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "increasing order" [ 2; 17; 64; 100 ]
+    (List.rev !seen)
+
+(* Property: a bitset behaves like a set of ints. *)
+let prop_model =
+  QCheck.Test.make ~count:300 ~name:"bitset models a set"
+    QCheck.(list (int_bound 99))
+    (fun xs ->
+      let s = Bitset.create 100 in
+      List.iter (Bitset.add s) xs;
+      let model = List.sort_uniq compare xs in
+      Bitset.elements s = model && Bitset.cardinal s = List.length model)
+
+let prop_union =
+  QCheck.Test.make ~count:300 ~name:"union_into models set union"
+    QCheck.(pair (list (int_bound 99)) (list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs in
+      let b = Bitset.of_list 100 ys in
+      ignore (Bitset.union_into ~into:a b);
+      Bitset.elements a = List.sort_uniq compare (xs @ ys))
+
+let prop_hash_equal =
+  QCheck.Test.make ~count:300 ~name:"equal sets hash equally"
+    QCheck.(list (int_bound 63))
+    (fun xs ->
+      let a = Bitset.of_list 64 xs in
+      let b = Bitset.of_list 64 (List.rev xs) in
+      Bitset.equal a b && Bitset.hash a = Bitset.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/mem across words" `Quick test_add_mem;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "union_into" `Quick test_union_into;
+    Alcotest.test_case "subtract_into" `Quick test_subtract;
+    Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter order" `Quick test_iter_order;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_union;
+    QCheck_alcotest.to_alcotest prop_hash_equal;
+  ]

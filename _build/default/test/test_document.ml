@@ -1,0 +1,222 @@
+(* Tests for the self-versioning document: edits, incremental relexing,
+   change tracking (lib/document). *)
+
+module Node = Parsedag.Node
+module Document = Vdoc.Document
+module Language = Languages.Language
+
+let calc = Languages.Calc.language
+let lexer () = Language.lexer calc
+
+let mk text = Document.create ~lexer:(lexer ()) text
+
+let leaf_texts doc =
+  Document.leaves doc |> Array.to_list
+  |> List.map (fun (l : Node.t) ->
+         match l.Node.kind with
+         | Node.Term i -> i.Node.text
+         | _ -> assert false)
+
+let test_create () =
+  let doc = mk "a = 1 + 2;" in
+  Alcotest.(check string) "text" "a = 1 + 2;" (Document.text doc);
+  Alcotest.(check (list string)) "tokens"
+    [ "a"; "="; "1"; "+"; "2"; ";" ] (leaf_texts doc);
+  Alcotest.(check string) "tree yield" "a = 1 + 2;"
+    (Node.text_yield (Document.root doc))
+
+let test_edit_replace_token () =
+  let doc = mk "a = 1 + 2;" in
+  (* Replace "1" with "42". *)
+  let replaced = Document.edit doc ~pos:4 ~del:1 ~insert:"42" in
+  Alcotest.(check string) "text" "a = 42 + 2;" (Document.text doc);
+  Alcotest.(check (list string)) "tokens"
+    [ "a"; "="; "42"; "+"; "2"; ";" ] (leaf_texts doc);
+  Alcotest.(check bool) "replaced >= 1" true (replaced >= 1);
+  Alcotest.(check string) "yield still matches" "a = 42 + 2;"
+    (Node.text_yield (Document.root doc))
+
+let test_edit_damage_is_local () =
+  let doc = mk "aa = bb + cc * dd;" in
+  let before = Document.leaves doc in
+  ignore (Document.edit doc ~pos:5 ~del:2 ~insert:"xx");
+  let after = Document.leaves doc in
+  (* Only the "bb" token is replaced; all other terminals are the same
+     physical nodes. *)
+  Alcotest.(check int) "same token count" (Array.length before)
+    (Array.length after);
+  Array.iteri
+    (fun i (old : Node.t) ->
+      if i = 2 then
+        Alcotest.(check bool) "damaged token is fresh" true (old != after.(i))
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "token %d reused" i)
+          true
+          (old == after.(i)))
+    before
+
+let test_edit_splits_token () =
+  let doc = mk "abc;" in
+  (* Insert "+" inside the identifier: "ab+c;". *)
+  ignore (Document.edit doc ~pos:2 ~del:0 ~insert:"+");
+  Alcotest.(check (list string)) "token split" [ "ab"; "+"; "c"; ";" ]
+    (leaf_texts doc)
+
+let test_edit_joins_tokens () =
+  let doc = mk "ab + c;" in
+  (* Delete " + " so identifiers fuse: "abc;". *)
+  ignore (Document.edit doc ~pos:2 ~del:3 ~insert:"");
+  Alcotest.(check (list string)) "tokens joined" [ "abc"; ";" ]
+    (leaf_texts doc);
+  Alcotest.(check string) "text" "abc;" (Document.text doc)
+
+let test_edit_trivia_only () =
+  let doc = mk "a + b;" in
+  let before = Document.leaves doc in
+  (* Insert spaces between "+" and "b": damages only the "b" token (its
+     trivia changes). *)
+  ignore (Document.edit doc ~pos:3 ~del:0 ~insert:"   ");
+  Alcotest.(check string) "text" "a +    b;" (Document.text doc);
+  let after = Document.leaves doc in
+  Alcotest.(check bool) "prefix reused" true (before.(0) == after.(0));
+  Alcotest.(check bool) "suffix reused" true (before.(3) == after.(3))
+
+let test_edit_trailing () =
+  let doc = mk "a;  " in
+  ignore (Document.edit doc ~pos:4 ~del:0 ~insert:" ");
+  Alcotest.(check string) "text" "a;   " (Document.text doc);
+  (* Appending a token at the end. *)
+  ignore (Document.edit doc ~pos:5 ~del:0 ~insert:"b;");
+  Alcotest.(check (list string)) "appended" [ "a"; ";"; "b"; ";" ]
+    (leaf_texts doc)
+
+let test_edit_at_start () =
+  let doc = mk "b = 1;" in
+  ignore (Document.edit doc ~pos:0 ~del:0 ~insert:"a");
+  Alcotest.(check (list string)) "prefixed id" [ "ab"; "="; "1"; ";" ]
+    (leaf_texts doc)
+
+let test_empty_document () =
+  let doc = mk "" in
+  Alcotest.(check int) "no tokens" 0 (Document.token_count doc);
+  ignore (Document.edit doc ~pos:0 ~del:0 ~insert:"x;");
+  Alcotest.(check (list string)) "insert into empty" [ "x"; ";" ]
+    (leaf_texts doc)
+
+let test_delete_all () =
+  let doc = mk "a + b;" in
+  ignore (Document.edit doc ~pos:0 ~del:6 ~insert:"");
+  Alcotest.(check int) "empty" 0 (Document.token_count doc);
+  Alcotest.(check string) "text empty" "" (Document.text doc)
+
+let test_changed_marking () =
+  let doc = mk "a = 1 + 2;" in
+  Node.commit (Document.root doc);
+  ignore (Document.edit doc ~pos:4 ~del:1 ~insert:"9");
+  let changed = Document.changed_tokens doc in
+  Alcotest.(check int) "one changed token" 1 (List.length changed);
+  Alcotest.(check bool) "root sees nested change" true
+    (Node.has_changes (Document.root doc))
+
+let test_out_of_bounds () =
+  let doc = mk "ab" in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Document.edit: range out of bounds") (fun () ->
+      ignore (Document.edit doc ~pos:1 ~del:5 ~insert:""))
+
+(* Property: any single edit keeps (a) text = spliced text, (b) tree yield
+   = text, (c) token stream = batch relex of the new text. *)
+let gen_edit_case =
+  QCheck.Gen.(
+    let frag =
+      oneofl [ "ab"; "x"; "12"; "+"; "*"; "("; ")"; " "; ";"; "=" ]
+    in
+    let* base = map (String.concat "") (list_size (int_range 1 30) frag) in
+    let* pos = int_bound (String.length base) in
+    let* del = int_bound (String.length base - pos) in
+    let* ins = map (String.concat "") (list_size (int_bound 4) frag) in
+    return (base, pos, del, ins))
+
+let prop_edit_consistent =
+  QCheck.Test.make ~count:500 ~name:"edit = batch relex of new text"
+    (QCheck.make gen_edit_case)
+    (fun (base, pos, del, ins) ->
+      let doc = mk base in
+      ignore (Document.edit doc ~pos ~del ~insert:ins);
+      let expected_text =
+        String.sub base 0 pos ^ ins
+        ^ String.sub base (pos + del) (String.length base - pos - del)
+      in
+      let batch_tokens, _ = Lexgen.Scanner.all (lexer ()) expected_text in
+      Document.text doc = expected_text
+      && Node.text_yield (Document.root doc) = expected_text
+      && leaf_texts doc
+         = List.map (fun (t : Lexgen.Scanner.token) -> t.Lexgen.Scanner.text)
+             batch_tokens)
+
+let prop_multi_edit =
+  QCheck.Test.make ~count:200 ~name:"sequences of edits stay consistent"
+    QCheck.(pair (QCheck.make gen_edit_case) (int_bound 1000))
+    (fun ((base, _, _, _), seed) ->
+      let doc = mk base in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let len = Document.length doc in
+        let pos = if len = 0 then 0 else Random.State.int st (len + 1) in
+        let del = if len - pos = 0 then 0 else Random.State.int st (len - pos) in
+        let ins = List.nth [ "a"; "1"; "+"; " "; "" ] (Random.State.int st 5) in
+        ignore (Document.edit doc ~pos ~del ~insert:ins);
+        if Node.text_yield (Document.root doc) <> Document.text doc then
+          ok := false
+      done;
+      !ok)
+
+let test_comment_reopening () =
+  (* Inserting a comment opener swallows everything up to the stray "*/"
+     into trivia: the damage cannot resync inside the commented span, so
+     all of its tokens are replaced at once. *)
+  let doc = mk "a = 1; b = 2; */ c;" in
+  Alcotest.(check (list string)) "before"
+    [ "a"; "="; "1"; ";"; "b"; "="; "2"; ";"; "*"; "/"; "c"; ";" ]
+    (leaf_texts doc);
+  ignore (Document.edit doc ~pos:7 ~del:0 ~insert:"/* ");
+  Alcotest.(check string) "text preserved" "a = 1; /* b = 2; */ c;"
+    (Document.text doc);
+  Alcotest.(check (list string)) "span swallowed into trivia"
+    [ "a"; "="; "1"; ";"; "c"; ";" ] (leaf_texts doc);
+  (* Deleting the opener re-exposes the tokens. *)
+  ignore (Document.edit doc ~pos:7 ~del:3 ~insert:"");
+  Alcotest.(check (list string)) "tokens restored"
+    [ "a"; "="; "1"; ";"; "b"; "="; "2"; ";"; "*"; "/"; "c"; ";" ]
+    (leaf_texts doc)
+
+let test_comment_split () =
+  (* Deleting the comment opener re-tokenizes its body. *)
+  let doc = mk "a /* b */ c;" in
+  Alcotest.(check (list string)) "comment is trivia" [ "a"; "c"; ";" ]
+    (leaf_texts doc);
+  ignore (Document.edit doc ~pos:2 ~del:2 ~insert:"");
+  Alcotest.(check (list string)) "body re-tokenized"
+    [ "a"; "b"; "*"; "/"; "c"; ";" ] (leaf_texts doc)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "comment reopening" `Quick test_comment_reopening;
+    Alcotest.test_case "comment split" `Quick test_comment_split;
+    Alcotest.test_case "replace token" `Quick test_edit_replace_token;
+    Alcotest.test_case "damage locality" `Quick test_edit_damage_is_local;
+    Alcotest.test_case "token split" `Quick test_edit_splits_token;
+    Alcotest.test_case "token join" `Quick test_edit_joins_tokens;
+    Alcotest.test_case "trivia-only edit" `Quick test_edit_trivia_only;
+    Alcotest.test_case "trailing trivia" `Quick test_edit_trailing;
+    Alcotest.test_case "edit at start" `Quick test_edit_at_start;
+    Alcotest.test_case "empty document" `Quick test_empty_document;
+    Alcotest.test_case "delete all" `Quick test_delete_all;
+    Alcotest.test_case "change marking" `Quick test_changed_marking;
+    Alcotest.test_case "bounds checking" `Quick test_out_of_bounds;
+    QCheck_alcotest.to_alcotest prop_edit_consistent;
+    QCheck_alcotest.to_alcotest prop_multi_edit;
+  ]

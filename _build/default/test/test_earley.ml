@@ -1,0 +1,77 @@
+(* Tests for the Earley recognizer baseline (lib/earley). *)
+
+module Cfg = Grammar.Cfg
+
+let recognize g names =
+  let terms = Array.of_list (List.map (Cfg.find_terminal g) names) in
+  (Earley.recognize g terms).Earley.accepted
+
+let test_expr () =
+  let g = Fixtures.expr_grammar () in
+  Alcotest.(check bool) "id" true (recognize g [ "id" ]);
+  Alcotest.(check bool) "id+id*id" true
+    (recognize g [ "id"; "+"; "id"; "*"; "id" ]);
+  Alcotest.(check bool) "(id)" true (recognize g [ "("; "id"; ")" ]);
+  Alcotest.(check bool) "reject id+" false (recognize g [ "id"; "+" ]);
+  Alcotest.(check bool) "reject empty" false (recognize g [])
+
+let test_nullable () =
+  let g = Fixtures.nullable_grammar () in
+  Alcotest.(check bool) "end" true (recognize g [ "end" ]);
+  Alcotest.(check bool) "a end" true (recognize g [ "a"; "end" ]);
+  Alcotest.(check bool) "a b end" true (recognize g [ "a"; "b"; "end" ]);
+  Alcotest.(check bool) "reject b a end" false (recognize g [ "b"; "a"; "end" ])
+
+let test_ambiguous () =
+  let g = Fixtures.sss_grammar () in
+  Alcotest.(check bool) "a" true (recognize g [ "a" ]);
+  Alcotest.(check bool) "aaaa" true (recognize g [ "a"; "a"; "a"; "a" ]);
+  Alcotest.(check bool) "reject empty" false (recognize g [])
+
+let test_lr2 () =
+  let g = Fixtures.lr2_grammar () in
+  Alcotest.(check bool) "x z c" true (recognize g [ "x"; "z"; "c" ]);
+  Alcotest.(check bool) "x z e" true (recognize g [ "x"; "z"; "e" ]);
+  Alcotest.(check bool) "reject x z" false (recognize g [ "x"; "z" ])
+
+let test_seq () =
+  let g = Fixtures.seq_grammar () in
+  Alcotest.(check bool) "empty" true (recognize g []);
+  Alcotest.(check bool) "{ }" true (recognize g [ "{"; "}" ]);
+  Alcotest.(check bool) "nested empty blocks" true
+    (recognize g [ "{"; "{"; "}"; "}" ])
+
+(* Property: Earley agrees with the GLR parser on random calc token
+   strings (both accept or both reject). *)
+let prop_agrees_with_glr =
+  let g = Fixtures.expr_grammar () in
+  let table = Lrtab.Table.build g in
+  let token_names = [ "id"; "+"; "*"; "("; ")" ] in
+  QCheck.Test.make ~count:300 ~name:"Earley = GLR recognition"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 8) (QCheck.oneofl token_names))
+    (fun names ->
+      let terms = Array.of_list (List.map (Cfg.find_terminal g) names) in
+      let earley = (Earley.recognize g terms).Earley.accepted in
+      let tokens =
+        List.map
+          (fun name ->
+            { Lexgen.Scanner.term = Cfg.find_terminal g name; text = name;
+              trivia = ""; lookahead = 0 })
+          names
+      in
+      let glr =
+        match Iglr.Glr.parse_tokens table tokens ~trailing:"" with
+        | _ -> true
+        | exception Iglr.Glr.Parse_error _ -> false
+      in
+      earley = glr)
+
+let suite =
+  [
+    Alcotest.test_case "expression grammar" `Quick test_expr;
+    Alcotest.test_case "nullable grammar" `Quick test_nullable;
+    Alcotest.test_case "ambiguous grammar" `Quick test_ambiguous;
+    Alcotest.test_case "LR(2) grammar" `Quick test_lr2;
+    Alcotest.test_case "sequence grammar" `Quick test_seq;
+    QCheck_alcotest.to_alcotest prop_agrees_with_glr;
+  ]

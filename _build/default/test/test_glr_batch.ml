@@ -1,0 +1,195 @@
+(* Batch-mode tests for the IGLR parser (fresh documents: pure GLR). *)
+
+module Cfg = Grammar.Cfg
+module Table = Lrtab.Table
+module Node = Parsedag.Node
+module Pp = Parsedag.Pp
+module Glr = Iglr.Glr
+
+let tokens_of g names =
+  List.map
+    (fun name ->
+      {
+        Lexgen.Scanner.term = Cfg.find_terminal g name;
+        text = name;
+        trivia = "";
+        lookahead = 0;
+      })
+    names
+
+let parse_names ?config g names =
+  let table = Table.build g in
+  Glr.parse_tokens ?config table (tokens_of g names) ~trailing:""
+
+let sexp g root = Pp.to_sexp g root
+
+let test_expr_batch () =
+  let g = Fixtures.expr_grammar () in
+  let root, stats = parse_names g [ "id"; "+"; "id"; "*"; "id" ] in
+  Alcotest.(check string) "structure"
+    "(root (E (E (T (F \"id\"))) \"+\" (T (T (F \"id\")) \"*\" (F \"id\"))))"
+    (sexp g root);
+  Alcotest.(check int) "max one parser (deterministic)" 1 stats.Glr.max_parsers
+
+let test_expr_errors () =
+  let g = Fixtures.expr_grammar () in
+  (try
+     ignore (parse_names g [ "id"; "+" ]);
+     Alcotest.fail "expected parse error"
+   with Glr.Parse_error e ->
+     Alcotest.(check int) "error at eof position" 2 e.Glr.offset_tokens);
+  try
+    ignore (parse_names g [ ")"; "id" ]);
+    Alcotest.fail "expected parse error"
+  with Glr.Parse_error e ->
+    Alcotest.(check int) "error at first token" 0 e.Glr.offset_tokens
+
+let test_nullable_batch () =
+  let g = Fixtures.nullable_grammar () in
+  let root, _ = parse_names g [ "end" ] in
+  Alcotest.(check string) "both eps expanded" "(root (S (A) (B) \"end\"))"
+    (sexp g root);
+  let root2, _ = parse_names g [ "b"; "end" ] in
+  Alcotest.(check string) "A eps" "(root (S (A) (B \"b\") \"end\"))"
+    (sexp g root2)
+
+let test_lr2_fork_collapse () =
+  (* Figure 7: parsing "x z c" with LALR(1) tables forks on the U/V
+     reduce-reduce conflict and collapses once "c" arrives; the result is
+     unambiguous. *)
+  let g = Fixtures.lr2_grammar () in
+  let root, stats = parse_names g [ "x"; "z"; "c" ] in
+  Alcotest.(check string) "unique parse" "(root (A (B (U \"x\") \"z\") \"c\"))"
+    (sexp g root);
+  Alcotest.(check bool) "parsers forked" true (stats.Glr.max_parsers >= 2);
+  (* No ambiguity nodes remain. *)
+  let choices = ref 0 in
+  Node.iter
+    (fun n -> match n.Node.kind with Node.Choice _ -> incr choices | _ -> ())
+    root;
+  Alcotest.(check int) "no choice nodes" 0 !choices;
+  (* The "e" continuation picks the other interpretation. *)
+  let root2, _ = parse_names g [ "x"; "z"; "e" ] in
+  Alcotest.(check string) "other parse" "(root (A (D (V \"x\") \"z\") \"e\"))"
+    (sexp g root2)
+
+let test_sss_ambiguity () =
+  (* S -> S S | a on "a a a": two associations, packed locally. *)
+  let g = Fixtures.sss_grammar () in
+  let root, _ = parse_names g [ "a"; "a"; "a" ] in
+  let choices = ref 0 in
+  Node.iter
+    (fun n -> match n.Node.kind with Node.Choice _ -> incr choices | _ -> ())
+    root;
+  Alcotest.(check bool) "ambiguity represented" true (!choices >= 1);
+  (* Terminals are shared between interpretations: exactly 3 terminal
+     nodes despite multiple parse trees. *)
+  let terms = ref 0 in
+  Node.iter
+    (fun n -> if Node.is_terminal n then incr terms)
+    root;
+  Alcotest.(check int) "terminals shared" 3 !terms;
+  (* Yield is preserved across all interpretations. *)
+  Alcotest.(check string) "yield" "aaa" (Node.text_yield root)
+
+let test_prec_static_filter () =
+  (* The ambiguous expression grammar with precedence declarations parses
+     deterministically: static filters remove the conflicts (§4.1). *)
+  let g = Fixtures.ambig_expr_grammar ~with_prec:true () in
+  let root, stats = parse_names g [ "id"; "+"; "id"; "*"; "id" ] in
+  Alcotest.(check int) "deterministic" 1 stats.Glr.max_parsers;
+  Alcotest.(check string) "* binds tighter"
+    "(root (E (E \"id\") \"+\" (E (E \"id\") \"*\" (E \"id\"))))"
+    (sexp g root);
+  let root2, _ = parse_names g [ "id"; "+"; "id"; "+"; "id" ] in
+  Alcotest.(check string) "left assoc"
+    "(root (E (E (E \"id\") \"+\" (E \"id\")) \"+\" (E \"id\")))"
+    (sexp g root2)
+
+let test_ambig_expr_packing () =
+  (* Without precedence, "id+id+id" has two parses differing in
+     association; both are represented. *)
+  let g = Fixtures.ambig_expr_grammar ~with_prec:false () in
+  let root, _ = parse_names g [ "id"; "+"; "id"; "+"; "id" ] in
+  let choices = ref 0 in
+  Node.iter
+    (fun n -> match n.Node.kind with Node.Choice _ -> incr choices | _ -> ())
+    root;
+  Alcotest.(check int) "one choice point" 1 !choices;
+  Node.iter
+    (fun n ->
+      match n.Node.kind with
+      | Node.Choice _ ->
+          Alcotest.(check int) "two interpretations" 2 (Array.length n.Node.kids)
+      | _ -> ())
+    root
+
+let test_seq_batch () =
+  let g = Fixtures.seq_grammar () in
+  let root, _ =
+    parse_names g [ "id"; "="; "id"; ";"; "{"; "id"; "="; "id"; ";"; "}" ]
+  in
+  Alcotest.(check string) "statement list"
+    "(root (prog (stmt* (stmt* (stmt*) (stmt \"id\" \"=\" \"id\" \";\")) (stmt \"{\" (stmt* (stmt*) (stmt \"id\" \"=\" \"id\" \";\")) \"}\"))))"
+    (sexp g root);
+  (* Empty program: epsilon chain. *)
+  let root2, _ = parse_names g [] in
+  Alcotest.(check string) "empty" "(root (prog (stmt*)))" (sexp g root2)
+
+let test_epsilon_unsharing () =
+  (* Two empty blocks: their stmt* epsilon nodes must be distinct
+     instances (§3.5), even though GLR construction may share them. *)
+  let g = Fixtures.seq_grammar () in
+  let root, _ = parse_names g [ "{"; "}"; "{"; "}" ] in
+  let eps_nodes = ref [] in
+  Node.iter
+    (fun n ->
+      if (not (Node.is_terminal n)) && (not (Node.is_sentinel n))
+         && Node.token_count n = 0
+      then eps_nodes := n :: !eps_nodes)
+    root;
+  (* Each node reachable once means no physical sharing among null-yield
+     subtrees; Node.iter visits shared nodes once, so compare against the
+     number of parent slots pointing at null-yield nodes. *)
+  let slots = ref 0 in
+  Node.iter
+    (fun n ->
+      Array.iter
+        (fun k ->
+          if (not (Node.is_terminal k)) && (not (Node.is_sentinel k))
+             && Node.token_count k = 0
+          then incr slots)
+        n.Node.kids)
+    root;
+  Alcotest.(check int) "null-yield subtrees unshared" !slots
+    (List.length !eps_nodes)
+
+let test_yield_preserved () =
+  let g = Fixtures.expr_grammar () in
+  let toks =
+    [
+      { Lexgen.Scanner.term = Cfg.find_terminal g "id"; text = "x";
+        trivia = "  "; lookahead = 1 };
+      { Lexgen.Scanner.term = Cfg.find_terminal g "+"; text = "+";
+        trivia = " "; lookahead = 0 };
+      { Lexgen.Scanner.term = Cfg.find_terminal g "id"; text = "y";
+        trivia = "\n"; lookahead = 1 };
+    ]
+  in
+  let table = Table.build g in
+  let root, _ = Glr.parse_tokens table toks ~trailing:" " in
+  Alcotest.(check string) "text yield with trivia" "  x +\ny " (Node.text_yield root)
+
+let suite =
+  [
+    Alcotest.test_case "expr batch parse" `Quick test_expr_batch;
+    Alcotest.test_case "expr parse errors" `Quick test_expr_errors;
+    Alcotest.test_case "nullable batch parse" `Quick test_nullable_batch;
+    Alcotest.test_case "LR(2) fork and collapse" `Quick test_lr2_fork_collapse;
+    Alcotest.test_case "S->SS|a ambiguity packing" `Quick test_sss_ambiguity;
+    Alcotest.test_case "static precedence filters" `Quick test_prec_static_filter;
+    Alcotest.test_case "ambiguous expr packing" `Quick test_ambig_expr_packing;
+    Alcotest.test_case "sequence batch parse" `Quick test_seq_batch;
+    Alcotest.test_case "epsilon unsharing" `Quick test_epsilon_unsharing;
+    Alcotest.test_case "yield preservation" `Quick test_yield_preserved;
+  ]

@@ -1,0 +1,128 @@
+(* Differential testing of the GLR engine against the Earley recognizer
+   on randomly generated grammars: the strongest correctness evidence for
+   the non-deterministic machinery, since conflicts are retained and the
+   random grammars are full of them. *)
+
+module Cfg = Grammar.Cfg
+module Table = Lrtab.Table
+module Node = Parsedag.Node
+module Glr = Iglr.Glr
+
+let tokens_of terms =
+  List.map
+    (fun t ->
+      { Lexgen.Scanner.term = t; text = Printf.sprintf "t%d" t; trivia = " ";
+        lookahead = 0 })
+    terms
+
+let glr_accepts table terms =
+  match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
+  | _ -> true
+  | exception Glr.Parse_error _ -> false
+
+(* Random layered grammars (from Test_grammar) have plenty of retained
+   conflicts; random strings over their terminals exercise forking, dying
+   parsers, and ambiguity packing. *)
+let prop_glr_equals_earley =
+  QCheck.Test.make ~count:150 ~name:"random grammars: GLR = Earley"
+    QCheck.(
+      triple
+        (triple (int_range 2 5) (int_range 2 4) (int_bound 100000))
+        (int_bound 1000) (int_bound 6))
+    (fun ((num_nts, num_ts, seed), string_seed, len) ->
+      let g = Test_grammar.build_random_grammar (num_nts, num_ts, seed) in
+      let table = Table.build g in
+      let st = Random.State.make [| string_seed |] in
+      (* Random strings; bias half toward genuine derivations so acceptance
+         is exercised, not just rejection. *)
+      let terms =
+        if Random.State.bool st then
+          Test_grammar.derive_sentence g st
+        else
+          List.init len (fun _ ->
+              1 + Random.State.int st (Cfg.num_terminals g - 1))
+      in
+      let earley =
+        (Earley.recognize g (Array.of_list terms)).Earley.accepted
+      in
+      glr_accepts table terms = earley)
+
+(* When GLR accepts, the dag's yield must reproduce the input and every
+   choice node's alternatives must share it. *)
+let prop_yield_preserved =
+  QCheck.Test.make ~count:150 ~name:"random grammars: dag yield = input"
+    QCheck.(
+      pair (triple (int_range 2 5) (int_range 2 4) (int_bound 100000))
+        (int_bound 1000))
+    (fun ((num_nts, num_ts, seed), string_seed) ->
+      let g = Test_grammar.build_random_grammar (num_nts, num_ts, seed) in
+      let table = Table.build g in
+      let st = Random.State.make [| string_seed |] in
+      let terms = Test_grammar.derive_sentence g st in
+      match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
+      | exception Glr.Parse_error _ -> true (* ambiguity-unrelated reject *)
+      | root, _ ->
+          let expected =
+            String.concat ""
+              (List.map (fun t -> Printf.sprintf " t%d" t) terms)
+          in
+          let ok = ref (String.equal (Node.text_yield root) expected) in
+          Node.iter
+            (fun n ->
+              match n.Node.kind with
+              | Node.Choice _ ->
+                  let y = Node.text_yield n.Node.kids.(0) in
+                  Array.iter
+                    (fun alt ->
+                      if not (String.equal (Node.text_yield alt) y) then
+                        ok := false)
+                    n.Node.kids
+              | _ -> ())
+            root;
+          !ok)
+
+(* Choice nodes never nest directly (an alternative is always a production
+   node), and every node is reachable with consistent token counts. *)
+let prop_dag_wellformed =
+  QCheck.Test.make ~count:150 ~name:"random grammars: dag well-formed"
+    QCheck.(
+      pair (triple (int_range 2 5) (int_range 2 4) (int_bound 100000))
+        (int_bound 1000))
+    (fun ((num_nts, num_ts, seed), string_seed) ->
+      let g = Test_grammar.build_random_grammar (num_nts, num_ts, seed) in
+      let table = Table.build g in
+      let st = Random.State.make [| string_seed |] in
+      let terms = Test_grammar.derive_sentence g st in
+      match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
+      | exception Glr.Parse_error _ -> true
+      | root, _ ->
+          let ok = ref true in
+          Node.iter
+            (fun n ->
+              (match n.Node.kind with
+              | Node.Choice _ ->
+                  Array.iter
+                    (fun (alt : Node.t) ->
+                      match alt.Node.kind with
+                      | Node.Choice _ -> ok := false
+                      | _ -> ())
+                    n.Node.kids
+              | _ -> ());
+              match n.Node.kind with
+              | Node.Prod _ ->
+                  let sum =
+                    Array.fold_left
+                      (fun acc k -> acc + Node.token_count k)
+                      0 n.Node.kids
+                  in
+                  if sum <> Node.token_count n then ok := false
+              | _ -> ())
+            root;
+          !ok)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_glr_equals_earley;
+    QCheck_alcotest.to_alcotest prop_yield_preserved;
+    QCheck_alcotest.to_alcotest prop_dag_wellformed;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the bundled language definitions (lib/langs). *)
+
+module Node = Parsedag.Node
+module Session = Iglr.Session
+module Language = Languages.Language
+module Table = Lrtab.Table
+
+let session lang text =
+  Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang) text
+
+let parses lang text =
+  match snd (session lang text) with
+  | Session.Parsed _ -> true
+  | Session.Recovered _ -> false
+
+let test_calc_deterministic () =
+  Alcotest.(check bool) "calc table deterministic" true
+    (Table.is_deterministic (Language.table Languages.Calc.language))
+
+let test_tiny_deterministic () =
+  Alcotest.(check bool) "tiny table deterministic" true
+    (Table.is_deterministic (Language.table Languages.Tiny.language))
+
+let test_modula2_deterministic () =
+  Alcotest.(check bool) "modula2 table deterministic" true
+    (Table.is_deterministic (Language.table Languages.Modula2.language))
+
+let m2 = Languages.Modula2.language
+
+let test_modula2_programs () =
+  let ok =
+    "MODULE m; VAR x : INTEGER; BEGIN x := 1 + 2 * 3; END m.\n"
+  in
+  Alcotest.(check bool) "simple module" true (parses m2 ok);
+  let full =
+    "MODULE m;\n\
+     VAR x : INTEGER;\n\
+     VAR y : CARDINAL;\n\
+     PROCEDURE p; BEGIN y := y DIV 2; END p;\n\
+     BEGIN\n\
+     (* comment *)\n\
+     IF x < 10 THEN x := x + 1; ELSE x := 0; END;\n\
+     WHILE x # 0 DO x := x - 1; END;\n\
+     RETURN x;\n\
+     END m.\n"
+  in
+  Alcotest.(check bool) "full module" true (parses m2 full);
+  Alcotest.(check bool) "reject missing dot" false
+    (parses m2 "MODULE m; BEGIN END m")
+
+let test_modula2_incremental () =
+  let text = "MODULE m; VAR x : INTEGER; BEGIN x := 1 + 2; END m.\n" in
+  let s, outcome = session m2 text in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "initial parse failed");
+  let pos = String.index text '1' in
+  Session.edit s ~pos ~del:1 ~insert:"42";
+  (match Session.reparse s with
+  | Session.Parsed stats ->
+      Alcotest.(check bool) "subtrees reused" true
+        (stats.Iglr.Glr.shifted_subtrees > 0)
+  | Session.Recovered _ -> Alcotest.fail "reparse failed");
+  (* Incremental = batch. *)
+  let fresh, _ = session m2 (Session.text s) in
+  Alcotest.(check string) "incremental = batch"
+    (Parsedag.Pp.to_sexp m2.Language.grammar (Session.root fresh))
+    (Parsedag.Pp.to_sexp m2.Language.grammar (Session.root s))
+
+let java = Languages.Java_subset.language
+
+let test_java_deterministic () =
+  Alcotest.(check bool) "java table deterministic" true
+    (Table.is_deterministic (Language.table java))
+
+let test_java_programs () =
+  let src =
+    String.concat "\n"
+      [
+        "class Point {";
+        "  int x;";
+        "  int y;";
+        "  int dist() { int d = x * x + y * y; return d; }";
+        "  void reset() { x = 0; y = 0; if (x == 0) y = 1; else y = 2; }";
+        "}";
+        "class Main { void run() { Point p; while (true) { step(1, 2); } } }";
+        "";
+      ]
+  in
+  Alcotest.(check bool) "java program parses" true (parses java src);
+  Alcotest.(check bool) "reject missing brace" false
+    (parses java "class C { int x; ")
+
+let test_java_incremental () =
+  let text = "class C { int f() { int a = 1 + 2; return a; } }" in
+  let s, _ = session java text in
+  let pos = String.index text '1' in
+  Session.edit s ~pos ~del:1 ~insert:"7";
+  (match Session.reparse s with
+  | Session.Parsed stats ->
+      Alcotest.(check bool) "reuse happens" true
+        (stats.Iglr.Glr.shifted_subtrees > 0)
+  | Session.Recovered _ -> Alcotest.fail "reparse failed");
+  let fresh, _ = session java (Session.text s) in
+  Alcotest.(check string) "incremental = batch"
+    (Parsedag.Pp.to_sexp java.Language.grammar (Session.root fresh))
+    (Parsedag.Pp.to_sexp java.Language.grammar (Session.root s))
+
+let test_cpp_class_and_new () =
+  let cpp = Languages.Cpp_subset.language in
+  let text =
+    "class box { int w; int h; };\n\
+     typedef int t;\n\
+     int f () { // line comment\n  t x; x = new t ( 1 ); return x; }\n"
+  in
+  Alcotest.(check bool) "C++ features parse" true (parses cpp text)
+
+let test_c_rejects_cpp_features () =
+  let c = Languages.C_subset.language in
+  Alcotest.(check bool) "no classes in C" false
+    (parses c "class box { int w; };")
+
+let test_dangling_else () =
+  (* The dangling else binds to the nearest if (static shift preference). *)
+  let c = Languages.C_subset.language in
+  let s, outcome =
+    session c "int f () { if (a) if (b) x = 1; else x = 2; }"
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "parse failed");
+  let sexp = Parsedag.Pp.to_sexp c.Language.grammar (Session.root s) in
+  (* The else must appear inside the inner if: the outer if has no else
+     part, i.e. the pattern "if ... (stmt if ... else ...)" occurs. *)
+  let contains pat =
+    let n = String.length sexp and m = String.length pat in
+    let rec go i =
+      i + m <= n && (String.sub sexp i m = pat || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "inner if takes the else" true
+    (contains "\"if\" \"(\" (expr \"b\") \")\" (stmt (expr (expr \"x\") \"=\" (expr \"1\")) \";\") \"else\"")
+
+let test_all_tables_build () =
+  List.iter
+    (fun lang ->
+      let t = Language.table lang in
+      Alcotest.(check bool)
+        (lang.Language.name ^ " has states")
+        true
+        (Table.num_states t > 0))
+    [
+      Languages.Calc.language; Languages.Tiny.language;
+      Languages.Lr2.language; Languages.C_subset.language;
+      Languages.Cpp_subset.language; Languages.Modula2.language;
+      Languages.Java_subset.language; Languages.Lisp.language;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "calc deterministic" `Quick test_calc_deterministic;
+    Alcotest.test_case "tiny deterministic" `Quick test_tiny_deterministic;
+    Alcotest.test_case "modula2 deterministic" `Quick
+      test_modula2_deterministic;
+    Alcotest.test_case "modula2 programs" `Quick test_modula2_programs;
+    Alcotest.test_case "modula2 incremental" `Quick test_modula2_incremental;
+    Alcotest.test_case "java deterministic" `Quick test_java_deterministic;
+    Alcotest.test_case "java programs" `Quick test_java_programs;
+    Alcotest.test_case "java incremental" `Quick test_java_incremental;
+    Alcotest.test_case "C++ features" `Quick test_cpp_class_and_new;
+    Alcotest.test_case "C rejects C++ features" `Quick
+      test_c_rejects_cpp_features;
+    Alcotest.test_case "dangling else" `Quick test_dangling_else;
+    Alcotest.test_case "all tables build" `Quick test_all_tables_build;
+  ]

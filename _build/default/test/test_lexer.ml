@@ -1,0 +1,169 @@
+(* Tests for the lexer generator (lib/lexer). *)
+
+module Regex = Lexgen.Regex
+module Spec = Lexgen.Spec
+module Scanner = Lexgen.Scanner
+
+(* A small C-ish lexer over a fixed terminal numbering. *)
+let t_id = 1
+let t_num = 2
+let t_plus = 3
+let t_star = 4
+let t_lparen = 5
+let t_rparen = 6
+let t_if = 7
+let t_eq = 8
+let t_eqeq = 9
+
+let resolve = function
+  | "id" -> t_id
+  | "num" -> t_num
+  | "+" -> t_plus
+  | "*" -> t_star
+  | "(" -> t_lparen
+  | ")" -> t_rparen
+  | "if" -> t_if
+  | "=" -> t_eq
+  | "==" -> t_eqeq
+  | s -> Alcotest.failf "unknown terminal %s" s
+
+let lexer () =
+  let letter = Regex.alt [ Regex.range 'a' 'z'; Regex.range 'A' 'Z'; Regex.chr '_' ] in
+  let digit = Regex.range '0' '9' in
+  Spec.compile ~resolve
+    [
+      { re = Regex.str "if"; action = Tok "if" };
+      { re = Regex.seq [ letter; Regex.star (Regex.alt [ letter; digit ]) ];
+        action = Tok "id" };
+      { re = Regex.plus digit; action = Tok "num" };
+      { re = Regex.str "=="; action = Tok "==" };
+      { re = Regex.chr '='; action = Tok "=" };
+      { re = Regex.chr '+'; action = Tok "+" };
+      { re = Regex.chr '*'; action = Tok "*" };
+      { re = Regex.chr '('; action = Tok "(" };
+      { re = Regex.chr ')'; action = Tok ")" };
+      { re = Regex.plus (Regex.set " \t\n"); action = Skip };
+      { re = Regex.seq [ Regex.str "/*";
+                         Regex.star (Regex.alt [ Regex.not_set "*";
+                                                 Regex.seq [ Regex.plus (Regex.chr '*');
+                                                             Regex.not_set "*/" ] ]);
+                         Regex.plus (Regex.chr '*'); Regex.chr '/' ];
+        action = Skip };
+    ]
+
+let kinds toks = List.map (fun (t : Scanner.token) -> t.term) toks
+let texts toks = List.map (fun (t : Scanner.token) -> t.text) toks
+
+let test_basic () =
+  let toks, trailing = Scanner.all (lexer ()) "ab + 12 * (cd)" in
+  Alcotest.(check (list int)) "kinds"
+    [ t_id; t_plus; t_num; t_star; t_lparen; t_id; t_rparen ]
+    (kinds toks);
+  Alcotest.(check (list string)) "texts"
+    [ "ab"; "+"; "12"; "*"; "("; "cd"; ")" ]
+    (texts toks);
+  Alcotest.(check string) "no trailing" "" trailing
+
+let test_longest_match () =
+  (* "ifx" is an identifier, not keyword-then-id. *)
+  let toks, _ = Scanner.all (lexer ()) "ifx if" in
+  Alcotest.(check (list int)) "longest match wins" [ t_id; t_if ] (kinds toks);
+  (* "==" beats "=" "=" by longest match. *)
+  let toks2, _ = Scanner.all (lexer ()) "= == =" in
+  Alcotest.(check (list int)) "== preferred" [ t_eq; t_eqeq; t_eq ] (kinds toks2)
+
+let test_priority () =
+  (* "if" alone matches both the keyword and the id rule at the same
+     length; the earlier rule (keyword) wins. *)
+  let toks, _ = Scanner.all (lexer ()) "if" in
+  Alcotest.(check (list int)) "keyword priority" [ t_if ] (kinds toks)
+
+let test_trivia () =
+  let toks, trailing = Scanner.all (lexer ()) "  a /* c */ b  " in
+  (match toks with
+  | [ a; b ] ->
+      Alcotest.(check string) "leading trivia" "  " a.Scanner.trivia;
+      Alcotest.(check string) "comment trivia" " /* c */ " b.Scanner.trivia
+  | _ -> Alcotest.fail "expected two tokens");
+  Alcotest.(check string) "trailing trivia" "  " trailing;
+  (* Full text reconstructs. *)
+  let reconstructed =
+    String.concat ""
+      (List.map (fun (t : Scanner.token) -> t.Scanner.trivia ^ t.Scanner.text) toks)
+    ^ trailing
+  in
+  Alcotest.(check string) "reconstruction" "  a /* c */ b  " reconstructed
+
+let test_lookahead () =
+  (* Scanning "=" when followed by something that is not "=" examines one
+     extra byte. *)
+  let toks, _ = Scanner.all (lexer ()) "=+" in
+  (match toks with
+  | [ eq; _plus ] -> Alcotest.(check int) "la of = before +" 1 eq.Scanner.lookahead
+  | _ -> Alcotest.fail "expected two tokens");
+  (* At end of input, a token that could extend records sensitivity to
+     appended text. *)
+  let toks2, _ = Scanner.all (lexer ()) "ab" in
+  match toks2 with
+  | [ id ] ->
+      Alcotest.(check bool) "la at eof positive" true (id.Scanner.lookahead >= 1)
+  | _ -> Alcotest.fail "expected one token"
+
+let test_error () =
+  match Scanner.all (lexer ()) "a # b" with
+  | exception Scanner.Lex_error e ->
+      Alcotest.(check int) "error position" 2 e.Scanner.error_pos
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_empty_input () =
+  let toks, trailing = Scanner.all (lexer ()) "" in
+  Alcotest.(check int) "no tokens" 0 (List.length toks);
+  Alcotest.(check string) "no trailing" "" trailing
+
+let test_only_trivia () =
+  let toks, trailing = Scanner.all (lexer ()) "   \n " in
+  Alcotest.(check int) "no tokens" 0 (List.length toks);
+  Alcotest.(check string) "all trailing" "   \n " trailing
+
+(* Property: for identifier/number/operator soup, lexing then concatenating
+   trivia+text reproduces the input. *)
+let gen_source =
+  QCheck.Gen.(
+    let frag =
+      oneof
+        [ return "ab"; return "x1"; return "12"; return "+"; return "*";
+          return "("; return ")"; return " "; return "\n"; return "if";
+          return "=="; return "=" ]
+    in
+    map (String.concat "") (list_size (int_bound 40) frag))
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"lex round-trips text"
+    (QCheck.make gen_source)
+    (fun s ->
+      let toks, trailing = Scanner.all (lexer ()) s in
+      String.concat ""
+        (List.map (fun (t : Scanner.token) -> t.Scanner.trivia ^ t.Scanner.text) toks)
+      ^ trailing
+      = s)
+
+let prop_tokens_nonempty =
+  QCheck.Test.make ~count:200 ~name:"no empty lexemes"
+    (QCheck.make gen_source)
+    (fun s ->
+      let toks, _ = Scanner.all (lexer ()) s in
+      List.for_all (fun (t : Scanner.token) -> String.length t.Scanner.text > 0) toks)
+
+let suite =
+  [
+    Alcotest.test_case "basic scanning" `Quick test_basic;
+    Alcotest.test_case "longest match" `Quick test_longest_match;
+    Alcotest.test_case "rule priority" `Quick test_priority;
+    Alcotest.test_case "trivia attachment" `Quick test_trivia;
+    Alcotest.test_case "lookahead accounting" `Quick test_lookahead;
+    Alcotest.test_case "lex error" `Quick test_error;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "only trivia" `Quick test_only_trivia;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tokens_nonempty;
+  ]

@@ -1,0 +1,213 @@
+(* Tests for the LR automaton and table construction (lib/lr). *)
+
+module Cfg = Grammar.Cfg
+module Table = Lrtab.Table
+module Automaton = Lrtab.Automaton
+module Augment = Lrtab.Augment
+
+let test_automaton_expr () =
+  let g = Fixtures.expr_grammar () in
+  let aug = Augment.augment g in
+  let auto = Automaton.build aug in
+  (* The dragon-book expression grammar has exactly 12 LR(0) states. *)
+  Alcotest.(check int) "12 states" 12 (Automaton.num_states auto);
+  (* Every state's transitions agree with the goto table. *)
+  for s = 0 to Automaton.num_states auto - 1 do
+    List.iter
+      (fun (sym, target) ->
+        Alcotest.(check int) "transition consistent" target
+          (Automaton.goto auto s sym))
+      (Automaton.transitions auto s)
+  done
+
+let test_expr_deterministic () =
+  let g = Fixtures.expr_grammar () in
+  let t = Table.build g in
+  Alcotest.(check bool) "LALR deterministic" true (Table.is_deterministic t);
+  Alcotest.(check (list Alcotest.reject)) "no conflicts" [] (Table.conflicts t)
+
+let test_lalr_beats_slr () =
+  let g = Fixtures.lalr_not_slr_grammar () in
+  let slr = Table.build ~algo:Lrtab.Table.SLR g in
+  let lalr = Table.build ~algo:Lrtab.Table.LALR g in
+  Alcotest.(check bool) "SLR has conflicts" false (Table.is_deterministic slr);
+  Alcotest.(check bool) "LALR deterministic" true (Table.is_deterministic lalr)
+
+let test_ambiguous_with_prec () =
+  let with_prec = Table.build (Fixtures.ambig_expr_grammar ~with_prec:true ()) in
+  Alcotest.(check bool) "prec filters all conflicts" true
+    (Table.is_deterministic with_prec);
+  let without = Table.build (Fixtures.ambig_expr_grammar ~with_prec:false ()) in
+  Alcotest.(check bool) "without prec: conflicts retained" false
+    (Table.is_deterministic without);
+  (* Disabling resolution must keep conflicts even with declarations. *)
+  let unresolved =
+    Table.build ~resolve_prec:false (Fixtures.ambig_expr_grammar ~with_prec:true ())
+  in
+  Alcotest.(check bool) "resolution disabled keeps conflicts" false
+    (Table.is_deterministic unresolved)
+
+let test_lr2_conflicts () =
+  let g = Fixtures.lr2_grammar () in
+  let t = Table.build g in
+  Alcotest.(check bool) "LR(2) grammar conflicts in LALR(1)" false
+    (Table.is_deterministic t);
+  (* The conflict is a reduce/reduce between U -> x and V -> x on z. *)
+  let z = Cfg.find_terminal g "z" in
+  let rr =
+    List.filter
+      (fun (c : Table.conflict) ->
+        c.c_term = z
+        && List.for_all
+             (function Table.Reduce _ -> true | _ -> false)
+             c.c_actions)
+      (Table.conflicts t)
+  in
+  Alcotest.(check int) "one reduce/reduce conflict on z" 1 (List.length rr)
+
+let test_sss_conflicts () =
+  let t = Table.build (Fixtures.sss_grammar ()) in
+  Alcotest.(check bool) "S->SS|a is conflicted" false (Table.is_deterministic t)
+
+(* Drive the table as a deterministic pushdown automaton over a token
+   list; a correctness check independent of the parser modules. *)
+let parse_det t terms =
+  let rec loop stack input =
+    let state = List.hd stack in
+    let la = match input with [] -> Cfg.eof | t :: _ -> t in
+    match Table.actions t ~state ~term:la with
+    | [ Table.Shift s ] -> loop (s :: stack) (List.tl input)
+    | [ Table.Reduce p ] ->
+        let prod = Cfg.production (Table.grammar t) p in
+        let stack' =
+          let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+          drop (Array.length prod.rhs) stack
+        in
+        let g = Table.goto t ~state:(List.hd stack') ~nt:prod.lhs in
+        if g < 0 then `Error else loop (g :: stack') input
+    | [ Table.Accept ] -> `Accept
+    | [] -> `Error
+    | _ :: _ :: _ -> `Conflict
+  in
+  loop [ Table.start_state t ] terms
+
+let test_parse_expr_sentences () =
+  let g = Fixtures.expr_grammar () in
+  let t = Table.build g in
+  let tok name = Cfg.find_terminal g name in
+  let accepts toks = parse_det t (List.map tok toks) = `Accept in
+  Alcotest.(check bool) "id" true (accepts [ "id" ]);
+  Alcotest.(check bool) "id+id*id" true (accepts [ "id"; "+"; "id"; "*"; "id" ]);
+  Alcotest.(check bool) "(id+id)*id" true
+    (accepts [ "("; "id"; "+"; "id"; ")"; "*"; "id" ]);
+  Alcotest.(check bool) "reject id+" false (accepts [ "id"; "+" ]);
+  Alcotest.(check bool) "reject )(" false (accepts [ ")"; "(" ]);
+  Alcotest.(check bool) "reject empty" false (accepts [])
+
+let test_parse_prec_shapes () =
+  (* With precedence, the ambiguous grammar must parse deterministically
+     and accept the same strings as the stratified grammar. *)
+  let g = Fixtures.ambig_expr_grammar ~with_prec:true () in
+  let t = Table.build g in
+  let tok name = Cfg.find_terminal g name in
+  let accepts toks = parse_det t (List.map tok toks) = `Accept in
+  Alcotest.(check bool) "id+id+id" true (accepts [ "id"; "+"; "id"; "+"; "id" ]);
+  Alcotest.(check bool) "id*id+id" true (accepts [ "id"; "*"; "id"; "+"; "id" ]);
+  Alcotest.(check bool) "reject ++" false (accepts [ "id"; "+"; "+"; "id" ])
+
+let test_nullable_parse () =
+  let g = Fixtures.nullable_grammar () in
+  let t = Table.build g in
+  let tok name = Cfg.find_terminal g name in
+  let accepts toks = parse_det t (List.map tok toks) = `Accept in
+  Alcotest.(check bool) "a b end" true (accepts [ "a"; "b"; "end" ]);
+  Alcotest.(check bool) "end (both eps)" true (accepts [ "end" ]);
+  Alcotest.(check bool) "b end" true (accepts [ "b"; "end" ]);
+  Alcotest.(check bool) "a end" true (accepts [ "a"; "end" ]);
+  Alcotest.(check bool) "reject b a end" false (accepts [ "b"; "a"; "end" ])
+
+let test_seq_parse () =
+  let g = Fixtures.seq_grammar () in
+  let t = Table.build g in
+  Alcotest.(check bool) "sequence grammar deterministic" true
+    (Table.is_deterministic t);
+  let tok name = Cfg.find_terminal g name in
+  let accepts toks = parse_det t (List.map tok toks) = `Accept in
+  Alcotest.(check bool) "empty program" true (accepts []);
+  Alcotest.(check bool) "x=y;" true (accepts [ "id"; "="; "id"; ";" ]);
+  Alcotest.(check bool) "nested block" true
+    (accepts [ "{"; "id"; "="; "id"; ";"; "}" ])
+
+let test_nt_actions () =
+  (* After "stmts stmt" the cons reduction fires on every terminal in
+     FIRST(stmt), so a stmt-rooted subtree lookahead must get precomputed
+     reductions (§3.2). *)
+  let g = Fixtures.seq_grammar () in
+  let t = Table.build g in
+  let found = ref false in
+  for s = 0 to Table.num_states t - 1 do
+    for n = 0 to Cfg.num_nonterminals g - 1 do
+      match Table.actions_on_nt t ~state:s ~nt:n with
+      | Some acts ->
+          found := true;
+          (* Must be pure reductions and agree with every terminal in
+             FIRST(n). *)
+          List.iter
+            (function
+              | Table.Reduce _ -> ()
+              | a ->
+                  Alcotest.failf "nt_actions contains non-reduce %a"
+                    (fun ppf -> Table.pp_action ppf)
+                    a)
+            acts;
+          let first = Grammar.Analysis.first (Table.analysis t) n in
+          Grammar.Bitset.iter
+            (fun term ->
+              let ta = Table.actions t ~state:s ~term in
+              Alcotest.(check int) "same length" (List.length acts)
+                (List.length ta);
+              List.iter2
+                (fun a b ->
+                  Alcotest.(check bool) "same action" true
+                    (Table.equal_action a b))
+                acts ta)
+            first
+      | None -> ()
+    done
+  done;
+  Alcotest.(check bool) "some nonterminal reductions precomputed" true !found
+
+(* Property: random layered grammars — every random derivation is accepted
+   when the table happens to be deterministic; and table construction never
+   crashes. *)
+let prop_random_tables =
+  QCheck.Test.make ~count:60 ~name:"random grammars: table drives derivations"
+    QCheck.(triple (int_range 2 5) (int_range 2 4) (int_bound 100000))
+    (fun (num_nts, num_ts, seed) ->
+      let g = Test_grammar.build_random_grammar (num_nts, num_ts, seed) in
+      let t = Table.build g in
+      let st = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let sentence = Test_grammar.derive_sentence g st in
+        match parse_det t sentence with
+        | `Accept | `Conflict -> ()
+        | `Error -> ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "expr automaton states" `Quick test_automaton_expr;
+    Alcotest.test_case "expr LALR deterministic" `Quick test_expr_deterministic;
+    Alcotest.test_case "LALR vs SLR" `Quick test_lalr_beats_slr;
+    Alcotest.test_case "precedence filters" `Quick test_ambiguous_with_prec;
+    Alcotest.test_case "LR(2) grammar conflicts" `Quick test_lr2_conflicts;
+    Alcotest.test_case "S->SS|a conflicts" `Quick test_sss_conflicts;
+    Alcotest.test_case "drive expr table" `Quick test_parse_expr_sentences;
+    Alcotest.test_case "drive prec table" `Quick test_parse_prec_shapes;
+    Alcotest.test_case "drive nullable table" `Quick test_nullable_parse;
+    Alcotest.test_case "drive sequence table" `Quick test_seq_parse;
+    Alcotest.test_case "precomputed nt reductions" `Quick test_nt_actions;
+    QCheck_alcotest.to_alcotest prop_random_tables;
+  ]

@@ -1,0 +1,126 @@
+(* Tests for canonical LR(1) construction and the footnote-5 behaviour:
+   on a grammar that is LR(1) but not LALR(1), the IGLR parser driven by
+   the (conflicted) LALR table tries both reductions and resolves when
+   the next terminal is shifted. *)
+
+module Cfg = Grammar.Cfg
+module Builder = Grammar.Builder
+module Table = Lrtab.Table
+module Glr = Iglr.Glr
+
+(* The classic LR(1)-but-not-LALR(1) grammar:
+   S -> a E a | b E b | a F b | b F a;  E -> e;  F -> e.
+   Merging the LALR cores makes E -> e / F -> e conflict on both a and b. *)
+let lr1_not_lalr () =
+  let b = Builder.create () in
+  let s = Builder.nonterminal b "S" in
+  let e = Builder.nonterminal b "E" in
+  let f = Builder.nonterminal b "F" in
+  let t n = Builder.terminal b n in
+  Builder.prod b s [ t "a"; e; t "a" ];
+  Builder.prod b s [ t "b"; e; t "b" ];
+  Builder.prod b s [ t "a"; f; t "b" ];
+  Builder.prod b s [ t "b"; f; t "a" ];
+  Builder.prod b e [ t "e" ];
+  Builder.prod b f [ t "e" ];
+  Builder.set_start b s;
+  Builder.build b
+
+let test_lr1_removes_conflicts () =
+  let g = lr1_not_lalr () in
+  let lalr = Table.build ~algo:Table.LALR g in
+  let lr1 = Table.build ~algo:Table.LR1 g in
+  Alcotest.(check bool) "LALR conflicted" false (Table.is_deterministic lalr);
+  Alcotest.(check bool) "LR(1) deterministic" true (Table.is_deterministic lr1);
+  Alcotest.(check bool) "LR(1) has more states" true
+    (Table.num_states lr1 > Table.num_states lalr)
+
+let tokens_of g names =
+  List.map
+    (fun name ->
+      { Lexgen.Scanner.term = Cfg.find_terminal g name; text = name;
+        trivia = ""; lookahead = 0 })
+    names
+
+let parse_sexp table g names =
+  let root, stats = Glr.parse_tokens table (tokens_of g names) ~trailing:"" in
+  (Parsedag.Pp.to_sexp g root, stats)
+
+let test_footnote5_iglr_on_lalr () =
+  (* The IGLR parser resolves the LALR reduce/reduce conflict dynamically:
+     both "a e a" (E) and "a e b" (F) parse to unique trees. *)
+  let g = lr1_not_lalr () in
+  let lalr = Table.build ~algo:Table.LALR g in
+  let sexp_ea, stats = parse_sexp lalr g [ "a"; "e"; "a" ] in
+  Alcotest.(check string) "E interpretation" "(root (S \"a\" (E \"e\") \"a\"))"
+    sexp_ea;
+  Alcotest.(check bool) "forked on the conflict" true (stats.Glr.forks >= 1);
+  let sexp_fb, _ = parse_sexp lalr g [ "a"; "e"; "b" ] in
+  Alcotest.(check string) "F interpretation" "(root (S \"a\" (F \"e\") \"b\"))"
+    sexp_fb
+
+let test_lr1_and_lalr_agree () =
+  (* Where both are deterministic, the tables accept the same language and
+     build identical trees. *)
+  let g = lr1_not_lalr () in
+  let lr1 = Table.build ~algo:Table.LR1 g in
+  let lalr = Table.build ~algo:Table.LALR g in
+  List.iter
+    (fun names ->
+      let s1, stats1 = parse_sexp lr1 g names in
+      let s2, _ = parse_sexp lalr g names in
+      Alcotest.(check string) "same tree" s1 s2;
+      Alcotest.(check int) "LR(1) never forks" 1 stats1.Glr.max_parsers)
+    [ [ "a"; "e"; "a" ]; [ "b"; "e"; "b" ]; [ "a"; "e"; "b" ];
+      [ "b"; "e"; "a" ] ]
+
+let test_lr1_expr_grammar () =
+  (* Sanity: LR(1) handles the ordinary grammars too. *)
+  let g = Fixtures.expr_grammar () in
+  let t = Table.build ~algo:Table.LR1 g in
+  Alcotest.(check bool) "deterministic" true (Table.is_deterministic t);
+  let sexp, _ = parse_sexp t g [ "id"; "+"; "id"; "*"; "id" ] in
+  Alcotest.(check string) "structure"
+    "(root (E (E (T (F \"id\"))) \"+\" (T (T (F \"id\")) \"*\" (F \"id\"))))"
+    sexp
+
+let test_lr1_rejects () =
+  let g = lr1_not_lalr () in
+  let t = Table.build ~algo:Table.LR1 g in
+  (try
+     ignore (parse_sexp t g [ "a"; "e" ]);
+     Alcotest.fail "expected error"
+   with Glr.Parse_error _ -> ());
+  try
+    ignore (parse_sexp t g [ "a"; "e"; "a"; "a" ]);
+    Alcotest.fail "expected error"
+  with Glr.Parse_error _ -> ()
+
+(* Property: LALR-driven GLR and LR(1)-driven GLR accept the same strings
+   over the lr1_not_lalr grammar's alphabet. *)
+let prop_same_language =
+  let g = lr1_not_lalr () in
+  let lalr = Table.build ~algo:Table.LALR g in
+  let lr1 = Table.build ~algo:Table.LR1 g in
+  QCheck.Test.make ~count:200 ~name:"LALR+GLR = LR(1) language"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 5)
+              (QCheck.oneofl [ "a"; "b"; "e" ]))
+    (fun names ->
+      let accepts table =
+        match Glr.parse_tokens table (tokens_of g names) ~trailing:"" with
+        | _ -> true
+        | exception Glr.Parse_error _ -> false
+      in
+      accepts lalr = accepts lr1)
+
+let suite =
+  [
+    Alcotest.test_case "LR(1) removes LALR conflicts" `Quick
+      test_lr1_removes_conflicts;
+    Alcotest.test_case "footnote 5: IGLR on LALR tables" `Quick
+      test_footnote5_iglr_on_lalr;
+    Alcotest.test_case "LR(1) and LALR agree" `Quick test_lr1_and_lalr_agree;
+    Alcotest.test_case "LR(1) on expr grammar" `Quick test_lr1_expr_grammar;
+    Alcotest.test_case "LR(1) rejects bad input" `Quick test_lr1_rejects;
+    QCheck_alcotest.to_alcotest prop_same_language;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "incremental_analysis"
+    [
+      ("bitset", Test_bitset.suite);
+      ("grammar", Test_grammar.suite);
+      ("lr", Test_lr.suite);
+      ("lr1", Test_lr1.suite);
+      ("lexer", Test_lexer.suite);
+      ("minimize", Test_minimize.suite);
+      ("dag", Test_dag.suite);
+      ("glr-batch", Test_glr_batch.suite);
+      ("glr-random", Test_glr_random.suite);
+      ("document", Test_document.suite);
+      ("relex", Test_relex.suite);
+      ("incremental", Test_incremental.suite);
+      ("syn-filter", Test_syn_filter.suite);
+      ("baselines", Test_baselines.suite);
+      ("sf-lr", Test_sf_lr.suite);
+      ("earley", Test_earley.suite);
+      ("semantics", Test_semantics.suite);
+      ("attrs", Test_attrs.suite);
+      ("workload", Test_workload.suite);
+      ("langs", Test_langs.suite);
+      ("sequence", Test_sequence.suite);
+      ("trace", Test_trace.suite);
+    ]

@@ -1,0 +1,105 @@
+(* Tests for DFA minimization (lib/lexer/minimize). *)
+
+module Regex = Lexgen.Regex
+module Nfa = Lexgen.Nfa
+module Dfa = Lexgen.Dfa
+module Minimize = Lexgen.Minimize
+
+let build regexes = Dfa.of_nfa (Nfa.build (Array.of_list regexes))
+
+(* Run a DFA as a longest-match recognizer from position 0: returns
+   (rule, length) of the longest accepted prefix. *)
+let longest dfa s =
+  let state = ref 0 in
+  let best = ref None in
+  (try
+     String.iteri
+       (fun i c ->
+         let t = Dfa.next dfa !state c in
+         if t < 0 then raise Exit;
+         state := t;
+         match Dfa.accept dfa t with
+         | Some r -> best := Some (r, i + 1)
+         | None -> ())
+       s
+   with Exit -> ());
+  !best
+
+let keywords_and_idents =
+  [
+    Regex.str "while";
+    Regex.str "when";
+    Regex.seq
+      [ Regex.range 'a' 'z'; Regex.star (Regex.range 'a' 'z') ];
+  ]
+
+let test_equivalence () =
+  let dfa = build keywords_and_idents in
+  let min = Minimize.minimize dfa in
+  List.iter
+    (fun input ->
+      Alcotest.(check (option (pair int int)))
+        input (longest dfa input) (longest min input))
+    [ "while"; "when"; "whence"; "wh"; "zebra"; ""; "9"; "whilewhile" ]
+
+let test_shrinks () =
+  (* Keyword tries share suffix structure only after minimization. *)
+  let dfa = build keywords_and_idents in
+  Alcotest.(check bool) "states saved" true (Minimize.savings dfa > 0)
+
+let test_idempotent () =
+  let dfa = build keywords_and_idents in
+  let once = Minimize.minimize dfa in
+  let twice = Minimize.minimize once in
+  Alcotest.(check int) "fixpoint" (Dfa.num_states once) (Dfa.num_states twice)
+
+let test_priority_preserved () =
+  (* Two rules matching the same string must not merge: priority is
+     observable. *)
+  let dfa =
+    build [ Regex.str "ab"; Regex.seq [ Regex.chr 'a'; Regex.chr 'b' ] ]
+  in
+  let min = Minimize.minimize dfa in
+  Alcotest.(check (option (pair int int))) "first rule wins" (Some (0, 2))
+    (longest min "ab")
+
+(* Property: random regex soups scan identically before and after. *)
+let gen_regex =
+  QCheck.Gen.(
+    let base =
+      oneofl
+        [ Regex.chr 'a'; Regex.chr 'b'; Regex.range 'a' 'c'; Regex.str "ab" ]
+    in
+    let rec go depth =
+      if depth = 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            (2, map2 (fun a b -> Regex.seq [ a; b ]) (go (depth - 1)) (go (depth - 1)));
+            (2, map2 (fun a b -> Regex.alt [ a; b ]) (go (depth - 1)) (go (depth - 1)));
+            (1, map Regex.star (go (depth - 1)));
+          ]
+    in
+    go 3)
+
+let gen_input =
+  QCheck.Gen.(map (String.concat "") (list_size (int_bound 8) (oneofl [ "a"; "b"; "c" ])))
+
+let prop_equivalence =
+  QCheck.Test.make ~count:300 ~name:"minimized DFA scans identically"
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 3) gen_regex) gen_input))
+    (fun (regexes, input) ->
+      let dfa = build regexes in
+      let min = Minimize.minimize dfa in
+      longest dfa input = longest min input
+      && Dfa.num_states min <= Dfa.num_states dfa)
+
+let suite =
+  [
+    Alcotest.test_case "equivalence on keywords" `Quick test_equivalence;
+    Alcotest.test_case "minimization shrinks" `Quick test_shrinks;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "priority preserved" `Quick test_priority_preserved;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the sequence utilities (lib/dag/sequence) and the Lisp
+   subset. *)
+
+module Node = Parsedag.Node
+module Sequence = Parsedag.Sequence
+module Session = Iglr.Session
+module Language = Languages.Language
+
+let session lang text =
+  let s, outcome =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang)
+      text
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.failf "parse failed for %S" text);
+  s
+
+let calc = Languages.Calc.language
+
+(* The statement list inside a parsed calc program. *)
+let stmt_list s =
+  (* root -> program -> stmt* *)
+  let root = Session.root s in
+  let program = root.Node.kids.(1) in
+  program.Node.kids.(0)
+
+let test_elements_star () =
+  let s = session calc "a = 1;\nb = 2;\nc = 3;\n" in
+  let elems = Sequence.elements calc.Language.grammar (stmt_list s) in
+  Alcotest.(check int) "three statements" 3 (List.length elems);
+  let texts = List.map (fun e -> String.trim (Node.text_yield e)) elems in
+  Alcotest.(check (list string)) "source order"
+    [ "a = 1;"; "b = 2;"; "c = 3;" ] texts
+
+let test_elements_empty () =
+  let s = session calc "" in
+  Alcotest.(check int) "empty sequence" 0
+    (List.length (Sequence.elements calc.Language.grammar (stmt_list s)))
+
+let test_separated_plus () =
+  (* C argument lists are comma-separated plus-sequences. *)
+  let c = Languages.C_subset.language in
+  let s = session c "int f () { g(1, 2, 3); }" in
+  let arg_list = ref None in
+  Node.iter
+    (fun n ->
+      match n.Node.kind with
+      | Node.Prod p ->
+          let prod = Grammar.Cfg.production c.Language.grammar p in
+          if
+            String.equal
+              (Grammar.Cfg.nonterminal_name c.Language.grammar prod.lhs)
+              "arg_list"
+            && !arg_list = None
+          then arg_list := Some n
+      | _ -> ())
+    (Session.root s);
+  match !arg_list with
+  | None -> Alcotest.fail "no arg_list node"
+  | Some node ->
+      (* Find the outermost arg_list spine node: walk up while the parent
+         is also an arg_list. *)
+      let rec outer (n : Node.t) =
+        match n.Node.parent with
+        | Some p
+          when match p.Node.kind with
+               | Node.Prod q ->
+                   (Grammar.Cfg.production c.Language.grammar q).lhs
+                   = (match node.Node.kind with
+                     | Node.Prod r ->
+                         (Grammar.Cfg.production c.Language.grammar r).lhs
+                     | _ -> -1)
+               | _ -> false ->
+            outer p
+        | _ -> n
+      in
+      let elems = Sequence.elements c.Language.grammar (outer node) in
+      Alcotest.(check int) "three arguments (separators skipped)" 3
+        (List.length elems)
+
+let test_spine_depth_matches () =
+  let s = session calc "a = 1;\nb = 2;\n" in
+  Alcotest.(check int) "depth = element count" 2
+    (Sequence.spine_depth calc.Language.grammar (stmt_list s))
+
+let lisp = Languages.Lisp.language
+
+let test_lisp_parses () =
+  let s =
+    session lisp "(define (f x) (+ x 1)) ; comment\n'(a b \"str\") 42\n"
+  in
+  Alcotest.(check string) "yield round-trips"
+    "(define (f x) (+ x 1)) ; comment\n'(a b \"str\") 42\n"
+    (Node.text_yield (Session.root s))
+
+let test_lisp_incremental () =
+  let text = "(a (b (c (d (e 1)))))\n(f 2)\n" in
+  let s = session lisp text in
+  let pos = String.index text '1' in
+  Session.edit s ~pos ~del:1 ~insert:"9";
+  (match Session.reparse s with
+  | Session.Parsed stats ->
+      Alcotest.(check bool) "second toplevel form reused" true
+        (stats.Iglr.Glr.shifted_subtrees > 0)
+  | Session.Recovered _ -> Alcotest.fail "reparse failed");
+  let fresh = session lisp (Session.text s) in
+  Alcotest.(check string) "incremental = batch"
+    (Parsedag.Pp.to_sexp lisp.Language.grammar (Session.root fresh))
+    (Parsedag.Pp.to_sexp lisp.Language.grammar (Session.root s))
+
+let test_lisp_depth () =
+  let deep = String.make 50 '(' ^ "x" ^ String.make 50 ')' in
+  let s = session lisp deep in
+  Alcotest.(check bool) "deep nesting handled" true
+    (Parsedag.Sequence.max_depth (Session.root s) > 50)
+
+let suite =
+  [
+    Alcotest.test_case "star elements" `Quick test_elements_star;
+    Alcotest.test_case "empty sequence" `Quick test_elements_empty;
+    Alcotest.test_case "separated plus" `Quick test_separated_plus;
+    Alcotest.test_case "spine depth" `Quick test_spine_depth_matches;
+    Alcotest.test_case "lisp parses" `Quick test_lisp_parses;
+    Alcotest.test_case "lisp incremental" `Quick test_lisp_incremental;
+    Alcotest.test_case "lisp deep nesting" `Quick test_lisp_depth;
+  ]

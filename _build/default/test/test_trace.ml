@@ -1,0 +1,75 @@
+(* Golden-ish tests of the parser action trace (Appendix B): the fork on
+   the typedef reduce/reduce conflict, tandem shifting by both parsers,
+   and the merge into a symbol (choice) node. *)
+
+module Session = Iglr.Session
+module Glr = Iglr.Glr
+module Language = Languages.Language
+
+let capture_trace lang text =
+  let lines = ref [] in
+  let config =
+    { Glr.default_config with trace = Some (fun l -> lines := l :: !lines) }
+  in
+  let _, outcome =
+    Session.create ~config ~table:(Language.table lang)
+      ~lexer:(Language.lexer lang) text
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "trace parse failed");
+  List.rev !lines
+
+let contains sub line =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+let count pred lines = List.length (List.filter pred lines)
+
+let test_lr2_trace () =
+  let lines = capture_trace Languages.Lr2.language "x z c" in
+  (* Both conflicting reductions fire on the same lookahead... *)
+  Alcotest.(check int) "U -> x tried" 1
+    (count (contains "reduce: U -> x") lines);
+  Alcotest.(check int) "V -> x tried" 1
+    (count (contains "reduce: V -> x") lines);
+  (* ...then "z" is shifted by both parsers in tandem. *)
+  Alcotest.(check int) "tandem shift of z" 1
+    (count (fun l -> contains "z" l && contains "2 parser(s)" l) lines);
+  (* The unambiguous result involves no symbol-node merge. *)
+  Alcotest.(check int) "no ambiguity merge" 0
+    (count (contains "amb:") lines)
+
+let test_appendix_b_trace () =
+  (* The C++ typedef example: the parser splits on the reduce/reduce
+     conflict after "a", runs both interpretations through "(b);", and
+     packs them under a stmt symbol node. *)
+  let lines =
+    capture_trace Languages.Cpp_subset.language "int f () { a (b); }"
+  in
+  (* Both namespaces are tried for the leading identifier. *)
+  Alcotest.(check bool) "expression reading" true
+    (count (contains "reduce: expr -> id") lines >= 1);
+  Alcotest.(check bool) "type reading" true
+    (count (contains "reduce: type_spec -> id") lines >= 1);
+  (* Terminals of the ambiguous region are shifted by both parsers. *)
+  Alcotest.(check bool) "tandem shifts" true
+    (count (contains "2 parser(s)") lines >= 3);
+  (* The interpretations merge into a symbol node for stmt. *)
+  Alcotest.(check int) "one stmt symbol node" 1
+    (count (contains "amb: symbol node for stmt (2 interpretations)") lines)
+
+let test_deterministic_trace_has_no_forks () =
+  let lines = capture_trace Languages.Calc.language "a = 1 + 2;" in
+  Alcotest.(check int) "no merges" 0 (count (contains "amb:") lines);
+  Alcotest.(check int) "single parser throughout" 0
+    (count (contains "2 parser(s)") lines)
+
+let suite =
+  [
+    Alcotest.test_case "figure 5/7 trace" `Quick test_lr2_trace;
+    Alcotest.test_case "appendix B trace" `Quick test_appendix_b_trace;
+    Alcotest.test_case "deterministic trace" `Quick
+      test_deterministic_trace_has_no_forks;
+  ]

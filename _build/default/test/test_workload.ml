@@ -1,0 +1,100 @@
+(* Tests for the synthetic workload generators (lib/workload). *)
+
+module Spec_gen = Workload.Spec_gen
+module Edit_gen = Workload.Edit_gen
+module Session = Iglr.Session
+module Language = Languages.Language
+
+let test_determinism () =
+  let p = Spec_gen.find "compress" in
+  let a = Spec_gen.generate ~seed:5 p in
+  let b = Spec_gen.generate ~seed:5 p in
+  let c = Spec_gen.generate ~seed:6 p in
+  Alcotest.(check bool) "same seed, same program" true (String.equal a b);
+  Alcotest.(check bool) "different seed, different program" false
+    (String.equal a c)
+
+let test_scaling () =
+  let p = Spec_gen.find "gcc" in
+  let small = Spec_gen.generate ~scale:0.01 p in
+  let large = Spec_gen.generate ~scale:0.02 p in
+  let lines s = List.length (String.split_on_char '\n' s) in
+  Alcotest.(check bool) "scale grows line count" true
+    (lines large > lines small)
+
+let test_profiles_parse () =
+  (* Every Table 1 profile must produce a program its language parses
+     cleanly. *)
+  List.iter
+    (fun (p : Spec_gen.profile) ->
+      let src = Spec_gen.generate ~scale:0.01 p in
+      let lang = Spec_gen.language_of p in
+      let _, outcome =
+        Session.create
+          ~table:(Language.table lang)
+          ~lexer:(Language.lexer lang)
+          src
+      in
+      match outcome with
+      | Session.Parsed _ -> ()
+      | Session.Recovered _ ->
+          Alcotest.failf "profile %s did not parse" p.Spec_gen.p_name)
+    Spec_gen.table1
+
+let test_ambiguity_offsets () =
+  let profile =
+    { Spec_gen.p_name = "offsets"; p_lines = 300; p_dialect = Spec_gen.C;
+      p_paper_overhead = 0.5; p_ambig_per_kloc = 30.0 }
+  in
+  let src, offsets = Spec_gen.generate_info ~seed:9 profile in
+  Alcotest.(check bool) "some ambiguous statements" true (offsets <> []);
+  (* Each offset points at a digit inside an identifier at the start of a
+     statement. *)
+  List.iter
+    (fun pos ->
+      let c = src.[pos] in
+      Alcotest.(check bool) "offset is a digit" true (c >= '0' && c <= '9'))
+    offsets
+
+let test_nested_shape () =
+  let d8 = Spec_gen.nested ~depth:8 ~seed:1 in
+  let d10 = Spec_gen.nested ~depth:10 ~seed:1 in
+  Alcotest.(check bool) "depth grows size ~4x" true
+    (String.length d10 > 3 * String.length d8);
+  let lang = Languages.C_subset.language in
+  let _, outcome =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang) d8
+  in
+  match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "nested program did not parse"
+
+let test_edit_gen_digits () =
+  let text = "abc 123 def 4;" in
+  let edits = Edit_gen.token_edits ~seed:3 ~count:20 text in
+  List.iter
+    (fun (e : Edit_gen.edit) ->
+      let c = text.[e.Edit_gen.e_pos] in
+      Alcotest.(check bool) "edits digits only" true (c >= '0' && c <= '9');
+      Alcotest.(check int) "single byte" 1 e.Edit_gen.e_del;
+      Alcotest.(check bool) "replacement differs" false
+        (String.equal e.Edit_gen.e_insert (String.make 1 c)))
+    edits
+
+let test_edit_inverse () =
+  let text = "x = 123;" in
+  let e = List.hd (Edit_gen.token_edits ~seed:1 ~count:1 text) in
+  let after = Edit_gen.apply e text in
+  let inv = Edit_gen.inverse e text in
+  Alcotest.(check string) "inverse restores" text (Edit_gen.apply inv after)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic generation" `Quick test_determinism;
+    Alcotest.test_case "scaling" `Quick test_scaling;
+    Alcotest.test_case "all profiles parse" `Slow test_profiles_parse;
+    Alcotest.test_case "ambiguity offsets" `Quick test_ambiguity_offsets;
+    Alcotest.test_case "nested workload" `Quick test_nested_shape;
+    Alcotest.test_case "edits target digits" `Quick test_edit_gen_digits;
+    Alcotest.test_case "edit inverse" `Quick test_edit_inverse;
+  ]
