@@ -3,6 +3,8 @@
    Subcommands:
      parse   parse a file (or stdin) with one of the bundled languages
      table   show parse-table statistics and retained conflicts
+     lint    static grammar diagnostics and conflict explanations
+     check   parse a file and run the parse-dag sanitizer
      sem     parse a C/C++ file and run semantic disambiguation
      gen     emit a synthetic SPEC-like program
      demo    the paper's Figure 1 walkthrough *)
@@ -23,11 +25,15 @@ let languages =
 
 let lang_arg =
   let lang_conv = Arg.enum languages in
+  (* Derived from [languages] so the docstring cannot drift. *)
+  let doc =
+    Printf.sprintf "Language: %s."
+      (String.concat ", " (List.map fst languages))
+  in
   Arg.(
     value
     & opt lang_conv Languages.C_subset.language
-    & info [ "l"; "lang" ] ~docv:"LANG"
-        ~doc:"Language: calc, tiny, c, cpp or lr2.")
+    & info [ "l"; "lang" ] ~docv:"LANG" ~doc)
 
 let file_arg =
   Arg.(
@@ -93,6 +99,79 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Show parse-table statistics and conflicts")
     Term.(const run $ lang_arg)
+
+let lint_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Lint every bundled language (exit 1 on any error).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Only print languages with diagnostics.")
+  in
+  let lint_one ~quiet (name, lang) =
+    let table = Languages.Language.table lang in
+    let ds = Analyze.Lint.run table in
+    if (not quiet) || ds <> [] then begin
+      Format.printf "== %s ==@." name;
+      Format.printf "%a@." (Analyze.Lint.pp_report table) ds
+    end;
+    List.length (Analyze.Lint.errors ds)
+  in
+  let run lang all quiet =
+    let errors =
+      if all then
+        List.fold_left (fun acc l -> acc + lint_one ~quiet l) 0 languages
+      else
+        lint_one ~quiet
+          (List.find (fun (_, l) -> l == lang) languages)
+    in
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static grammar diagnostics: useless symbols, derivation cycles, \
+          unused precedence, and per-conflict example sentences with a \
+          classification")
+    Term.(const run $ lang_arg $ all $ quiet)
+
+let check_cmd =
+  let run lang file =
+    let text = read_input file in
+    let table = Languages.Language.table lang in
+    let s, outcome =
+      Iglr.Session.create ~table
+        ~lexer:(Languages.Language.lexer lang)
+        text
+    in
+    (match outcome with
+    | Iglr.Session.Parsed _ -> ()
+    | Iglr.Session.Recovered { error; _ } ->
+        Printf.printf "note: syntax error near token %d (%s); checking the \
+                       recovered dag\n"
+          error.Iglr.Glr.offset_tokens error.Iglr.Glr.message);
+    let root = Iglr.Session.root s in
+    match
+      Analyze.Check.dag ~expect_text:(Iglr.Session.text s) table root
+    with
+    | [] ->
+        Printf.printf "dag sane: %d node(s), %d token(s)\n"
+          (Parsedag.Node.count_nodes root)
+          (Parsedag.Node.token_count root)
+    | vs ->
+        List.iter
+          (fun v -> Format.printf "%a@." Analyze.Check.pp_violation v)
+          vs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse a file and validate the parse dag's structural invariants")
+    Term.(const run $ lang_arg $ file_arg)
 
 let sem_cmd =
   let policy =
@@ -232,4 +311,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; table_cmd; sem_cmd; gen_cmd; replay_cmd; demo_cmd ]))
+          [
+            parse_cmd; table_cmd; lint_cmd; check_cmd; sem_cmd; gen_cmd;
+            replay_cmd; demo_cmd;
+          ]))

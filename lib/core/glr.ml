@@ -214,7 +214,28 @@ let get_symbol_node r node =
         Hashtbl.replace r.sym_tab (nt, s, e) entry;
         entry
   in
+  let folded = ref None in
   if not (List.memq node entry.alts) then begin
+    match
+      List.find_opt
+        (fun (a : Node.t) -> Node.structural_equal a node)
+        entry.alts
+    with
+    | Some dup ->
+        (* A re-derivation of an already-registered tree, not a new
+           ambiguity: distinct reduction paths can rebuild the same
+           derivation from physically distinct (typically ε) subtrees.
+           Fold it into the existing interpretation rather than packing a
+           choice whose alternatives are structurally equal. *)
+        let canonical =
+          match entry.choice with Some c -> c | None -> dup
+        in
+        redirect_captures r ~old_node:node ~canonical;
+        folded := Some canonical;
+        trace r (fun () ->
+            Printf.sprintf "merge: duplicate interpretation of %s folded"
+              (Cfg.nonterminal_name r.g nt))
+    | None -> (
     entry.alts <- node :: entry.alts;
     match entry.choice with
     | Some c ->
@@ -271,9 +292,11 @@ let get_symbol_node r node =
           trace r (fun () ->
               Printf.sprintf "amb: symbol node for %s (%d interpretations)"
                 (Cfg.nonterminal_name r.g nt) (Array.length kids))
-        end
+        end)
   end;
-  match entry.choice with Some c -> c | None -> node
+  match !folded with
+  | Some c -> c
+  | None -> ( match entry.choice with Some c -> c | None -> node)
 
 (* ------------------------------------------------------------------ *)
 (* Reductions (Rekers-style, breadth-first on the current lookahead).   *)

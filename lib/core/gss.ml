@@ -20,6 +20,41 @@ let paths node ~arity =
   go node arity [];
   !acc
 
+let validate ~num_states tops =
+  let faults = ref [] in
+  let fault gid fmt =
+    Printf.ksprintf (fun m -> faults := (gid, m) :: !faults) fmt
+  in
+  (* Active parsers must carry pairwise distinct states (Tomita's
+     invariant: one configuration per state, interpretations merge). *)
+  let rec dups = function
+    | [] -> ()
+    | n :: rest ->
+        List.iter
+          (fun m ->
+            if m.state = n.state then
+              fault n.gid "two active parsers in state %d (gid %d and %d)"
+                n.state n.gid m.gid)
+          rest;
+        dups rest
+  in
+  dups tops;
+  (* Links must point strictly toward the stack bottom: state bounds hold
+     everywhere and no link path returns to a node on the current path. *)
+  let seen = Hashtbl.create 64 in
+  let rec walk path n =
+    if List.memq n path then
+      fault n.gid "cycle through gid %d (state %d)" n.gid n.state
+    else if not (Hashtbl.mem seen n.gid) then begin
+      Hashtbl.replace seen n.gid ();
+      if n.state < 0 || n.state >= num_states then
+        fault n.gid "state %d outside [0, %d)" n.state num_states;
+      List.iter (fun l -> walk (n :: path) l.head) n.links
+    end
+  in
+  List.iter (walk []) tops;
+  List.rev !faults
+
 let paths_through node ~arity ~link =
   let acc = ref [] in
   let rec go n depth labels used =

@@ -32,3 +32,10 @@ val paths : node -> arity:int -> (node * Parsedag.Node.t list) list
     once. *)
 val paths_through :
   node -> arity:int -> link:link -> (node * Parsedag.Node.t list) list
+
+(** [validate ~num_states tops] — the GSS sanitizer: checks that the
+    active parsers carry pairwise distinct states (Tomita's merge
+    invariant), that every reachable node's state is a real table state,
+    and that links are acyclic (they must point strictly toward the stack
+    bottom).  Returns [(gid, message)] faults; empty = sane. *)
+val validate : num_states:int -> node list -> (int * string) list

@@ -7,6 +7,7 @@ type t = {
   syn_filters : Syn_filter.rule list;
   doc : Document.t;
   mutable errors : bool;
+  mutable on_parse : (Node.t -> unit) option;
 }
 
 type outcome =
@@ -28,6 +29,9 @@ let reparse t =
              (Lrtab.Table.grammar t.table)
              t.syn_filters (Document.root t.doc));
       t.errors <- false;
+      (match t.on_parse with
+      | Some hook -> hook (Document.root t.doc)
+      | None -> ());
       Parsed stats
   | exception Glr.Parse_error error ->
       (* History-based, non-correcting recovery: the previous structure is
@@ -45,11 +49,13 @@ let reparse t =
       t.errors <- true;
       Recovered { flagged = !flagged; error }
 
-let create ?(config = Glr.default_config) ?(syn_filters = []) ~table ~lexer
-    text =
+let create ?(config = Glr.default_config) ?(syn_filters = []) ?on_parse
+    ~table ~lexer text =
   let doc = Document.create ~lexer text in
-  let t = { table; config; syn_filters; doc; errors = false } in
+  let t = { table; config; syn_filters; doc; errors = false; on_parse } in
   (t, reparse t)
+
+let set_on_parse t hook = t.on_parse <- Some hook
 
 let edit t ~pos ~del ~insert =
   ignore (Document.edit t.doc ~pos ~del ~insert)

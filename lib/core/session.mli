@@ -18,14 +18,25 @@ type outcome =
       (** the parse failed; previous structure kept, damage still pending *)
 
 (** [syn_filters] are dynamic syntactic filters (§4.1) applied after every
-    successful parse; rejected interpretations are discarded. *)
+    successful parse; rejected interpretations are discarded.
+
+    [on_parse] is a post-parse validation hook, invoked with the committed
+    root after every successful parse (initial and incremental), once any
+    syntactic filters have run.  Intended for sanity checking — e.g. the
+    [Analyze.Check.dag] sanitizer — so dag corruption is detected at the
+    edit that introduces it; an exception it raises propagates to the
+    caller of {!create}/{!reparse}. *)
 val create :
   ?config:Glr.config ->
   ?syn_filters:Syn_filter.rule list ->
+  ?on_parse:(Parsedag.Node.t -> unit) ->
   table:Lrtab.Table.t ->
   lexer:Lexgen.Spec.t ->
   string ->
   t * outcome
+
+(** [set_on_parse t hook] — install or replace the post-parse hook. *)
+val set_on_parse : t -> (Parsedag.Node.t -> unit) -> unit
 
 val document : t -> Vdoc.Document.t
 val root : t -> Parsedag.Node.t

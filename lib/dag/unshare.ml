@@ -1,23 +1,29 @@
+(* Parent links are established as the copy is built: the copy looks
+   intact to [Node.commit] (parent set, no change bits), so commit's
+   intact-subtree shortcut will not walk into it to repair them. *)
 let rec deep_copy n =
-  match n.Node.kind with
-  | Node.Term i ->
-      Node.make_term ~term:i.term ~text:i.text ~trivia:i.trivia
-        ~lex_la:i.lex_la
-  | Node.Prod p ->
-      let c =
+  let c =
+    match n.Node.kind with
+    | Node.Term i ->
+        Node.make_term ~term:i.term ~text:i.text ~trivia:i.trivia
+          ~lex_la:i.lex_la
+    | Node.Prod p ->
         Node.make_prod ~prod:p ~state:n.Node.state
           (Array.map deep_copy n.Node.kids)
-      in
-      c
-  | Node.Choice ci ->
-      let c = Node.make_choice ~nt:ci.nt (Array.map deep_copy n.Node.kids) in
-      (match c.Node.kind with
-      | Node.Choice ci' -> ci'.selected <- ci.selected
-      | _ -> assert false);
-      c
-  | Node.Bos -> Node.make_bos ()
-  | Node.Eos e -> Node.make_eos ~trailing:e.trailing
-  | Node.Root -> Node.make_root (Array.map deep_copy n.Node.kids)
+    | Node.Choice ci ->
+        let c =
+          Node.make_choice ~nt:ci.nt (Array.map deep_copy n.Node.kids)
+        in
+        (match c.Node.kind with
+        | Node.Choice ci' -> ci'.selected <- ci.selected
+        | _ -> assert false);
+        c
+    | Node.Bos -> Node.make_bos ()
+    | Node.Eos e -> Node.make_eos ~trailing:e.trailing
+    | Node.Root -> Node.make_root (Array.map deep_copy n.Node.kids)
+  in
+  Array.iter (fun (k : Node.t) -> k.Node.parent <- Some c) c.Node.kids;
+  c
 
 let run root =
   let seen = Hashtbl.create 64 in

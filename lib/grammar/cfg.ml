@@ -51,6 +51,11 @@ let find_nonterminal g name = Hashtbl.find g.nonterm_index name
 let production g i = g.productions.(i)
 let productions g = g.productions
 let productions_of g nt = g.by_lhs.(nt)
+let iter_productions g f = Array.iter f g.productions
+let fold_productions g f acc = Array.fold_left f acc g.productions
+
+let rhs_mentions g p sym =
+  Array.exists (equal_symbol sym) g.productions.(p).rhs
 let start g = g.start
 let seq_kind g nt = g.seq_kinds.(nt)
 let term_prec g t = g.term_precs.(t)

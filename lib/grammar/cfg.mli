@@ -64,6 +64,15 @@ val productions : t -> production array
 val productions_of : t -> int -> int array
 (** Production ids whose left-hand side is the given nonterminal. *)
 
+val iter_productions : t -> (production -> unit) -> unit
+
+(** [fold_productions g f acc] folds [f] over the productions in id order. *)
+val fold_productions : t -> ('a -> production -> 'a) -> 'a -> 'a
+
+(** [rhs_mentions g p sym] — does production [p]'s right-hand side contain
+    [sym]? *)
+val rhs_mentions : t -> int -> symbol -> bool
+
 val start : t -> int
 (** The user-declared start nonterminal. *)
 

@@ -19,6 +19,7 @@ type conflict = { c_state : int; c_term : int; c_actions : action list }
 
 type t = {
   grammar : Cfg.t;
+  algo : algo;
   auto : Automaton.t;  (* the LR(0) machine; LR1 states are separate *)
   analysis : Grammar.Analysis.t;
   num_states : int;
@@ -30,6 +31,7 @@ type t = {
 }
 
 let grammar t = t.grammar
+let algo t = t.algo
 let automaton t = t.auto
 let analysis t = t.analysis
 let num_states t = t.num_states
@@ -205,8 +207,29 @@ let build ?(algo = LALR) ?(resolve_prec = true) g =
       end
     done
   done;
-  { grammar = g; auto; analysis; num_states = ns; start; actions; goto_nt;
-    nt_actions; conflicts = List.rev !conflicts }
+  { grammar = g; algo; auto; analysis; num_states = ns; start; actions;
+    goto_nt; nt_actions; conflicts = List.rev !conflicts }
+
+let conflict_items t c =
+  match t.algo with
+  | LR1 -> []
+  | SLR | LALR ->
+      let ctx = Automaton.ctx t.auto in
+      let reduced =
+        List.filter_map
+          (function Reduce p -> Some p | Shift _ | Accept -> None)
+          c.c_actions
+      in
+      Array.to_list (Automaton.state t.auto c.c_state).Automaton.items
+      |> List.filter (fun item ->
+             match Item.next_symbol ctx item with
+             | Some (Cfg.T term) ->
+                 term = c.c_term
+                 && List.exists
+                      (function Shift _ -> true | _ -> false)
+                      c.c_actions
+             | Some (Cfg.N _) -> false
+             | None -> List.mem (Item.prod_of ctx item) reduced)
 
 let pp_conflict t ppf c =
   Format.fprintf ppf "state %d on %s: %a" c.c_state

@@ -38,6 +38,11 @@ val build : ?algo:algo -> ?resolve_prec:bool -> Grammar.Cfg.t -> t
 val grammar : t -> Grammar.Cfg.t
 (** The original (un-augmented) grammar. *)
 
+val algo : t -> algo
+(** The construction algorithm this table was built with.  Conflict states
+    index the LR(0) machine for [SLR]/[LALR] and the canonical-collection
+    state space for [LR1]. *)
+
 (** The LR(0) characteristic machine (note: [LR1] tables have their own
     state space; this accessor always reports the LR(0) machine). *)
 val automaton : t -> Automaton.t
@@ -66,6 +71,13 @@ val is_deterministic : t -> bool
 (** States in which some entry is multiply defined (used by tests and
     diagnostics). *)
 val conflicted_states : t -> int list
+
+(** LR(0) items participating in a conflict: completed items of the
+    reduced productions plus the items whose dot precedes the conflict
+    terminal (shift side).  Only meaningful for [SLR]/[LALR] tables; the
+    empty list for [LR1].  Items are codes for {!Item.pp} under
+    [Automaton.ctx (automaton t)]. *)
+val conflict_items : t -> conflict -> int list
 
 val pp_conflict : t -> Format.formatter -> conflict -> unit
 val pp_stats : Format.formatter -> t -> unit

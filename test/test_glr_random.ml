@@ -15,9 +15,15 @@ let tokens_of terms =
         lookahead = 0 })
     terms
 
+(* Every accepted parse also goes through the dag sanitizer: randomly
+   generated conflict-heavy grammars are exactly where silent dag
+   corruption would hide.  [assert_dag] raises, which QCheck reports as a
+   counterexample-carrying failure. *)
 let glr_accepts table terms =
   match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
-  | _ -> true
+  | root, _ ->
+      Analyze.Check.assert_dag table root;
+      true
   | exception Glr.Parse_error _ -> false
 
 (* Random layered grammars (from Test_grammar) have plenty of retained
@@ -62,6 +68,7 @@ let prop_yield_preserved =
       match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
       | exception Glr.Parse_error _ -> true (* ambiguity-unrelated reject *)
       | root, _ ->
+          Analyze.Check.assert_dag table root;
           let expected =
             String.concat ""
               (List.map (fun t -> Printf.sprintf " t%d" t) terms)
@@ -96,6 +103,7 @@ let prop_dag_wellformed =
       match Glr.parse_tokens table (tokens_of terms) ~trailing:"" with
       | exception Glr.Parse_error _ -> true
       | root, _ ->
+          Analyze.Check.assert_dag table root;
           let ok = ref true in
           Node.iter
             (fun n ->

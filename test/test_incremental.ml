@@ -12,7 +12,12 @@ module Language = Languages.Language
 let session lang text =
   let table = Language.table lang in
   let lexer = Language.lexer lang in
-  Session.create ~table ~lexer text
+  (* The dag sanitizer runs after every successful parse — initial and
+     incremental — so any test edit that silently corrupts the dag fails
+     at the edit that introduced the damage. *)
+  Session.create ~table ~lexer
+    ~on_parse:(fun root -> Analyze.Check.assert_dag table root)
+    text
 
 let batch_sexp lang text =
   let s, outcome = session lang text in

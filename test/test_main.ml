@@ -23,4 +23,5 @@ let () =
       ("langs", Test_langs.suite);
       ("sequence", Test_sequence.suite);
       ("trace", Test_trace.suite);
+      ("analyze", Test_analyze.suite);
     ]
