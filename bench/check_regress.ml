@@ -1,0 +1,187 @@
+(* Regression gate over the bench harness's machine-readable output.
+
+   Usage:
+     check_regress.exe --baseline DIR --fresh DIR
+         [--tolerance 0.2] [--reuse-tolerance 0.2] [--floor-ms 5.0]
+
+   Both directories must hold BENCH_latency.json and BENCH_reuse.json
+   (iglr-bench/1 schema).  Entries are keyed by (experiment, language,
+   case); only entries with "gate": true are compared.
+
+   - Latency: fail when fresh median > baseline median * (1 + tolerance),
+     but entries whose baseline median is below --floor-ms are skipped —
+     sub-millisecond medians on smoke-scale inputs are dominated by
+     clock/alloc noise, not by the parser.
+   - Reuse: fail when any fresh percentage drops below
+     baseline * (1 - reuse-tolerance).  These are deterministic (seeded
+     edit streams), so they are the primary gate.
+
+   Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors. *)
+
+module Json = Metrics.Json
+
+let tolerance = ref 0.2
+let reuse_tolerance = ref 0.2
+let floor_ms = ref 5.0
+let baseline_dir = ref ""
+let fresh_dir = ref ""
+let failures = ref 0
+let compared = ref 0
+let skipped = ref 0
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("check_regress: " ^ msg);
+      exit 2)
+    fmt
+
+let get_str name entry =
+  match Option.bind (Json.member name entry) Json.to_str with
+  | Some s -> s
+  | None -> die "entry missing string field %S" name
+
+let get_float name entry =
+  Option.bind (Json.member name entry) Json.to_float
+
+let gated entry =
+  match Option.bind (Json.member "gate" entry) Json.to_bool with
+  | Some b -> b
+  | None -> false
+
+let key entry =
+  (get_str "experiment" entry, get_str "language" entry, get_str "case" entry)
+
+let pp_key (e, l, c) = Printf.sprintf "%s/%s/%s" e l c
+
+let entries file =
+  let doc = try Json.of_file file with
+    | Sys_error msg -> die "%s" msg
+    | Json.Parse msg -> die "%s: %s" file msg
+  in
+  (match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some "iglr-bench/1" -> ()
+  | Some other -> die "%s: unknown schema %S" file other
+  | None -> die "%s: missing schema field" file);
+  match Option.bind (Json.member "entries" doc) Json.to_list with
+  | Some es -> List.map (fun e -> (key e, e)) es
+  | None -> die "%s: missing entries array" file
+
+let scale_of file =
+  Option.bind (Json.member "scale" (Json.of_file file)) Json.to_float
+
+let fail key fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %-40s %s\n" (pp_key key) msg)
+    fmt
+
+let ok key fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr compared;
+      Printf.printf "ok   %-40s %s\n" (pp_key key) msg)
+    fmt
+
+(* Latency entries carry a median in ms; ratio entries a dimensionless
+   ratio.  Both compare fresh against baseline * (1 + tolerance). *)
+let check_latency key base fresh =
+  match (get_float "median" base, get_float "median" fresh) with
+  | Some bm, Some fm ->
+      if bm < !floor_ms then begin
+        incr skipped;
+        Printf.printf "skip %-40s baseline %.3f ms below noise floor\n"
+          (pp_key key) bm
+      end
+      else if fm > bm *. (1. +. !tolerance) then
+        fail key "median %.2f ms vs baseline %.2f ms (+%.0f%%, tolerance %.0f%%)"
+          fm bm
+          ((fm /. bm -. 1.) *. 100.)
+          (!tolerance *. 100.)
+      else ok key "median %.2f ms vs baseline %.2f ms" fm bm
+  | _ -> (
+      match (get_float "ratio" base, get_float "ratio" fresh) with
+      | Some br, Some fr ->
+          if fr > br *. (1. +. !tolerance) then
+            fail key "ratio %.3f vs baseline %.3f" fr br
+          else ok key "ratio %.3f vs baseline %.3f" fr br
+      | _ -> die "latency entry %s has neither median nor ratio" (pp_key key))
+
+(* Reuse entries carry one or more *_pct fields; each must stay within
+   reuse-tolerance of its baseline. *)
+let check_reuse key base fresh =
+  let fields entry =
+    match entry with
+    | Json.Obj kvs ->
+        List.filter_map
+          (fun (k, v) ->
+            if String.length k > 4 && Filename.check_suffix k "_pct" then
+              Option.map (fun f -> (k, f)) (Json.to_float v)
+            else None)
+          kvs
+    | _ -> []
+  in
+  List.iter
+    (fun (name, bv) ->
+      match List.assoc_opt name (fields fresh) with
+      | None -> fail key "fresh output lost field %s" name
+      | Some fv ->
+          if fv < bv *. (1. -. !reuse_tolerance) then
+            fail key "%s %.2f%% vs baseline %.2f%% (tolerance -%.0f%%)" name fv
+              bv
+              (!reuse_tolerance *. 100.)
+          else ok key "%s %.2f%% vs baseline %.2f%%" name fv bv)
+    (fields base)
+
+let check kind checker file =
+  let base = entries (Filename.concat !baseline_dir file) in
+  let fresh = entries (Filename.concat !fresh_dir file) in
+  List.iter
+    (fun (k, b) ->
+      if gated b then
+        match List.assoc_opt k fresh with
+        | None -> fail k "missing from fresh %s output" kind
+        | Some f -> checker k b f)
+    base
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: d :: rest ->
+        baseline_dir := d;
+        parse rest
+    | "--fresh" :: d :: rest ->
+        fresh_dir := d;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        parse rest
+    | "--reuse-tolerance" :: v :: rest ->
+        reuse_tolerance := float_of_string v;
+        parse rest
+    | "--floor-ms" :: v :: rest ->
+        floor_ms := float_of_string v;
+        parse rest
+    | arg :: _ -> die "unknown argument %S" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline_dir = "" || !fresh_dir = "" then
+    die "both --baseline and --fresh are required";
+  (* Comparing runs at different scales compares different workloads. *)
+  (let f = Filename.concat !baseline_dir "BENCH_latency.json" in
+   let g = Filename.concat !fresh_dir "BENCH_latency.json" in
+   match (scale_of f, scale_of g) with
+   | Some a, Some b when a <> b ->
+       Printf.printf
+         "note: baseline scale %.3f != fresh scale %.3f; latency entries \
+          are not comparable, gating on reuse only\n"
+         a b;
+       tolerance := infinity
+   | _ -> ());
+  check "latency" check_latency "BENCH_latency.json";
+  check "reuse" check_reuse "BENCH_reuse.json";
+  Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
+    !compared !skipped !failures
+    (if !failures = 1 then "" else "s");
+  exit (if !failures > 0 then 1 else 0)

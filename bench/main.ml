@@ -9,7 +9,12 @@
 
    The --scale factor multiplies the Table 1 line counts (default 0.05 so
    the full suite runs in minutes; densities, and therefore measured
-   overheads, are scale-invariant). *)
+   overheads, are scale-invariant).
+
+   Besides the text tables, the harness emits machine-readable results —
+   BENCH_latency.json and BENCH_reuse.json in --json-dir (default the
+   working directory; --no-json disables) — which seed the perf
+   trajectory and feed bench/check_regress.ml, the regression gate. *)
 
 module Session = Iglr.Session
 module Glr = Iglr.Glr
@@ -18,39 +23,121 @@ module Stats = Parsedag.Stats
 module Language = Languages.Language
 module Spec_gen = Workload.Spec_gen
 module Edit_gen = Workload.Edit_gen
+module Json = Metrics.Json
 
 let scale = ref 0.05
+let json_dir = ref (Some ".")
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers.                                                     *)
 
 let now = Unix.gettimeofday
 
-(* Naive substring search (no Str dependency). *)
+(* Substring search: the shared linear-time utility (Workload.Textutil),
+   kept under the historical local name. *)
 let find_sub text pat =
-  let n = String.length text and m = String.length pat in
-  let rec go i =
-    if i + m > n then raise Not_found
-    else if String.sub text i m = pat then i
-    else go (i + 1)
-  in
-  go 0
+  match Workload.Textutil.find text ~pat with
+  | Some i -> i
+  | None -> raise Not_found
 
-let median xs =
+(* min / median / p90 over a sample list; a single median hides both the
+   best case (min, the steady-state figure) and the tail (p90). *)
+type timing = { tmin : float; tmed : float; tp90 : float }
+
+let timing_of_samples xs =
   let a = Array.of_list xs in
+  if Array.length a = 0 then invalid_arg "timing_of_samples: empty";
   Array.sort compare a;
-  a.(Array.length a / 2)
+  let n = Array.length a in
+  let rank p = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+  { tmin = a.(0); tmed = a.(n / 2); tp90 = a.(max 0 (rank 0.9)) }
 
 let time_once f =
   let t0 = now () in
   let r = f () in
   (r, now () -. t0)
 
-let time_median ?(runs = 5) f =
-  median (List.init runs (fun _ -> snd (time_once f)))
+let time_stats ?(runs = 5) f =
+  timing_of_samples (List.init runs (fun _ -> snd (time_once f)))
+
+let time_median ?runs f = (time_stats ?runs f).tmed
 
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results.                                           *)
+
+(* Entries accumulate as experiments run and are flushed to
+   BENCH_latency.json / BENCH_reuse.json at exit.  A [gate] entry is one
+   the regression gate compares against the committed baseline; purely
+   informational figures (absolute wall-clock on tiny inputs, the
+   instrumentation-overhead ratio) ship with [gate = false]. *)
+let latency_entries : Json.t list ref = ref []
+let reuse_entries : Json.t list ref = ref []
+
+let record_latency ?(gate = true) ~experiment ~language ~case ~runs t =
+  latency_entries :=
+    Json.Obj
+      [
+        ("experiment", Json.String experiment);
+        ("language", Json.String language);
+        ("case", Json.String case);
+        ("unit", Json.String "ms");
+        ("min", Json.Float (t.tmin *. 1e3));
+        ("median", Json.Float (t.tmed *. 1e3));
+        ("p90", Json.Float (t.tp90 *. 1e3));
+        ("runs", Json.Int runs);
+        ("gate", Json.Bool gate);
+      ]
+    :: !latency_entries
+
+let record_ratio ?(gate = false) ~experiment ~language ~case ratio =
+  latency_entries :=
+    Json.Obj
+      [
+        ("experiment", Json.String experiment);
+        ("language", Json.String language);
+        ("case", Json.String case);
+        ("unit", Json.String "ratio");
+        ("ratio", Json.Float ratio);
+        ("gate", Json.Bool gate);
+      ]
+    :: !latency_entries
+
+let record_reuse ?(gate = true) ~experiment ~language ~case fields =
+  reuse_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !reuse_entries
+
+let write_json () =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+      let doc kind entries =
+        Json.Obj
+          [
+            ("schema", Json.String "iglr-bench/1");
+            ("kind", Json.String kind);
+            ("scale", Json.Float !scale);
+            ("entries", Json.List (List.rev entries));
+          ]
+      in
+      let latency = Filename.concat dir "BENCH_latency.json" in
+      let reuse = Filename.concat dir "BENCH_reuse.json" in
+      Json.to_file latency (doc "latency" !latency_entries);
+      Json.to_file reuse (doc "reuse" !reuse_entries);
+      Printf.printf "\nwrote %s (%d entries), %s (%d entries)\n" latency
+        (List.length !latency_entries)
+        reuse
+        (List.length !reuse_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -71,21 +158,35 @@ let reparse_exn s =
   | Session.Recovered _ -> failwith "bench: unexpected recovery"
 
 (* One §5 self-cancelling edit cycle: edit, reparse, undo, reparse.
-   Returns total seconds for the two reparses. *)
-let edit_cycle s (e : Edit_gen.edit) =
+   Returns the two reparse times in seconds. *)
+let edit_cycle2 s (e : Edit_gen.edit) =
   let inv = Edit_gen.inverse e (Session.text s) in
   Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
     ~insert:e.Edit_gen.e_insert;
-  let t1 = time_median ~runs:1 (fun () -> reparse_exn s) in
+  let t1 = snd (time_once (fun () -> reparse_exn s)) in
   Session.edit s ~pos:inv.Edit_gen.e_pos ~del:inv.Edit_gen.e_del
     ~insert:inv.Edit_gen.e_insert;
-  let t2 = time_median ~runs:1 (fun () -> reparse_exn s) in
+  let t2 = snd (time_once (fun () -> reparse_exn s)) in
+  (t1, t2)
+
+let edit_cycle s e =
+  let t1, t2 = edit_cycle2 s e in
   t1 +. t2
 
-let mean_incremental_ms s ~seed ~count =
+(* Per-reparse samples over a §5 token-edit stream. *)
+let incremental_samples s ~seed ~count =
   let edits = Edit_gen.token_edits ~seed ~count (Session.text s) in
-  let total = List.fold_left (fun acc e -> acc +. edit_cycle s e) 0.0 edits in
-  total /. float_of_int (2 * count) *. 1e3
+  List.concat_map
+    (fun e ->
+      let t1, t2 = edit_cycle2 s e in
+      [ t1; t2 ])
+    edits
+
+let mean_incremental_ms s ~seed ~count =
+  let samples = incremental_samples s ~seed ~count in
+  List.fold_left ( +. ) 0.0 samples
+  /. float_of_int (List.length samples)
+  *. 1e3
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: space overhead of retained ambiguity.                      *)
@@ -132,7 +233,9 @@ let table1 () =
 
 let fig4 () =
   header "Figure 4: ambiguity distribution across gcc-like source files";
-  let files = 120 in
+  (* 120 files at the default scale; clamp so smoke runs stay fast and the
+     histogram never degenerates below a dozen files. *)
+  let files = max 12 (min 120 (int_of_float (120. *. (!scale /. 0.05)))) in
   let buckets = Array.make 13 0 in
   for i = 0 to files - 1 do
     (* Vary density across files the way a real code base does: many files
@@ -226,12 +329,19 @@ let sec5_batch () =
         (List.map (fun (t : Lexgen.Scanner.token) -> t.Lexgen.Scanner.term) tokens)
     in
     let t_rec = time_median (fun () -> Iglr.Lr_parser.recognize table terms) in
-    let t_det =
-      time_median (fun () -> Iglr.Lr_parser.parse table tokens ~trailing)
+    let st_det =
+      time_stats (fun () -> Iglr.Lr_parser.parse table tokens ~trailing)
     in
-    let t_glr =
-      time_median (fun () -> Glr.parse_tokens table tokens ~trailing)
+    let st_glr =
+      time_stats (fun () -> Glr.parse_tokens table tokens ~trailing)
     in
+    let t_det = st_det.tmed and t_glr = st_glr.tmed in
+    record_latency ~experiment:"sec5-batch" ~language:lang.Language.name
+      ~case:"batch-lr" ~runs:5 st_det;
+    record_latency ~experiment:"sec5-batch" ~language:lang.Language.name
+      ~case:"batch-iglr" ~runs:5 st_glr;
+    record_ratio ~experiment:"sec5-batch" ~language:lang.Language.name
+      ~case:"iglr-over-lr" (t_glr /. t_det);
     Printf.printf "%-8s %8d %9.1f ms %9.1f ms %9.1f ms %9.2f\n"
       lang.Language.name (Array.length terms) (t_rec *. 1e3) (t_det *. 1e3)
       (t_glr *. 1e3) (t_glr /. t_det);
@@ -278,9 +388,20 @@ let sec5_incremental () =
   let count = 30 in
   (* IGLR. *)
   let s = session_of lang src in
-  let t_batch = time_median ~runs:3 (fun () ->
-      session_of lang src) in
-  let iglr_ms = mean_incremental_ms s ~seed:21 ~count in
+  let st_batch = time_stats ~runs:3 (fun () -> session_of lang src) in
+  let t_batch = st_batch.tmed in
+  let iglr_samples = incremental_samples s ~seed:21 ~count in
+  let iglr_ms =
+    List.fold_left ( +. ) 0.0 iglr_samples
+    /. float_of_int (List.length iglr_samples)
+    *. 1e3
+  in
+  record_latency ~experiment:"sec5-incremental" ~language:"c" ~case:"batch"
+    ~runs:3 st_batch;
+  record_latency ~experiment:"sec5-incremental" ~language:"c"
+    ~case:"iglr-reparse"
+    ~runs:(List.length iglr_samples)
+    (timing_of_samples iglr_samples);
   (* Deterministic incremental baseline on its own document. *)
   let doc = Vdoc.Document.create ~lexer src in
   ignore (Iglr.Inc_lr.parse table (Vdoc.Document.root doc));
@@ -457,7 +578,16 @@ let asymptotic () =
       let s = session_of lang src in
       let tokens = Vdoc.Document.token_count (Session.document s) in
       let t_batch = time_median ~runs:3 (fun () -> session_of lang src) in
-      let t_incr = mean_incremental_ms s ~seed:17 ~count:15 in
+      let samples = incremental_samples s ~seed:17 ~count:15 in
+      let t_incr =
+        List.fold_left ( +. ) 0.0 samples
+        /. float_of_int (List.length samples)
+        *. 1e3
+      in
+      record_latency ~experiment:"asymptotic" ~language:"c"
+        ~case:(Printf.sprintf "incr-%d" lines)
+        ~runs:(List.length samples)
+        (timing_of_samples samples);
       Printf.printf "%-8d %8d %12.2f %12.3f %9.0fx\n" lines tokens
         (t_batch *. 1e3) t_incr
         (t_batch *. 1e3 /. t_incr))
@@ -488,7 +618,7 @@ let ablate_reuse () =
   let lines = max 400 (int_of_float (10000. *. !scale)) in
   let src = Spec_gen.plain ~lines ~seed:23 in
   let lang = Languages.C_subset.language in
-  let run name config =
+  let run ?(case = "") name config =
     let s, outcome =
       Session.create ~config ~table:(Language.table lang)
         ~lexer:(Language.lexer lang) src
@@ -496,17 +626,29 @@ let ablate_reuse () =
     (match outcome with
     | Session.Parsed _ -> ()
     | Session.Recovered _ -> failwith "ablation parse failed");
-    let ms = mean_incremental_ms s ~seed:29 ~count:15 in
+    let samples = incremental_samples s ~seed:29 ~count:15 in
+    let ms =
+      List.fold_left ( +. ) 0.0 samples
+      /. float_of_int (List.length samples)
+      *. 1e3
+    in
+    if case <> "" then
+      record_latency ~experiment:"ablate-reuse" ~language:"c" ~case
+        ~runs:(List.length samples)
+        (timing_of_samples samples);
     Printf.printf "%-44s %10.3f ms/reparse\n" name ms;
     ms
   in
-  let full = run "state-matching + node reuse (the paper)" Glr.default_config in
+  let full =
+    run ~case:"full" "state-matching + node reuse (the paper)"
+      Glr.default_config
+  in
   let no_sm =
-    run "no state-matching (decompose to terminals)"
+    run ~case:"no-state-matching" "no state-matching (decompose to terminals)"
       { Glr.default_config with state_matching = false }
   in
   let no_nr =
-    run "no bottom-up node reuse"
+    run ~case:"no-node-reuse" "no bottom-up node reuse"
       { Glr.default_config with reuse_nodes = false }
   in
   Printf.printf
@@ -746,6 +888,141 @@ let bechamel () =
     (bechamel_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Reuse percentages: the observability layer's headline numbers.      *)
+
+(* Deterministic (seeded edit stream over a generated program), so the
+   percentages — unlike wall-clock latencies — gate exactly against the
+   committed baseline. *)
+let reuse () =
+  header "Reuse: per-language reuse percentages over a §5 edit stream";
+  Printf.printf "%-8s %7s %9s %8s %10s %10s %8s\n" "Lang" "cycles" "retain %"
+    "node %" "subtree %" "la-match %" "token %";
+  let c_lines = max 400 (int_of_float (8000. *. !scale)) in
+  let cpp_profile = Spec_gen.find "ensemble" in
+  let cpp_scale =
+    Float.max !scale (600.0 /. float_of_int cpp_profile.Spec_gen.p_lines)
+  in
+  let programs =
+    [
+      ( "calc",
+        Languages.Calc.language,
+        String.concat "\n"
+          (List.init 120 (fun i ->
+               Printf.sprintf "v%d = (1%d + 2) * x%d / 3;" i (i mod 10) i)) );
+      ( "tiny",
+        Languages.Tiny.language,
+        String.concat "\n"
+          (List.init 60 (fun f ->
+               Printf.sprintf
+                 "proc fn%d ( ) { a = 1%d + 2 * b; while (b) { b = b * 2; } }"
+                 f (f mod 10))) );
+      ( "c",
+        Languages.C_subset.language,
+        Spec_gen.plain ~lines:c_lines ~seed:71 );
+      ( "cpp",
+        Spec_gen.language_of cpp_profile,
+        Spec_gen.generate ~seed:73 ~scale:cpp_scale cpp_profile );
+    ]
+  in
+  List.iter
+    (fun (name, lang, src) ->
+      let s = session_of lang src in
+      let count = 12 in
+      let before = Metrics.snapshot () in
+      let edits = Edit_gen.token_edits ~seed:83 ~count (Session.text s) in
+      List.iter (fun e -> ignore (edit_cycle s e)) edits;
+      let d = Metrics.diff (Metrics.snapshot ()) before in
+      let node_pct = Metrics.share d "glr.nodes_reused" "glr.nodes_created" in
+      let subtree_pct =
+        Metrics.share d "glr.shifted_subtrees" "glr.shifted_terminals"
+      in
+      let la_match = Metrics.count d "glr.lookahead_state_match" in
+      let la_other =
+        Metrics.count d "glr.lookahead_state_miss"
+        + Metrics.count d "glr.lookahead_nostate"
+      in
+      let la_pct =
+        if la_match + la_other = 0 then 0.
+        else 100. *. float_of_int la_match /. float_of_int (la_match + la_other)
+      in
+      let token_pct =
+        Metrics.share d "vdoc.tokens_reused" "vdoc.tokens_relexed"
+      in
+      (* Of the whole tree, how much survives an average reparse: nodes
+         allocated per reparse against the tree's node count.  The spine
+         above the edit is always rebuilt, so flat list-shaped programs
+         retain less than nested ones (§3.4). *)
+      let tree_nodes = Node.count_nodes (Session.root s) in
+      let reparses = max 1 (Metrics.count d "glr.parses") in
+      let created_per_reparse =
+        float_of_int (Metrics.count d "glr.nodes_created")
+        /. float_of_int reparses
+      in
+      let retained_pct =
+        100. *. (1. -. (created_per_reparse /. float_of_int tree_nodes))
+      in
+      record_reuse ~experiment:"reuse" ~language:name ~case:"token-edits"
+        [
+          ("cycles", Json.Int count);
+          ("tree_retained_pct", Json.Float retained_pct);
+          ("node_reuse_pct", Json.Float node_pct);
+          ("subtree_shift_pct", Json.Float subtree_pct);
+          ("lookahead_state_match_pct", Json.Float la_pct);
+          ("token_reuse_pct", Json.Float token_pct);
+        ];
+      Printf.printf "%-8s %7d %9.2f %8.2f %10.2f %10.2f %8.2f\n" name count
+        retained_pct node_pct subtree_pct la_pct token_pct)
+    programs;
+  Printf.printf
+    "(retain %%: share of the tree NOT rebuilt by an average reparse; node \
+     %%: dag nodes reused\n bottom-up vs freshly allocated; subtree %%: \
+     undamaged subtrees shifted whole vs terminal\n shifts; la-match %%: \
+     lookahead subtrees accepted by the recorded state vs decomposed; token \
+     %%:\n tokens reused by the incremental lexer vs re-lexed)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation overhead: the observability layer's own cost.       *)
+
+let overhead () =
+  header "Instrumentation overhead: metrics on vs off (§5 edit cycle)";
+  let open Bechamel in
+  let estimate name f =
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+    let ols =
+      Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    match Test.elements (Test.make ~name (Staged.stage f)) with
+    | [ elt ] -> (
+        let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+        match
+          Analyze.OLS.estimates
+            (Analyze.one ols Toolkit.Instance.monotonic_clock raw)
+        with
+        | Some [ t ] -> t
+        | _ -> nan)
+    | _ -> nan
+  in
+  let s =
+    session_of Languages.C_subset.language (Spec_gen.plain ~lines:400 ~seed:91)
+  in
+  let e = List.hd (Edit_gen.token_edits ~seed:97 ~count:1 (Session.text s)) in
+  let cycle () = ignore (edit_cycle s e) in
+  Metrics.set_enabled true;
+  let on_ns = estimate "metrics-on" cycle in
+  Metrics.set_enabled false;
+  let off_ns = estimate "metrics-off" cycle in
+  Metrics.set_enabled true;
+  let ratio = on_ns /. off_ns in
+  record_ratio ~experiment:"overhead" ~language:"c" ~case:"edit-cycle-on-off"
+    ratio;
+  Printf.printf
+    "metrics on: %.1f ns/run, off: %.1f ns/run — overhead %+.2f%% (target < \
+     5%%; informational, not gated:\n single-digit-µs cycles make the ratio \
+     noisy at small scales)\n"
+    on_ns off_ns
+    ((ratio -. 1.) *. 100.)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -759,6 +1036,8 @@ let experiments =
     ("asymptotic", asymptotic);
     ("attrs", attrs);
     ("ablate-reuse", ablate_reuse);
+    ("reuse", reuse);
+    ("overhead", overhead);
     ("earley", earley);
     ("bechamel", bechamel);
   ]
@@ -769,6 +1048,12 @@ let () =
     | [] -> picked
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
+        parse_args picked rest
+    | "--json-dir" :: d :: rest ->
+        json_dir := Some d;
+        parse_args picked rest
+    | "--no-json" :: rest ->
+        json_dir := None;
         parse_args picked rest
     | name :: rest when List.mem_assoc name experiments ->
         parse_args (name :: picked) rest
@@ -786,4 +1071,5 @@ let () =
     "Incremental Analysis of Real Programming Languages — evaluation \
      (scale %.3f)\n"
     !scale;
-  List.iter (fun name -> (List.assoc name experiments) ()) to_run
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  write_json ()

@@ -60,7 +60,20 @@ let parse_cmd =
   let sexp =
     Arg.(value & flag & info [ "sexp" ] ~doc:"Print a compact s-expression.")
   in
-  let run lang file dump sexp =
+  let stats =
+    (* --stats prints the observability snapshot; --stats=json emits it as
+       JSON on stdout for scripting. *)
+    Arg.(
+      value
+      & opt ~vopt:(Some `Text)
+          (some (enum [ ("text", `Text); ("json", `Json) ]))
+          None
+      & info [ "stats" ] ~docv:"FMT"
+          ~doc:
+            "Print the metrics snapshot of the parse (counters, spans, \
+             reuse percentages); FMT is $(b,text) (default) or $(b,json).")
+  in
+  let run lang file dump sexp stats =
     let text = read_input file in
     let s, outcome =
       Iglr.Session.create
@@ -68,14 +81,19 @@ let parse_cmd =
         ~lexer:(Languages.Language.lexer lang)
         text
     in
-    (match outcome with
-    | Iglr.Session.Parsed st ->
-        print_stats st;
-        let m = Parsedag.Stats.measure (Iglr.Session.root s) in
-        Format.printf "space: %a@." Parsedag.Stats.pp m
-    | Iglr.Session.Recovered { error; flagged } ->
-        Printf.printf "syntax error near token %d (%s); %d token(s) flagged\n"
-          error.Iglr.Glr.offset_tokens error.Iglr.Glr.message flagged);
+    let errors =
+      match outcome with
+      | Iglr.Session.Parsed st ->
+          print_stats st;
+          let m = Parsedag.Stats.measure (Iglr.Session.root s) in
+          Format.printf "space: %a@." Parsedag.Stats.pp m;
+          false
+      | Iglr.Session.Recovered { error; flagged } ->
+          Printf.printf
+            "syntax error near token %d (%s); %d token(s) flagged\n"
+            error.Iglr.Glr.offset_tokens error.Iglr.Glr.message flagged;
+          true
+    in
     if dump then
       Format.printf "%a"
         (Parsedag.Pp.pp lang.Languages.Language.grammar)
@@ -83,10 +101,18 @@ let parse_cmd =
     if sexp then
       print_endline
         (Parsedag.Pp.to_sexp lang.Languages.Language.grammar
-           (Iglr.Session.root s))
+           (Iglr.Session.root s));
+    (match stats with
+    | None -> ()
+    | Some `Text -> Format.printf "%a" Metrics.pp (Iglr.Session.metrics s)
+    | Some `Json ->
+        print_string
+          (Metrics.Json.to_string (Metrics.to_json (Iglr.Session.metrics s))));
+    (* Scripting: exit 2 on a syntax error (0 = clean parse). *)
+    if errors then exit 2
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse a file with the IGLR parser")
-    Term.(const run $ lang_arg $ file_arg $ dump $ sexp)
+    Term.(const run $ lang_arg $ file_arg $ dump $ sexp $ stats)
 
 let table_cmd =
   let run lang =

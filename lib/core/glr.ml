@@ -31,6 +31,31 @@ let fresh_stats () =
     nodes_reused = 0;
   }
 
+(* Global observability (lib/metrics): per-parse totals are folded in
+   once at the end of [parse] — the hot loop only pays for the lookahead
+   state-check classification below, a counter bump per subtree shift
+   attempt. *)
+let m_parse_span = Metrics.timer "glr.parse"
+let m_parses = Metrics.counter "glr.parses"
+let m_parse_errors = Metrics.counter "glr.parse_errors"
+let m_reductions = Metrics.counter "glr.reductions"
+let m_breakdowns = Metrics.counter "glr.breakdowns"
+let m_shifted_subtrees = Metrics.counter "glr.shifted_subtrees"
+let m_shifted_terminals = Metrics.counter "glr.shifted_terminals"
+let m_nodes_created = Metrics.counter "glr.nodes_created"
+let m_nodes_reused = Metrics.counter "glr.nodes_reused"
+let m_forks = Metrics.counter "glr.forks"
+let m_gss_nodes = Metrics.counter "glr.gss_nodes"
+let m_gss_peak = Metrics.peak "glr.gss_peak_parsers"
+
+(* Outcomes of the state-matching test on a subtree lookahead
+   (§3.2/§3.3): matched and shifted whole, rejected because the recorded
+   state differs, or rejected because the subtree was built while several
+   parsers were active ([nostate], the non-deterministic class). *)
+let m_la_state_match = Metrics.counter "glr.lookahead_state_match"
+let m_la_state_miss = Metrics.counter "glr.lookahead_state_miss"
+let m_la_nostate = Metrics.counter "glr.lookahead_nostate"
+
 type config = {
   reuse_nodes : bool;
   unshare_eps : bool;
@@ -428,6 +453,12 @@ let settle_lookahead r =
                  | `T _ | `Other -> false)
           | None -> false
         in
+        (* Classify only undamaged subtrees: a changed lookahead must be
+           decomposed regardless of its recorded state. *)
+        if not (Node.has_changes la) then
+          if ok then Metrics.incr m_la_state_match
+          else if la.Node.state = Node.nostate then Metrics.incr m_la_nostate
+          else Metrics.incr m_la_state_miss;
         if not ok then begin
           r.stats.breakdowns <- r.stats.breakdowns + 1;
           Traverse.descend r.cursor;
@@ -643,18 +674,40 @@ let make_run config table root =
     sym_tab = Hashtbl.create 64;
   }
 
+(* Fold a finished run's per-parse stats into the global registry: one
+   batch of counter adds per parse, nothing per token. *)
+let record_run r ~gss0 =
+  Metrics.incr m_parses;
+  Metrics.add m_reductions r.stats.reductions;
+  Metrics.add m_breakdowns r.stats.breakdowns;
+  Metrics.add m_shifted_subtrees r.stats.shifted_subtrees;
+  Metrics.add m_shifted_terminals r.stats.shifted_terminals;
+  Metrics.add m_nodes_created r.stats.nodes_created;
+  Metrics.add m_nodes_reused r.stats.nodes_reused;
+  Metrics.add m_forks r.stats.forks;
+  Metrics.add m_gss_nodes (Gss.allocated () - gss0);
+  Metrics.record_peak m_gss_peak r.stats.max_parsers
+
 let parse ?(config = default_config) table root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Glr.parse: not a document root");
   process_modifications root;
+  let t0 = Metrics.start () in
+  let gss0 = Gss.allocated () in
   let r = make_run config table root in
   let bos = root.Node.kids.(0) in
   r.active <- [ Gss.make_node ~state:(Table.start_state table) [] ];
   r.stats.max_parsers <- 1;
-  while r.accepting = None do
-    parse_next_symbol r
-  done;
+  (try
+     while r.accepting = None do
+       parse_next_symbol r
+     done
+   with Parse_error _ as e ->
+     Metrics.incr m_parse_errors;
+     record_run r ~gss0;
+     Metrics.stop m_parse_span t0;
+     raise e);
   (match r.accepting with
   | Some p -> (
       match p.Gss.links with
@@ -666,6 +719,8 @@ let parse ?(config = default_config) table root =
           Node.commit root
       | [] -> assert false)
   | None -> assert false);
+  record_run r ~gss0;
+  Metrics.stop m_parse_span t0;
   r.stats
 
 let parse_tokens ?(config = default_config) table tokens ~trailing =

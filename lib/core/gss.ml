@@ -9,6 +9,7 @@ let make_node ~state links =
 
 let add_link n l = n.links <- l :: n.links
 let make_link ~head ~label = { head; label }
+let allocated () = !counter
 
 let paths node ~arity =
   let acc = ref [] in

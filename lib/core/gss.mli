@@ -23,6 +23,10 @@ val make_node : state:int -> link list -> node
 val add_link : node -> link -> unit
 val make_link : head:node -> label:Parsedag.Node.t -> link
 
+val allocated : unit -> int
+(** Process-wide count of GSS nodes ever allocated; the delta across one
+    parse is its GSS footprint (the observability layer reads it). *)
+
 (** [paths node ~arity] — all downward paths of exactly [arity] links;
     each result is [(bottom, labels)] with labels in left-to-right (yield)
     order. *)

@@ -5,11 +5,32 @@ module Traverse = Parsedag.Traverse
 
 exception Error of { offset_tokens : int; message : string }
 
+(* Per-parse totals folded into the registry once per parse, mirroring
+   the IGLR engine's "glr.*" family for the deterministic baseline. *)
+let m_parse_span = Metrics.timer "inclr.parse"
+let m_parses = Metrics.counter "inclr.parses"
+let m_reductions = Metrics.counter "inclr.reductions"
+let m_breakdowns = Metrics.counter "inclr.breakdowns"
+let m_shifted_subtrees = Metrics.counter "inclr.shifted_subtrees"
+let m_shifted_terminals = Metrics.counter "inclr.shifted_terminals"
+let m_nodes_created = Metrics.counter "inclr.nodes_created"
+let m_nodes_reused = Metrics.counter "inclr.nodes_reused"
+
+let record stats =
+  Metrics.incr m_parses;
+  Metrics.add m_reductions stats.Glr.reductions;
+  Metrics.add m_breakdowns stats.Glr.breakdowns;
+  Metrics.add m_shifted_subtrees stats.Glr.shifted_subtrees;
+  Metrics.add m_shifted_terminals stats.Glr.shifted_terminals;
+  Metrics.add m_nodes_created stats.Glr.nodes_created;
+  Metrics.add m_nodes_reused stats.Glr.nodes_reused
+
 let parse ?(reuse_nodes = true) table root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Inc_lr.parse: not a document root");
   Glr.process_modifications root;
+  let t0 = Metrics.start () in
   let g = Table.grammar table in
   let stats = Glr.fresh_stats () in
   stats.Glr.max_parsers <- 1;
@@ -149,4 +170,6 @@ let parse ?(reuse_nodes = true) table root =
   root.Node.kids <- [| bos; Option.get !result; eos |];
   Node.refresh_token_count root;
   Node.commit root;
+  record stats;
+  Metrics.stop m_parse_span t0;
   stats

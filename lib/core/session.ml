@@ -1,11 +1,23 @@
 module Node = Parsedag.Node
 module Document = Vdoc.Document
 
+(* Reparse latency distribution across every session in the process;
+   log-ish bucket bounds in milliseconds. *)
+let m_reparse_ms =
+  Metrics.histogram "session.reparse_ms"
+    ~bounds:[| 0.1; 0.3; 1.; 3.; 10.; 30.; 100.; 300.; 1000. |]
+
+let m_reparses = Metrics.counter "session.reparses"
+let m_recoveries = Metrics.counter "session.recoveries"
+
 type t = {
   table : Lrtab.Table.t;
   config : Glr.config;
   syn_filters : Syn_filter.rule list;
   doc : Document.t;
+  baseline : Metrics.snapshot;
+      (* registry state at session creation: [metrics] reports the
+         activity attributable to this session's lifetime *)
   mutable errors : bool;
   mutable on_parse : (Node.t -> unit) option;
 }
@@ -20,9 +32,14 @@ let text t = Document.text t.doc
 let table t = t.table
 let has_errors t = t.errors
 
+let metrics t = Metrics.diff (Metrics.snapshot ()) t.baseline
+
 let reparse t =
+  let t0 = Metrics.start () in
+  Metrics.incr m_reparses;
   match Glr.parse ~config:t.config t.table (Document.root t.doc) with
   | stats ->
+      Metrics.observe_since m_reparse_ms t0;
       if t.syn_filters <> [] then
         ignore
           (Syn_filter.apply
@@ -34,6 +51,8 @@ let reparse t =
       | None -> ());
       Parsed stats
   | exception Glr.Parse_error error ->
+      Metrics.incr m_recoveries;
+      Metrics.observe_since m_reparse_ms t0;
       (* History-based, non-correcting recovery: the previous structure is
          intact (the parser only commits on success); flag the pending
          modifications as unincorporated and leave their change bits set so
@@ -51,8 +70,11 @@ let reparse t =
 
 let create ?(config = Glr.default_config) ?(syn_filters = []) ?on_parse
     ~table ~lexer text =
+  let baseline = Metrics.snapshot () in
   let doc = Document.create ~lexer text in
-  let t = { table; config; syn_filters; doc; errors = false; on_parse } in
+  let t =
+    { table; config; syn_filters; doc; baseline; errors = false; on_parse }
+  in
   (t, reparse t)
 
 let set_on_parse t hook = t.on_parse <- Some hook

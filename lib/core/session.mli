@@ -38,6 +38,15 @@ val create :
 (** [set_on_parse t hook] — install or replace the post-parse hook. *)
 val set_on_parse : t -> (Parsedag.Node.t -> unit) -> unit
 
+val metrics : t -> Metrics.snapshot
+(** Observability delta attributable to this session: the global
+    {!Metrics} registry diffed against its state when the session was
+    created.  Covers parse work ([glr.*]), relex reuse ([vdoc.*]), dag
+    maintenance ([dag.*]) and reparse latency ([session.*]).  Note the
+    registry is process-global: concurrent sessions fold into the same
+    counters, so per-session readings assume one active session (the
+    tooling case). *)
+
 val document : t -> Vdoc.Document.t
 val root : t -> Parsedag.Node.t
 val text : t -> string

@@ -31,11 +31,20 @@ type t = {
 let nostate = -1
 let counter = ref 0
 
+(* Dag-maintenance observability: node allocations, choice packing, and
+   the size of the region [commit] actually walks (the rebuilt part of
+   the document — the paper's damage, not its size). *)
+let m_nodes = Metrics.counter "dag.nodes_allocated"
+let m_choices = Metrics.counter "dag.choices_packed"
+let m_commits = Metrics.counter "dag.commits"
+let m_commit_walked = Metrics.counter "dag.commit_nodes_walked"
+
 let sum_tcount kids =
   Array.fold_left (fun acc (k : t) -> acc + k.tcount) 0 kids
 
 let fresh kind state kids =
   incr counter;
+  Metrics.incr m_nodes;
   let tcount =
     match kind with
     | Term _ -> 1
@@ -62,6 +71,7 @@ let make_prod ~prod ~state kids = fresh (Prod prod) state kids
 
 let make_choice ~nt alts =
   if Array.length alts < 2 then invalid_arg "Node.make_choice: < 2 alternatives";
+  Metrics.incr m_choices;
   fresh (Choice { nt; selected = -1 }) nostate alts
 
 let make_bos () = fresh Bos nostate [||]
@@ -169,6 +179,7 @@ let commit root =
     && (not k.changed) && not k.nested
   in
   let rec walk ~force n =
+    Metrics.incr m_commit_walked;
     n.changed <- false;
     n.nested <- false;
     match n.kind with
@@ -198,6 +209,7 @@ let commit root =
             end)
           n.kids
   in
+  Metrics.incr m_commits;
   root.parent <- None;
   walk ~force:false root
 

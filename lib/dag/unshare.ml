@@ -25,6 +25,9 @@ let rec deep_copy n =
   Array.iter (fun (k : Node.t) -> k.Node.parent <- Some c) c.Node.kids;
   c
 
+let m_runs = Metrics.counter "dag.unshare_runs"
+let m_copies = Metrics.counter "dag.unshare_copies"
+
 let run root =
   let seen = Hashtbl.create 64 in
   let duplicated = ref 0 in
@@ -53,4 +56,6 @@ let run root =
       n.Node.kids
   in
   walk root;
+  Metrics.incr m_runs;
+  Metrics.add m_copies !duplicated;
   !duplicated

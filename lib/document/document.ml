@@ -1,6 +1,14 @@
 module Node = Parsedag.Node
 module Scanner = Lexgen.Scanner
 
+(* Relex observability: per edit, how many tokens were actually rescanned
+   versus kept (including tokens rescanned to an identical value and
+   trimmed back — those count as reused, since their tree nodes are). *)
+let m_edits = Metrics.counter "vdoc.edits"
+let m_relex_span = Metrics.timer "vdoc.relex"
+let m_tokens_relexed = Metrics.counter "vdoc.tokens_relexed"
+let m_tokens_reused = Metrics.counter "vdoc.tokens_reused"
+
 type t = {
   lexer : Lexgen.Spec.t;
   mutable root : Node.t;
@@ -93,8 +101,9 @@ let edit t ~pos ~del ~insert =
   in
   (* Relex before touching the tree so a lex error leaves us unchanged. *)
   let r =
-    Relex.relex ~lexer:t.lexer ~old_text:t.text ~leaves:t.leaves ~pos ~del
-      ~insert ~new_text
+    Metrics.time m_relex_span (fun () ->
+        Relex.relex ~lexer:t.lexer ~old_text:t.text ~leaves:t.leaves ~pos ~del
+          ~insert ~new_text)
   in
   let n = Array.length t.leaves in
   (* Trim replacement tokens that are identical to the leaves they would
@@ -137,6 +146,9 @@ let edit t ~pos ~del ~insert =
       tokens = List.rev !rev;
     }
   in
+  Metrics.incr m_edits;
+  Metrics.add m_tokens_relexed (List.length r.Relex.tokens);
+  Metrics.add m_tokens_reused (n - r.Relex.replaced);
   let new_terms = Array.of_list (List.map node_of_token r.Relex.tokens) in
   (* Splice into the tree: the replacement terminals take the tree position
      of the first replaced leaf (or sit just before eos when appending);

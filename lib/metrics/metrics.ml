@@ -1,0 +1,244 @@
+(* Lightweight observability registry for the hot paths.
+
+   Metric handles are created once, at module initialisation time, and
+   updated with a single flag test plus a store — no allocation, no
+   hashing on the hot path.  When the registry is disabled the update is
+   one branch.  Snapshots copy the registry into an immutable association
+   list; deltas between snapshots give per-session or per-experiment
+   views over the same global counters. *)
+
+module Json = Json
+
+type counter = { c_name : string; mutable c_v : int }
+
+type timer = {
+  t_name : string;
+  mutable t_seconds : float;
+  mutable t_events : int;
+}
+
+(* High-watermark gauge (e.g. peak simultaneous GLR parsers). *)
+type peak = { p_name : string; mutable p_v : int }
+
+type histogram = {
+  h_name : string;
+  h_bounds : float array;  (* ascending upper bounds; last bucket = +inf *)
+  h_counts : int array;    (* length = length bounds + 1 *)
+}
+
+type metric =
+  | Counter of counter
+  | Timer of timer
+  | Peak of peak
+  | Histogram of histogram
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let on = ref true
+
+let enabled () = !on
+let set_enabled b = on := b
+
+let register name m =
+  if Hashtbl.mem registry name then
+    invalid_arg (Printf.sprintf "Metrics: duplicate metric %S" name);
+  Hashtbl.replace registry name m
+
+let counter name =
+  let c = { c_name = name; c_v = 0 } in
+  register name (Counter c);
+  c
+
+let timer name =
+  let t = { t_name = name; t_seconds = 0.; t_events = 0 } in
+  register name (Timer t);
+  t
+
+let peak name =
+  let p = { p_name = name; p_v = 0 } in
+  register name (Peak p);
+  p
+
+let histogram name ~bounds =
+  (let sorted = Array.copy bounds in
+   Array.sort compare sorted;
+   if sorted <> bounds then invalid_arg "Metrics.histogram: unsorted bounds");
+  let h =
+    { h_name = name; h_bounds = bounds;
+      h_counts = Array.make (Array.length bounds + 1) 0 }
+  in
+  register name (Histogram h);
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path updates.                                                   *)
+
+let[@inline] incr c = if !on then c.c_v <- c.c_v + 1
+let[@inline] add c n = if !on then c.c_v <- c.c_v + n
+let[@inline] record_peak p v = if !on && v > p.p_v then p.p_v <- v
+
+let now = Unix.gettimeofday
+
+(* [start]/[stop] bracket a span without closures: [start] returns a
+   timestamp (0. when disabled), [stop] accumulates. *)
+let[@inline] start () = if !on then now () else 0.
+
+let[@inline] stop t t0 =
+  if !on && t0 <> 0. then begin
+    t.t_seconds <- t.t_seconds +. (now () -. t0);
+    t.t_events <- t.t_events + 1
+  end
+
+let time t f =
+  let t0 = start () in
+  match f () with
+  | r ->
+      stop t t0;
+      r
+  | exception e ->
+      stop t t0;
+      raise e
+
+let observe h x =
+  if !on then begin
+    let n = Array.length h.h_bounds in
+    let rec bucket i = if i >= n || x <= h.h_bounds.(i) then i else bucket (i + 1) in
+    let i = bucket 0 in
+    h.h_counts.(i) <- h.h_counts.(i) + 1
+  end
+
+(* [observe_since h t0] — record the milliseconds elapsed since a
+   [start] timestamp; no-op when that start was taken disabled. *)
+let observe_since h t0 =
+  if !on && t0 <> 0. then observe h ((now () -. t0) *. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+type value =
+  | Count of int
+  | Span of { seconds : float; events : int }
+  | Gauge of int
+  | Hist of { bounds : float array; counts : int array }
+
+type snapshot = (string * value) list
+
+let value_of = function
+  | Counter c -> Count c.c_v
+  | Timer t -> Span { seconds = t.t_seconds; events = t.t_events }
+  | Peak p -> Gauge p.p_v
+  | Histogram h ->
+      Hist { bounds = h.h_bounds; counts = Array.copy h.h_counts }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* [diff later earlier] — the activity between two snapshots.  Counters,
+   spans and histogram buckets subtract; gauges are high-watermarks over
+   the whole process, so the later value is reported as-is. *)
+let diff later earlier =
+  List.map
+    (fun (name, v) ->
+      match v, List.assoc_opt name earlier with
+      | Count b, Some (Count a) -> (name, Count (max 0 (b - a)))
+      | Span b, Some (Span a) ->
+          ( name,
+            Span
+              {
+                seconds = Float.max 0. (b.seconds -. a.seconds);
+                events = max 0 (b.events - a.events);
+              } )
+      | Hist b, Some (Hist a)
+        when Array.length b.counts = Array.length a.counts ->
+          ( name,
+            Hist
+              {
+                bounds = b.bounds;
+                counts =
+                  Array.init (Array.length b.counts) (fun i ->
+                      max 0 (b.counts.(i) - a.counts.(i)));
+              } )
+      | v, _ -> (name, v))
+    later
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_v <- 0
+      | Timer t ->
+          t.t_seconds <- 0.;
+          t.t_events <- 0
+      | Peak p -> p.p_v <- 0
+      | Histogram h -> Array.fill h.h_counts 0 (Array.length h.h_counts) 0)
+    registry
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot accessors.                                                 *)
+
+let count snap name =
+  match List.assoc_opt name snap with
+  | Some (Count n) | Some (Gauge n) -> n
+  | _ -> 0
+
+let span_seconds snap name =
+  match List.assoc_opt name snap with Some (Span s) -> s.seconds | _ -> 0.
+
+let span_events snap name =
+  match List.assoc_opt name snap with Some (Span s) -> s.events | _ -> 0
+
+(* [share snap a b] — a / (a + b) as a percentage; 0 when both empty.
+   The reuse percentages are instances: share reused (reused + created). *)
+let share snap a b =
+  let x = count snap a and y = count snap b in
+  if x + y = 0 then 0. else 100. *. float_of_int x /. float_of_int (x + y)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let pp ppf snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count 0 | Gauge 0 -> ()
+      | Span { events = 0; _ } -> ()
+      | Count n -> Format.fprintf ppf "%-28s %12d@." name n
+      | Gauge n -> Format.fprintf ppf "%-28s %12d (peak)@." name n
+      | Span { seconds; events } ->
+          Format.fprintf ppf "%-28s %12.3f ms / %d event(s)@." name
+            (seconds *. 1e3) events
+      | Hist { bounds; counts } ->
+          if Array.exists (fun c -> c > 0) counts then begin
+            Format.fprintf ppf "%-28s" name;
+            Array.iteri
+              (fun i c ->
+                if c > 0 then
+                  if i < Array.length bounds then
+                    Format.fprintf ppf " <=%g:%d" bounds.(i) c
+                  else Format.fprintf ppf " >%g:%d" bounds.(i - 1) c)
+              counts;
+            Format.fprintf ppf "@."
+          end)
+    snap
+
+let value_to_json = function
+  | Count n -> Json.Int n
+  | Gauge n -> Json.Obj [ ("peak", Json.Int n) ]
+  | Span { seconds; events } ->
+      Json.Obj [ ("ms", Json.Float (seconds *. 1e3)); ("events", Json.Int events) ]
+  | Hist { bounds; counts } ->
+      Json.Obj
+        [
+          ( "bounds",
+            Json.List (Array.to_list (Array.map (fun b -> Json.Float b) bounds))
+          );
+          ( "counts",
+            Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts))
+          );
+        ]
+
+let to_json snap =
+  Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)

@@ -1,0 +1,120 @@
+(** Lightweight counter/timer registry for hot-path observability.
+
+    The engine's instrumentation (subtree reuse, lookahead state checks,
+    relex reuse, dag commits) lives behind handles created once at module
+    initialisation; each update is a flag test plus a store — zero
+    allocation, and a single branch when disabled via {!set_enabled}.
+
+    Handles register under a unique name in a process-global registry.
+    {!snapshot} captures all of it; {!diff} between two snapshots yields
+    the activity of one session, parse, or experiment. *)
+
+(** Minimal JSON (writer + parser) used by the machine-readable bench
+    output and the regression gate; no external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+
+  exception Parse of string
+
+  val of_string : string -> t
+  (** @raise Parse on malformed input. *)
+
+  val of_file : string -> t
+
+  val member : string -> t -> t option
+  val to_list : t -> t list option
+  val to_str : t -> string option
+  val to_int : t -> int option
+
+  val to_float : t -> float option
+  (** Accepts both [Int] and [Float]. *)
+
+  val to_bool : t -> bool option
+end
+
+type counter
+type timer
+type peak
+type histogram
+
+(** {1 Registration} — once per metric, at module initialisation. *)
+
+val counter : string -> counter
+val timer : string -> timer
+val peak : string -> peak
+
+val histogram : string -> bounds:float array -> histogram
+(** [bounds] are ascending bucket upper bounds; one overflow bucket is
+    added past the last. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Hot-path updates} — no-ops (one branch) when disabled. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val record_peak : peak -> int -> unit
+(** Raise the high-watermark to [v] if larger. *)
+
+val start : unit -> float
+(** Timestamp for a span, 0. when disabled. *)
+
+val stop : timer -> float -> unit
+(** [stop t (start ())] accumulates the elapsed span. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+
+val observe : histogram -> float -> unit
+
+val observe_since : histogram -> float -> unit
+(** [observe_since h (start ())] — record the elapsed span in
+    milliseconds. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Count of int
+  | Span of { seconds : float; events : int }
+  | Gauge of int  (** high-watermark *)
+  | Hist of { bounds : float array; counts : int array }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — counters, spans and histogram buckets
+    subtract; gauges keep the later (whole-process) value. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (bench isolation). *)
+
+val count : snapshot -> string -> int
+(** Counter or gauge value; 0 when absent. *)
+
+val span_seconds : snapshot -> string -> float
+val span_events : snapshot -> string -> int
+
+val share : snapshot -> string -> string -> float
+(** [share snap a b] — [100 * a / (a + b)], 0 when both are zero; the
+    shape of every reuse percentage. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable listing; zero-valued metrics are omitted. *)
+
+val to_json : snapshot -> Json.t

@@ -26,15 +26,75 @@ let token_edits ~seed ~count text =
         in
         { e_pos = p; e_del = 1; e_insert = String.make 1 replacement })
 
+let apply e text =
+  String.sub text 0 e.e_pos
+  ^ e.e_insert
+  ^ String.sub text (e.e_pos + e.e_del)
+      (String.length text - e.e_pos - e.e_del)
+
+(* Random edit scripts for the differential fuzzer: each edit is drawn
+   against the text as already edited, so a script replays deterministically
+   from its seed.  The mix covers the interesting damage shapes: neutral
+   single-token tweaks, fragment insertion at statement boundaries (found
+   with the shared Textutil search), small deletions, and arbitrary small
+   inserts that may well break the syntax (exercising recovery). *)
+let fragments =
+  [| "x"; "1"; " + y9"; ";"; " "; "(2)"; "z = 3;"; "88"; "q"; " * 4" |]
+
+let random_script ~seed ~count text =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let cur = ref text in
+  List.init count (fun _ ->
+      let len = String.length !cur in
+      let pick_fragment () =
+        fragments.(Random.State.int st (Array.length fragments))
+      in
+      let random_insert () =
+        let pos = if len = 0 then 0 else Random.State.int st (len + 1) in
+        { e_pos = pos; e_del = 0; e_insert = pick_fragment () }
+      in
+      let e =
+        if len = 0 then random_insert ()
+        else
+          match Random.State.int st 4 with
+          | 0 -> (
+              (* Syntactically neutral digit tweak, if any digit exists. *)
+              let rec probe attempts =
+                if attempts > 200 then None
+                else
+                  let p = Random.State.int st len in
+                  if is_digit !cur.[p] then Some p else probe (attempts + 1)
+              in
+              match probe 0 with
+              | None -> random_insert ()
+              | Some p ->
+                  let c = !cur.[p] in
+                  let repl =
+                    Char.chr
+                      (Char.code '0'
+                      + ((Char.code c - Char.code '0' + 1) mod 10))
+                  in
+                  { e_pos = p; e_del = 1; e_insert = String.make 1 repl })
+          | 1 -> (
+              (* Insert a whole fragment at a statement boundary. *)
+              match Textutil.occurrences !cur ~pat:";" with
+              | [] -> random_insert ()
+              | occs ->
+                  let p = List.nth occs (Random.State.int st (List.length occs)) in
+                  { e_pos = p + 1; e_del = 0; e_insert = pick_fragment () })
+          | 2 ->
+              (* Small deletion. *)
+              let pos = Random.State.int st len in
+              let del = min (1 + Random.State.int st 3) (len - pos) in
+              { e_pos = pos; e_del = del; e_insert = "" }
+          | _ -> random_insert ()
+      in
+      cur := apply e !cur;
+      e)
+
 let inverse e text =
   {
     e_pos = e.e_pos;
     e_del = String.length e.e_insert;
     e_insert = String.sub text e.e_pos e.e_del;
   }
-
-let apply e text =
-  String.sub text 0 e.e_pos
-  ^ e.e_insert
-  ^ String.sub text (e.e_pos + e.e_del)
-      (String.length text - e.e_pos - e.e_del)

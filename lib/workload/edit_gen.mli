@@ -16,3 +16,11 @@ val inverse : edit -> string -> edit
 
 (** Apply an edit to a string (for oracle comparisons). *)
 val apply : edit -> string -> string
+
+(** [random_script ~seed ~count text] — a deterministic random edit
+    script for the differential fuzzer: each edit is drawn against the
+    text as already edited by its predecessors (replay with {!apply}).
+    Mixes neutral token tweaks, fragment insertion at statement
+    boundaries, small deletions, and arbitrary small inserts — the last
+    two may break the syntax on purpose, to exercise recovery. *)
+val random_script : seed:int -> count:int -> string -> edit list

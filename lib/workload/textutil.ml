@@ -1,0 +1,44 @@
+(* Substring search shared by the bench harness and the edit generators.
+   Knuth–Morris–Pratt: O(n + m) against the O(n·m) rescan-per-position
+   loop it replaces. *)
+
+let failure_table pat =
+  let m = String.length pat in
+  let fail = Array.make m 0 in
+  let k = ref 0 in
+  for i = 1 to m - 1 do
+    while !k > 0 && pat.[!k] <> pat.[i] do
+      k := fail.(!k - 1)
+    done;
+    if pat.[!k] = pat.[i] then Stdlib.incr k;
+    fail.(i) <- !k
+  done;
+  fail
+
+let find ?(from = 0) text ~pat =
+  let n = String.length text and m = String.length pat in
+  if m = 0 then invalid_arg "Textutil.find: empty pattern"
+  else if from < 0 || from > n then invalid_arg "Textutil.find: bad start"
+  else begin
+    let fail = failure_table pat in
+    let q = ref 0 in
+    let hit = ref (-1) in
+    let i = ref from in
+    while !hit < 0 && !i < n do
+      while !q > 0 && pat.[!q] <> text.[!i] do
+        q := fail.(!q - 1)
+      done;
+      if pat.[!q] = text.[!i] then Stdlib.incr q;
+      if !q = m then hit := !i - m + 1;
+      Stdlib.incr i
+    done;
+    if !hit < 0 then None else Some !hit
+  end
+
+let occurrences ?(from = 0) text ~pat =
+  let rec go from acc =
+    match find ~from text ~pat with
+    | None -> List.rev acc
+    | Some i -> go (i + String.length pat) (i :: acc)
+  in
+  go from []

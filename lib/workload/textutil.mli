@@ -1,0 +1,10 @@
+(** Linear-time substring search (KMP), shared by the bench harness and
+    the edit-script generators. *)
+
+val find : ?from:int -> string -> pat:string -> int option
+(** [find ?from text ~pat] — offset of the first occurrence of [pat] at
+    or after [from].  @raise Invalid_argument on an empty pattern or an
+    out-of-range start. *)
+
+val occurrences : ?from:int -> string -> pat:string -> int list
+(** All non-overlapping occurrence offsets, ascending. *)

@@ -1,0 +1,141 @@
+(* Differential fuzzing of the incremental session against batch reparse.
+
+   Random edit scripts (Workload.Edit_gen.random_script — token tweaks,
+   fragment inserts at statement boundaries, deletions, arbitrary small
+   inserts) replay through an incremental Session; after EVERY edit the
+   session must agree with a from-scratch GLR parse of the same text:
+
+   - if the batch parse succeeds, the incremental parse must succeed and
+     produce a structurally identical tree (sexp equality), and both dags
+     must pass the Analyze.Check sanitizer;
+   - if the batch parse rejects, the incremental parse must report
+     Recovered — and the retained structure must still be a sane dag, so
+     later edits can repair the program.
+
+   The scripts deliberately include syntax-breaking edits: the pending
+   damage then carries across parse failures, which is exactly where
+   incremental bookkeeping (change bits, retained subtrees, recovery
+   flags) historically rots. *)
+
+module Session = Iglr.Session
+module Glr = Iglr.Glr
+module Node = Parsedag.Node
+module Language = Languages.Language
+module Edit_gen = Workload.Edit_gen
+
+let base_calc =
+  String.concat "\n"
+    (List.init 12 (fun i -> Printf.sprintf "v%d = (1%d + 2) * x%d / 3;" i i i))
+
+let base_c = Workload.Spec_gen.plain ~lines:30 ~seed:7
+
+(* From-scratch oracle: Some sexp when the text parses, None when it is
+   rejected.  Every accepted batch parse also runs the dag sanitizer. *)
+let batch lang text =
+  let table = Language.table lang in
+  let tokens, trailing = Lexgen.Scanner.all (Language.lexer lang) text in
+  match Glr.parse_tokens table tokens ~trailing with
+  | root, _ ->
+      Analyze.Check.assert_dag table root;
+      Some (Parsedag.Pp.to_sexp lang.Language.grammar root)
+  | exception Glr.Parse_error _ -> None
+
+let replay lang base (seed, count) =
+  let table = Language.table lang in
+  let script = Edit_gen.random_script ~seed ~count base in
+  let s, outcome0 =
+    Session.create ~table ~lexer:(Language.lexer lang) base
+  in
+  (match outcome0 with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> QCheck.Test.fail_report "base program rejected");
+  let text = ref base in
+  List.for_all
+    (fun (e : Edit_gen.edit) ->
+      text := Edit_gen.apply e !text;
+      Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+        ~insert:e.Edit_gen.e_insert;
+      if not (String.equal (Session.text s) !text) then
+        QCheck.Test.fail_report "document text diverged from edit replay";
+      let outcome = Session.reparse s in
+      match (batch lang !text, outcome) with
+      | Some expected, Session.Parsed _ ->
+          Analyze.Check.assert_dag table (Session.root s);
+          if Session.has_errors s then
+            QCheck.Test.fail_report "has_errors set after a clean parse";
+          let got = Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s) in
+          if not (String.equal got expected) then
+            QCheck.Test.fail_reportf
+              "incremental tree diverged from batch parse\n text: %S"
+              !text;
+          true
+      | Some _, Session.Recovered _ ->
+          QCheck.Test.fail_reportf
+            "incremental parse recovered on batch-parseable text %S" !text
+      | None, Session.Recovered _ ->
+          (* Rejected on both sides.  The retained tree is deliberately in
+             a damaged state here (change bits pending, unincorporated
+             terminals flagged), so the commit-time sanitizer does not
+             apply; the next clean parse after a repairing edit re-checks
+             the full invariants. *)
+          if not (Session.has_errors s) then
+            QCheck.Test.fail_report "has_errors unset after recovery";
+          true
+      | None, Session.Parsed _ ->
+          QCheck.Test.fail_reportf
+            "incremental parse accepted batch-rejected text %S" !text)
+    script
+
+let arb_script =
+  QCheck.(pair (int_bound 1_000_000) (int_range 1 8))
+
+let prop_calc =
+  QCheck.Test.make ~count:60 ~name:"edit fuzz: calc incremental = batch"
+    arb_script
+    (replay Languages.Calc.language base_calc)
+
+let prop_c =
+  QCheck.Test.make ~count:60 ~name:"edit fuzz: C incremental = batch"
+    arb_script
+    (replay Languages.C_subset.language base_c)
+
+(* The §5 reuse invariant, asserted via the metrics layer: one token edit
+   deep inside a balanced program must rebuild only the spine — under 10%
+   of the tree (in practice ~1%). *)
+let reuse_invariant () =
+  let lang = Languages.C_subset.language in
+  let src = Workload.Spec_gen.nested ~depth:9 ~seed:3 in
+  let s, outcome =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang)
+      src
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "nested fixture rejected");
+  let total = Node.count_nodes (Session.root s) in
+  let e =
+    List.hd (Edit_gen.token_edits ~seed:41 ~count:1 (Session.text s))
+  in
+  let before = Session.metrics s in
+  Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+    ~insert:e.Edit_gen.e_insert;
+  (match Session.reparse s with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "token edit broke the parse");
+  let d = Metrics.diff (Session.metrics s) before in
+  let created = Metrics.count d "glr.nodes_created" in
+  let reused_pct =
+    100. *. (1. -. (float_of_int created /. float_of_int total))
+  in
+  if reused_pct < 90. then
+    Alcotest.failf
+      "single-token edit rebuilt %d of %d nodes (%.1f%% reuse, need >= 90%%)"
+      created total reused_pct
+
+let suite =
+  [
+    Test_seed.to_alcotest prop_calc;
+    Test_seed.to_alcotest prop_c;
+    Alcotest.test_case "reuse invariant: single-token edit >= 90%" `Quick
+      reuse_invariant;
+  ]

@@ -130,7 +130,7 @@ let prop_dag_wellformed =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_glr_equals_earley;
-    QCheck_alcotest.to_alcotest prop_yield_preserved;
-    QCheck_alcotest.to_alcotest prop_dag_wellformed;
+    Test_seed.to_alcotest prop_glr_equals_earley;
+    Test_seed.to_alcotest prop_yield_preserved;
+    Test_seed.to_alcotest prop_dag_wellformed;
   ]

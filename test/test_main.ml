@@ -24,4 +24,6 @@ let () =
       ("sequence", Test_sequence.suite);
       ("trace", Test_trace.suite);
       ("analyze", Test_analyze.suite);
+      ("metrics", Test_metrics.suite);
+      ("edit-fuzz", Test_edit_fuzz.suite);
     ]

@@ -1,0 +1,123 @@
+(* Unit tests for the metrics registry and its JSON layer. *)
+
+module Json = Metrics.Json
+
+(* Registration is process-global and happens once; keep every handle at
+   module level like real instrumentation does. *)
+let c1 = Metrics.counter "test.c1"
+let c2 = Metrics.counter "test.c2"
+let t1 = Metrics.timer "test.t1"
+let p1 = Metrics.peak "test.p1"
+let h1 = Metrics.histogram "test.h1" ~bounds:[| 1.0; 10.0 |]
+
+let duplicate_registration () =
+  match Metrics.counter "test.c1" with
+  | _ -> Alcotest.fail "duplicate metric name accepted"
+  | exception Invalid_argument _ -> ()
+
+let counters_and_diff () =
+  let before = Metrics.snapshot () in
+  Metrics.incr c1;
+  Metrics.add c1 4;
+  Metrics.incr c2;
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  Alcotest.(check int) "c1 delta" 5 (Metrics.count d "test.c1");
+  Alcotest.(check int) "c2 delta" 1 (Metrics.count d "test.c2");
+  Alcotest.(check int) "absent metric reads 0" 0 (Metrics.count d "test.nope")
+
+let share () =
+  let before = Metrics.snapshot () in
+  Metrics.add c1 3;
+  Metrics.add c2 1;
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  Alcotest.(check (float 1e-9)) "share" 75.0
+    (Metrics.share d "test.c1" "test.c2");
+  Alcotest.(check (float 1e-9)) "share of nothing" 0.0
+    (Metrics.share d "test.nope" "test.nada")
+
+let peaks_and_gauge_diff () =
+  Metrics.record_peak p1 7;
+  let before = Metrics.snapshot () in
+  Metrics.record_peak p1 3 (* below the watermark: no effect *);
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  (* Gauges keep the later whole-process value rather than subtracting. *)
+  Alcotest.(check int) "gauge survives diff" 7 (Metrics.count d "test.p1");
+  Metrics.record_peak p1 11;
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  Alcotest.(check int) "gauge raised" 11 (Metrics.count d "test.p1")
+
+let timers () =
+  let before = Metrics.snapshot () in
+  Metrics.time t1 (fun () -> ignore (Sys.opaque_identity (List.init 100 Fun.id)));
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  Alcotest.(check int) "one span" 1 (Metrics.span_events d "test.t1");
+  if Metrics.span_seconds d "test.t1" < 0. then
+    Alcotest.fail "negative span"
+
+let disabled_is_noop () =
+  Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () ->
+      let before = Metrics.snapshot () in
+      Metrics.incr c1;
+      Metrics.observe h1 5.0;
+      Metrics.stop t1 (Metrics.start ());
+      let d = Metrics.diff (Metrics.snapshot ()) before in
+      Alcotest.(check int) "counter frozen" 0 (Metrics.count d "test.c1");
+      Alcotest.(check int) "timer frozen" 0 (Metrics.span_events d "test.t1"))
+
+let histogram_buckets () =
+  let before = Metrics.snapshot () in
+  List.iter (Metrics.observe h1) [ 0.5; 5.0; 50.0; 0.2 ];
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  match List.assoc_opt "test.h1" d with
+  | Some (Metrics.Hist { counts; _ }) ->
+      Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1 |] counts
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\n\tstring \xe2\x9c\x93");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("whole", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  let back = Json.of_string (Json.to_string doc) in
+  if back <> doc then Alcotest.fail "JSON did not round-trip";
+  (match Json.of_string "{\"x\": [1, 2.5, \"\\u0041\"]}" with
+  | Json.Obj [ ("x", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "A" ]) ]
+    -> ()
+  | _ -> Alcotest.fail "hand-written JSON parsed wrong");
+  match Json.of_string "{broken" with
+  | _ -> Alcotest.fail "malformed JSON accepted"
+  | exception Json.Parse _ -> ()
+
+let snapshot_to_json () =
+  let before = Metrics.snapshot () in
+  Metrics.incr c1;
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  let j = Metrics.to_json d in
+  match Option.bind (Json.member "test.c1" j) Json.to_int with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "to_json lost the counter"
+
+let suite =
+  [
+    Alcotest.test_case "duplicate registration rejected" `Quick
+      duplicate_registration;
+    Alcotest.test_case "counters and diff" `Quick counters_and_diff;
+    Alcotest.test_case "share" `Quick share;
+    Alcotest.test_case "peaks survive diff" `Quick peaks_and_gauge_diff;
+    Alcotest.test_case "timers" `Quick timers;
+    Alcotest.test_case "disabled is a no-op" `Quick disabled_is_noop;
+    Alcotest.test_case "histogram buckets" `Quick histogram_buckets;
+    Alcotest.test_case "json round-trip" `Quick json_roundtrip;
+    Alcotest.test_case "snapshot to_json" `Quick snapshot_to_json;
+  ]

@@ -1,0 +1,26 @@
+(* Deterministic property tests: every QCheck suite in this runner draws
+   from one fixed seed, so a failure reproduces exactly; QCHECK_SEED=<n>
+   in the environment overrides it (and a failing test prints the seed to
+   re-run with). *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | None | Some "" -> 0x1697_5eed
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "QCHECK_SEED=%S is not an integer\n" s;
+          exit 2)
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  let run' args =
+    try run args
+    with e ->
+      Printf.printf "reproduce with QCHECK_SEED=%d\n%!" seed;
+      raise e
+  in
+  (name, speed, run')
