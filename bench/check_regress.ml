@@ -16,6 +16,14 @@
      baseline * (1 - reuse-tolerance).  These are deterministic (seeded
      edit streams), so they are the primary gate.
 
+   Every regression is reported as one machine-parseable line naming the
+   offending metric with its baseline/current values, so CI logs localize
+   the failure without re-running the bench:
+
+     FAIL experiment=E language=L case=C metric=M baseline=B current=V limit=T
+
+   (entries missing from the fresh output use metric=M error=missing).
+
    Exit status: 0 clean, 1 on any regression, 2 on usage/IO errors. *)
 
 module Json = Metrics.Json
@@ -70,12 +78,19 @@ let entries file =
 let scale_of file =
   Option.bind (Json.member "scale" (Json.of_file file)) Json.to_float
 
-let fail key fmt =
-  Printf.ksprintf
-    (fun msg ->
-      incr failures;
-      Printf.printf "FAIL %-40s %s\n" (pp_key key) msg)
-    fmt
+(* One offending metric per line, strictly key=value so CI log scrapers
+   can localize a regression without re-running the bench. *)
+let kv_key (e, l, c) =
+  Printf.sprintf "experiment=%s language=%s case=%s" e l c
+
+let fail key ~metric ~baseline ~current ~limit =
+  incr failures;
+  Printf.printf "FAIL %s metric=%s baseline=%g current=%g limit=%g\n"
+    (kv_key key) metric baseline current limit
+
+let fail_missing key ~metric =
+  incr failures;
+  Printf.printf "FAIL %s metric=%s error=missing\n" (kv_key key) metric
 
 let ok key fmt =
   Printf.ksprintf
@@ -95,16 +110,15 @@ let check_latency key base fresh =
           (pp_key key) bm
       end
       else if fm > bm *. (1. +. !tolerance) then
-        fail key "median %.2f ms vs baseline %.2f ms (+%.0f%%, tolerance %.0f%%)"
-          fm bm
-          ((fm /. bm -. 1.) *. 100.)
-          (!tolerance *. 100.)
+        fail key ~metric:"median_ms" ~baseline:bm ~current:fm
+          ~limit:(bm *. (1. +. !tolerance))
       else ok key "median %.2f ms vs baseline %.2f ms" fm bm
   | _ -> (
       match (get_float "ratio" base, get_float "ratio" fresh) with
       | Some br, Some fr ->
           if fr > br *. (1. +. !tolerance) then
-            fail key "ratio %.3f vs baseline %.3f" fr br
+            fail key ~metric:"ratio" ~baseline:br ~current:fr
+              ~limit:(br *. (1. +. !tolerance))
           else ok key "ratio %.3f vs baseline %.3f" fr br
       | _ -> die "latency entry %s has neither median nor ratio" (pp_key key))
 
@@ -125,12 +139,11 @@ let check_reuse key base fresh =
   List.iter
     (fun (name, bv) ->
       match List.assoc_opt name (fields fresh) with
-      | None -> fail key "fresh output lost field %s" name
+      | None -> fail_missing key ~metric:name
       | Some fv ->
           if fv < bv *. (1. -. !reuse_tolerance) then
-            fail key "%s %.2f%% vs baseline %.2f%% (tolerance -%.0f%%)" name fv
-              bv
-              (!reuse_tolerance *. 100.)
+            fail key ~metric:name ~baseline:bv ~current:fv
+              ~limit:(bv *. (1. -. !reuse_tolerance))
           else ok key "%s %.2f%% vs baseline %.2f%%" name fv bv)
     (fields base)
 
@@ -141,7 +154,7 @@ let check kind checker file =
     (fun (k, b) ->
       if gated b then
         match List.assoc_opt k fresh with
-        | None -> fail k "missing from fresh %s output" kind
+        | None -> fail_missing k ~metric:kind
         | Some f -> checker k b f)
     base
 

@@ -7,6 +7,10 @@
      check   parse a file and run the parse-dag sanitizer
      sem     parse a C/C++ file and run semantic disambiguation
      gen     emit a synthetic SPEC-like program
+     replay  apply an edit script with incremental reparses
+     trace   replay with the structured sink on; export Chrome trace JSON
+     dot     Graphviz DOT of the parse dag (or the last GSS snapshot)
+     explain per-subtree reuse breakdown of the last edit of a script
      demo    the paper's Figure 1 walkthrough *)
 
 open Cmdliner
@@ -254,58 +258,261 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Emit a synthetic SPEC-like program")
     Term.(const run $ program $ scale $ seed)
 
+(* Edit scripts, shared by replay/trace/dot/explain: one edit per line,
+   "POS DEL TEXT" (TEXT may be empty; "_" stands for a space). *)
+let edits_of_script path =
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match String.split_on_char ' ' line with
+         | pos :: del :: rest ->
+             let insert =
+               String.concat " " rest
+               |> String.map (fun c -> if c = '_' then ' ' else c)
+             in
+             (int_of_string pos, int_of_string del, insert)
+         | _ ->
+             Printf.eprintf "bad edit line: %s\n" line;
+             exit 1)
+
+let script_doc =
+  "Edit script: one edit per line, \"POS DEL TEXT\" (TEXT may be empty; use \
+   _ for a space)."
+
+let script_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "edits" ] ~docv:"SCRIPT" ~doc:script_doc)
+
+let script_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "edits" ] ~docv:"SCRIPT" ~doc:script_doc)
+
+let make_session lang text =
+  Iglr.Session.create
+    ~table:(Languages.Language.table lang)
+    ~lexer:(Languages.Language.lexer lang)
+    text
+
 let replay_cmd =
-  let script =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "edits" ] ~docv:"SCRIPT"
-          ~doc:
-            "Edit script: one edit per line, \"POS DEL TEXT\" (TEXT may be \
-             empty; use _ for a space).")
-  in
   let run lang file script =
     let text = read_input file in
-    let session, outcome =
-      Iglr.Session.create
-        ~table:(Languages.Language.table lang)
-        ~lexer:(Languages.Language.lexer lang)
-        text
-    in
+    let session, outcome = make_session lang text in
     (match outcome with
     | Iglr.Session.Parsed _ -> print_endline "initial parse ok"
     | Iglr.Session.Recovered _ -> print_endline "initial parse recovered");
-    let lines =
-      In_channel.with_open_bin script In_channel.input_all
-      |> String.split_on_char '\n'
-      |> List.filter (fun l -> String.trim l <> "")
-    in
     List.iteri
-      (fun i line ->
-        match String.split_on_char ' ' line with
-        | pos :: del :: rest ->
-            let insert =
-              String.concat " " rest
-              |> String.map (fun c -> if c = '_' then ' ' else c)
-            in
-            let pos = int_of_string pos and del = int_of_string del in
-            Iglr.Session.edit session ~pos ~del ~insert;
-            (match Iglr.Session.reparse session with
-            | Iglr.Session.Parsed st ->
-                Printf.printf
-                  "edit %d: ok (subtrees=%d terminals=%d created=%d)\n" i
-                  st.Iglr.Glr.shifted_subtrees st.Iglr.Glr.shifted_terminals
-                  st.Iglr.Glr.nodes_created
-            | Iglr.Session.Recovered { flagged; _ } ->
-                Printf.printf "edit %d: recovered (%d flagged)\n" i flagged)
-        | _ -> Printf.eprintf "bad edit line: %s\n" line)
-      lines;
+      (fun i (pos, del, insert) ->
+        Iglr.Session.edit session ~pos ~del ~insert;
+        match Iglr.Session.reparse session with
+        | Iglr.Session.Parsed st ->
+            Printf.printf
+              "edit %d: ok (subtrees=%d terminals=%d created=%d)\n" i
+              st.Iglr.Glr.shifted_subtrees st.Iglr.Glr.shifted_terminals
+              st.Iglr.Glr.nodes_created
+        | Iglr.Session.Recovered { flagged; _ } ->
+            Printf.printf "edit %d: recovered (%d flagged)\n" i flagged)
+      (edits_of_script script);
     print_endline "final text:";
     print_string (Iglr.Session.text session)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Apply an edit script with incremental reparses")
-    Term.(const run $ lang_arg $ file_arg $ script)
+    Term.(const run $ lang_arg $ file_arg $ script_arg)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file for the Chrome trace-event JSON.")
+  in
+  let run lang file script out =
+    let text = read_input file in
+    Trace.set_enabled true;
+    Trace.clear ();
+    let session, outcome = make_session lang text in
+    (match outcome with
+    | Iglr.Session.Parsed _ -> ()
+    | Iglr.Session.Recovered _ ->
+        prerr_endline "note: initial parse recovered");
+    (match script with
+    | Some path ->
+        List.iter
+          (fun (pos, del, insert) ->
+            Iglr.Session.edit session ~pos ~del ~insert;
+            ignore (Iglr.Session.reparse session))
+          (edits_of_script path)
+    | None -> ());
+    Trace.set_enabled false;
+    if Trace.dropped () > 0 then
+      Printf.eprintf "warning: ring overflow, %d event(s) dropped\n"
+        (Trace.dropped ());
+    let evs = Trace.events () in
+    Metrics.Json.to_file out (Trace.Export.to_chrome evs);
+    (* Self-validation: the export must round-trip through the JSON
+       parser with the expected shape (the @trace-smoke gate). *)
+    match Metrics.Json.(member "traceEvents" (of_file out)) with
+    | Some (Metrics.Json.List l) ->
+        Printf.printf
+          "wrote %s: %d event(s); open in https://ui.perfetto.dev or \
+           chrome://tracing\n"
+          out (List.length l)
+    | Some _ | None ->
+        prerr_endline "internal: exported trace is malformed";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay an edit script with structured tracing enabled and export \
+          the event stream as Chrome trace-event JSON")
+    Term.(const run $ lang_arg $ file_arg $ script_opt_arg $ out)
+
+let dot_cmd =
+  let gss =
+    Arg.(
+      value & flag
+      & info [ "gss" ]
+          ~doc:
+            "Print the last graph-structured-stack snapshot captured during \
+             parsing (taken whenever several parsers are simultaneously \
+             active) instead of the committed parse dag.")
+  in
+  let run lang file script gss =
+    let text = read_input file in
+    if gss then begin
+      Trace.set_enabled true;
+      Trace.clear ()
+    end;
+    let session, _ = make_session lang text in
+    (* Node-id watermark taken just before the last edit: nodes that
+       survive the final reparse with a smaller id were reused from the
+       previous version. *)
+    let watermark = ref max_int in
+    (match script with
+    | Some path ->
+        let edits = edits_of_script path in
+        let n = List.length edits in
+        List.iteri
+          (fun i (pos, del, insert) ->
+            if i = n - 1 then watermark := Parsedag.Node.allocated ();
+            Iglr.Session.edit session ~pos ~del ~insert;
+            ignore (Iglr.Session.reparse session))
+          edits
+    | None -> ());
+    if gss then begin
+      Trace.set_enabled false;
+      let snapshot =
+        List.fold_left
+          (fun acc (e : Trace.event) ->
+            match (e.Trace.cat, e.Trace.name) with
+            | Trace.Gss, "snapshot" -> (
+                match Trace.str_arg "dot" e with Some d -> Some d | None -> acc)
+            | _ -> acc)
+          None (Trace.events ())
+      in
+      match snapshot with
+      | Some d -> print_string d
+      | None ->
+          prerr_endline
+            "note: no GSS snapshot (the parse never had several \
+             simultaneous parsers)";
+          print_string "digraph gss {\n}\n"
+    end
+    else
+      let reused =
+        if script = None then None
+        else Some (fun (n : Parsedag.Node.t) -> n.Parsedag.Node.nid <= !watermark)
+      in
+      print_string
+        (Parsedag.Pp.to_dot ?reused lang.Languages.Language.grammar
+           (Iglr.Session.root session))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Emit Graphviz DOT of the committed parse dag (choice nodes as \
+          diamonds; with --edits, subtrees reused by the last reparse are \
+          shaded), or of the last GSS snapshot with --gss")
+    Term.(const run $ lang_arg $ file_arg $ script_opt_arg $ gss)
+
+let explain_cmd =
+  let run lang file script =
+    let text = read_input file in
+    let session, outcome = make_session lang text in
+    (match outcome with
+    | Iglr.Session.Parsed _ -> ()
+    | Iglr.Session.Recovered _ ->
+        prerr_endline "note: initial parse recovered");
+    let edits = edits_of_script script in
+    let n = List.length edits in
+    if n = 0 then begin
+      prerr_endline "explain: empty edit script";
+      exit 1
+    end;
+    (* Replay every edit but trace only the last one: the report describes
+       a single reparse against a settled document. *)
+    List.iteri
+      (fun i (pos, del, insert) ->
+        if i = n - 1 then begin
+          Trace.set_enabled true;
+          Trace.clear ()
+        end;
+        Iglr.Session.edit session ~pos ~del ~insert;
+        ignore (Iglr.Session.reparse session))
+      edits;
+    Trace.set_enabled false;
+    let r = Trace.Explain.of_events (Trace.events ()) in
+    (* Token offset -> character offset, via the document's leaf array. *)
+    let leaves = Vdoc.Document.leaves (Iglr.Session.document session) in
+    let char_offset tok =
+      let off = ref 0 in
+      for i = 0 to min tok (Array.length leaves) - 1 do
+        match leaves.(i).Parsedag.Node.kind with
+        | Parsedag.Node.Term t ->
+            off :=
+              !off
+              + String.length t.Parsedag.Node.trivia
+              + String.length t.Parsedag.Node.text
+        | _ -> ()
+      done;
+      !off
+    in
+    let pos, del, insert = List.nth edits (n - 1) in
+    Printf.printf "edit %d/%d: pos=%d del=%d insert=%S\n" n n pos del insert;
+    Printf.printf "relex: %d token(s) rescanned, %d kept\n" r.Trace.Explain.tokens_relexed
+      r.Trace.Explain.tokens_reused;
+    (match r.Trace.Explain.reparse_ms with
+    | Some ms ->
+        Printf.printf "reparse: %.3f ms, %d reduction(s)\n" ms
+          r.Trace.Explain.reductions
+    | None ->
+        Printf.printf "reparse: %d reduction(s)\n" r.Trace.Explain.reductions);
+    let pp_subtree verb (s : Trace.Explain.subtree) =
+      Printf.printf "  %s [offset %d, %d token(s)] %s: %s\n"
+        s.Trace.Explain.symbol
+        (char_offset s.Trace.Explain.tok_from)
+        s.Trace.Explain.tokens verb s.Trace.Explain.detail
+    in
+    Printf.printf "reused whole: %d subtree(s)\n"
+      (List.length r.Trace.Explain.accepted);
+    List.iter (pp_subtree "reused") r.Trace.Explain.accepted;
+    Printf.printf "rebuilt: %d candidate(s)\n"
+      (List.length r.Trace.Explain.rebuilt);
+    List.iter (pp_subtree "rebuilt") r.Trace.Explain.rebuilt
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay an edit script and print a per-subtree reuse breakdown of \
+          the last edit: which subtrees the reparse shifted whole, and the \
+          concrete reason each rejected candidate was decomposed")
+    Term.(const run $ lang_arg $ file_arg $ script_arg)
 
 let demo_cmd =
   let run () =
@@ -339,5 +546,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; table_cmd; lint_cmd; check_cmd; sem_cmd; gen_cmd;
-            replay_cmd; demo_cmd;
+            replay_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
           ]))

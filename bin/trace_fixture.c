@@ -1,0 +1,2 @@
+typedef int a;
+int f () { int i; a (b); i = 1; }

@@ -22,16 +22,12 @@ let show session =
     (Parsedag.Pp.to_sexp g (Session.root session))
 
 let () =
-  let trace_lines = ref [] in
-  let config =
-    {
-      Iglr.Glr.default_config with
-      trace = Some (fun line -> trace_lines := line :: !trace_lines);
-    }
-  in
+  (* Capture parser actions through the structured sink; render them with
+     the Appendix B legacy pretty-printer. *)
+  Trace.set_enabled true;
   print_endline "--- parsing \"x z c\" with LALR(1) tables ---";
   let session, outcome =
-    Session.create ~config ~table:(Language.table lang)
+    Session.create ~table:(Language.table lang)
       ~lexer:(Language.lexer lang) "x z c"
   in
   (match outcome with
@@ -40,7 +36,9 @@ let () =
         stats.Iglr.Glr.max_parsers
   | Session.Recovered _ -> failwith "parse failed");
   print_endline "--- parser actions (note the fork after \"x\") ---";
-  List.iter print_endline (List.rev !trace_lines);
+  List.iter print_endline
+    (List.filter_map Trace.to_legacy_string (Trace.events ()));
+  Trace.set_enabled false;
   show session;
 
   (* Nodes inside the non-deterministic region carry no reusable state. *)

@@ -39,12 +39,8 @@ let () =
   print_endline "--- source (Figure 1) ---";
   print_string source;
 
-  (* Trace the parser's actions through the ambiguous region (Appendix B). *)
-  let config =
-    { Iglr.Glr.default_config with trace = Some (fun _ -> ()) }
-  in
   let session, outcome =
-    Session.create ~config ~table:(Language.table lang)
+    Session.create ~table:(Language.table lang)
       ~lexer:(Language.lexer lang) source
   in
   (match outcome with

@@ -60,12 +60,10 @@ type config = {
   reuse_nodes : bool;
   unshare_eps : bool;
   state_matching : bool;
-  trace : (string -> unit) option;
 }
 
 let default_config =
-  { reuse_nodes = true; unshare_eps = true; state_matching = true;
-    trace = None }
+  { reuse_nodes = true; unshare_eps = true; state_matching = true }
 
 (* Proxy entry of the lazy symbol-node table: the first interpretation
    stands for its symbol node until a second one arrives (footnote 10). *)
@@ -98,10 +96,48 @@ type run = {
   sym_tab : (int * int * int, sym_entry) Hashtbl.t;
 }
 
-let trace r msg =
-  match r.cfgc.trace with None -> () | Some f -> f (msg ())
+(* Structured action tracing (lib/trace): the Appendix B narrative —
+   reduces, shifts, forks, merges, reuse decisions — emitted as typed
+   events.  [tracing] guards every site that would allocate an argument
+   list, so a disabled sink costs one branch per site. *)
+let[@inline] tracing () = Trace.enabled ()
 
-let [@inline] tracing r = r.cfgc.trace <> None
+let symbol_name g (n : Node.t) =
+  match Node.symbol g n with
+  | `N nt -> Cfg.nonterminal_name g nt
+  | `T t -> Cfg.terminal_name g t
+  | `Other -> "?"
+
+(* Graphviz snapshot of the live GSS: parser tops as double circles,
+   links labeled by the symbol of the dag node spanning them.  Emitted as
+   a [gss.snapshot] event whenever several parsers are active, so [iglrc
+   dot --gss] can render the stack at the ambiguity. *)
+let gss_dot g (tops : Gss.node list) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "digraph gss {\n  rankdir=RL;\n  node [fontname=\"monospace\" \
+     shape=circle];\n";
+  let seen = Hashtbl.create 16 in
+  let rec walk (n : Gss.node) =
+    if not (Hashtbl.mem seen n.Gss.gid) then begin
+      Hashtbl.replace seen n.Gss.gid ();
+      let top = List.memq n tops in
+      Buffer.add_string buf
+        (Printf.sprintf "  g%d [label=\"s%d\"%s];\n" n.Gss.gid n.Gss.state
+           (if top then " shape=doublecircle" else ""));
+      List.iter
+        (fun (l : Gss.link) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  g%d -> g%d [label=%S];\n" n.Gss.gid
+               l.Gss.head.Gss.gid
+               (symbol_name g l.Gss.label));
+          walk l.Gss.head)
+        n.Gss.links
+    end
+  in
+  List.iter walk tops;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Token positions and spans.                                          *)
@@ -257,9 +293,14 @@ let get_symbol_node r node =
         in
         redirect_captures r ~old_node:node ~canonical;
         folded := Some canonical;
-        trace r (fun () ->
-            Printf.sprintf "merge: duplicate interpretation of %s folded"
-              (Cfg.nonterminal_name r.g nt))
+        if tracing () then
+          Trace.instant Trace.Gss "merge"
+            [
+              ("symbol", Trace.Str (Cfg.nonterminal_name r.g nt));
+              ("kind", Trace.Str "duplicate");
+              ("from", Trace.Int s);
+              ("to", Trace.Int e);
+            ]
     | None -> (
     entry.alts <- node :: entry.alts;
     match entry.choice with
@@ -267,9 +308,14 @@ let get_symbol_node r node =
         if not (Array.exists (fun k -> k == node) c.Node.kids) then
           c.Node.kids <- Array.append c.Node.kids [| node |];
         redirect_captures r ~old_node:node ~canonical:c;
-        trace r (fun () ->
-            Printf.sprintf "merge: new interpretation of %s"
-              (Cfg.nonterminal_name r.g nt))
+        if tracing () then
+          Trace.instant Trace.Gss "merge"
+            [
+              ("symbol", Trace.Str (Cfg.nonterminal_name r.g nt));
+              ("kind", Trace.Str "new");
+              ("from", Trace.Int s);
+              ("to", Trace.Int e);
+            ]
     | None ->
         if List.length entry.alts >= 2 then begin
           let kids = Array.of_list (List.rev entry.alts) in
@@ -309,14 +355,18 @@ let get_symbol_node r node =
                 old
             | None -> Node.make_choice ~nt kids
           in
-          ignore (s, e);
           entry.choice <- Some c;
           Array.iter
             (fun alt -> redirect_captures r ~old_node:alt ~canonical:c)
             kids;
-          trace r (fun () ->
-              Printf.sprintf "amb: symbol node for %s (%d interpretations)"
-                (Cfg.nonterminal_name r.g nt) (Array.length kids))
+          if tracing () then
+            Trace.instant Trace.Gss "pack"
+              [
+                ("symbol", Trace.Str (Cfg.nonterminal_name r.g nt));
+                ("alts", Trace.Int (Array.length kids));
+                ("from", Trace.Int s);
+                ("to", Trace.Int e);
+              ]
         end)
   end;
   match !folded with
@@ -329,11 +379,13 @@ let get_symbol_node r node =
 let rec reducer r (q : Gss.node) target rule kids =
   r.stats.reductions <- r.stats.reductions + 1;
   let node = get_node r rule kids q.Gss.state in
-  if tracing r then
-    trace r (fun () ->
-        Printf.sprintf "reduce: %s (target state %d)"
-          (Format.asprintf "%a" (Cfg.pp_production r.g) rule)
-          target);
+  if tracing () then
+    Trace.instant Trace.Glr "reduce"
+      [
+        ("prod", Trace.Str (Format.asprintf "%a" (Cfg.pp_production r.g) rule));
+        ("target", Trace.Int target);
+        ("at", Trace.Int r.pos);
+      ];
   match List.find_opt (fun (p : Gss.node) -> p.Gss.state = target) r.active with
   | Some p -> (
       match List.find_opt (fun (l : Gss.link) -> l.Gss.head == q) p.Gss.links with
@@ -409,7 +461,14 @@ let actor r (p : Gss.node) =
   | _ :: _ :: _ ->
       r.stats.forks <- r.stats.forks + 1;
       r.multiple_states <- true;
-      r.nondet_round <- true
+      r.nondet_round <- true;
+      if tracing () then
+        Trace.instant Trace.Gss "fork"
+          [
+            ("state", Trace.Int p.Gss.state);
+            ("actions", Trace.Int (List.length acts));
+            ("at", Trace.Int r.pos);
+          ]
   | [] | [ _ ] -> ());
   List.iter
     (function
@@ -459,6 +518,42 @@ let settle_lookahead r =
           if ok then Metrics.incr m_la_state_match
           else if la.Node.state = Node.nostate then Metrics.incr m_la_nostate
           else Metrics.incr m_la_state_miss;
+        (* The per-candidate reuse narrative: every accepted subtree and
+           every rejection reason (the explain report's raw material). *)
+        if tracing () then begin
+          let common =
+            [
+              ("symbol", Trace.Str (symbol_name r.g la));
+              ("from", Trace.Int r.pos);
+              ("tokens", Trace.Int (Node.token_count la));
+            ]
+          in
+          if ok then Trace.instant Trace.Reuse "accept" common
+          else
+            let reason =
+              if not r.cfgc.state_matching then
+                [ ("reason", Trace.Str "disabled") ]
+              else if la.Node.nested then
+                [ ("reason", Trace.Str "pending-edit") ]
+              else if la.Node.changed then
+                [ ("reason", Trace.Str "lookahead-change") ]
+              else if r.multiple_states then
+                [ ("reason", Trace.Str "multiple-parsers") ]
+              else if la.Node.state = Node.nostate then
+                [ ("reason", Trace.Str "no-state") ]
+              else
+                match single_parser with
+                | Some p when la.Node.state <> p.Gss.state ->
+                    [
+                      ("reason", Trace.Str "state-mismatch");
+                      ("recorded", Trace.Int la.Node.state);
+                      ("current", Trace.Int p.Gss.state);
+                    ]
+                | Some _ -> [ ("reason", Trace.Str "no-goto") ]
+                | None -> [ ("reason", Trace.Str "multiple-parsers") ]
+            in
+            Trace.instant Trace.Reuse "reject" (common @ reason)
+        end;
         if not ok then begin
           r.stats.breakdowns <- r.stats.breakdowns + 1;
           Traverse.descend r.cursor;
@@ -495,13 +590,21 @@ let shifter r =
           | None -> r.active <- Gss.make_node ~state:target [ link ] :: r.active
         end)
       r.for_shifter;
-    if tracing r then
-      trace r (fun () ->
-          let y = Node.text_yield la in
-          let y =
-            if String.length y > 24 then String.sub y 0 24 ^ "..." else y
-          in
-          Printf.sprintf "shift: %S -> %d parser(s)" y (List.length r.active));
+    if tracing () then begin
+      let y = Node.text_yield la in
+      let y = if String.length y > 24 then String.sub y 0 24 ^ "..." else y in
+      Trace.instant Trace.Glr "shift"
+        [
+          ("yield", Trace.Str y);
+          ("parsers", Trace.Int (List.length r.active));
+          ("at", Trace.Int r.pos);
+        ];
+      (* Snapshot the transient GSS whenever the stack is actually
+         graph-structured; [iglrc dot --gss] renders the last one. *)
+      if List.length r.active > 1 then
+        Trace.instant Trace.Gss "snapshot"
+          [ ("dot", Trace.Str (gss_dot r.g r.active)); ("at", Trace.Int r.pos) ]
+    end;
     if List.length r.active > r.stats.max_parsers then
       r.stats.max_parsers <- List.length r.active
   end
@@ -692,6 +795,7 @@ let parse ?(config = default_config) table root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Glr.parse: not a document root");
+  Trace.span Trace.Glr "parse" @@ fun () ->
   process_modifications root;
   let t0 = Metrics.start () in
   let gss0 = Gss.allocated () in

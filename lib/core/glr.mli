@@ -45,9 +45,16 @@ type config = {
   state_matching : bool;
       (** subtree reuse via state-matching; [false] decomposes every
           lookahead to terminals (ablation: incremental node reuse only) *)
-  trace : (string -> unit) option;
-      (** parser-action trace hook (Appendix B) *)
 }
+(** Parser actions are no longer traced through a string callback: when
+    the {!Trace} sink is enabled the engine emits structured events —
+    [glr.shift]/[glr.reduce] instants, [gss.fork]/[gss.merge]/[gss.pack]
+    for stack splits and local-ambiguity packing, [gss.snapshot] DOT
+    captures of a multi-parser stack, [reuse.accept]/[reuse.reject]
+    (with the rejection reason: state mismatch, lookahead change,
+    pending edit, ...) and a [glr.parse] root span.
+    {!Trace.to_legacy_string} renders the Appendix B strings the old
+    [trace] callback produced. *)
 
 val default_config : config
 

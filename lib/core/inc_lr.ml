@@ -29,6 +29,7 @@ let parse ?(reuse_nodes = true) table root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Inc_lr.parse: not a document root");
+  Trace.span Trace.Glr "inclr.parse" @@ fun () ->
   Glr.process_modifications root;
   let t0 = Metrics.start () in
   let g = Table.grammar table in

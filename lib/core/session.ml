@@ -35,6 +35,9 @@ let has_errors t = t.errors
 let metrics t = Metrics.diff (Metrics.snapshot ()) t.baseline
 
 let reparse t =
+  (* The per-edit root span: every glr/gss/reuse/commit event of this
+     reparse nests inside it. *)
+  Trace.span Trace.Session "reparse" @@ fun () ->
   let t0 = Metrics.start () in
   Metrics.incr m_reparses;
   match Glr.parse ~config:t.config t.table (Document.root t.doc) with
@@ -66,6 +69,12 @@ let reparse t =
           end)
         (Document.changed_tokens t.doc);
       t.errors <- true;
+      if Trace.enabled () then
+        Trace.instant Trace.Session "recovered"
+          [
+            ("flagged", Trace.Int !flagged);
+            ("at", Trace.Int error.Glr.offset_tokens);
+          ];
       Recovered { flagged = !flagged; error }
 
 let create ?(config = Glr.default_config) ?(syn_filters = []) ?on_parse
@@ -80,4 +89,15 @@ let create ?(config = Glr.default_config) ?(syn_filters = []) ?on_parse
 let set_on_parse t hook = t.on_parse <- Some hook
 
 let edit t ~pos ~del ~insert =
-  ignore (Document.edit t.doc ~pos ~del ~insert)
+  if Trace.enabled () then
+    Trace.begin_span Trace.Session "edit"
+      [
+        ("pos", Trace.Int pos);
+        ("del", Trace.Int del);
+        ("insert", Trace.Int (String.length insert));
+      ];
+  match Document.edit t.doc ~pos ~del ~insert with
+  | _ -> Trace.end_span Trace.Session "edit" []
+  | exception e ->
+      Trace.end_span Trace.Session "edit" [ ("exception", Trace.Bool true) ];
+      raise e

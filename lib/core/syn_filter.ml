@@ -99,5 +99,15 @@ let apply g rules root =
       parent.Node.kids
   in
   walk root;
-  { examined = !examined; filtered = !filtered;
-    remaining = !examined - !filtered }
+  let report =
+    { examined = !examined; filtered = !filtered;
+      remaining = !examined - !filtered }
+  in
+  if Trace.enabled () then
+    Trace.instant Trace.Filter "apply"
+      [
+        ("examined", Trace.Int report.examined);
+        ("filtered", Trace.Int report.filtered);
+        ("remaining", Trace.Int report.remaining);
+      ];
+  report

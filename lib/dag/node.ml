@@ -30,6 +30,7 @@ type t = {
 
 let nostate = -1
 let counter = ref 0
+let allocated () = !counter
 
 (* Dag-maintenance observability: node allocations, choice packing, and
    the size of the region [commit] actually walks (the rebuilt part of
@@ -210,6 +211,7 @@ let commit root =
           n.kids
   in
   Metrics.incr m_commits;
+  Trace.span Trace.Commit "commit" @@ fun () ->
   root.parent <- None;
   walk ~force:false root
 

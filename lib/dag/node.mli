@@ -61,6 +61,12 @@ type t = {
 val nostate : int
 (** The equivalence class of all non-deterministic states (-1). *)
 
+val allocated : unit -> int
+(** Total nodes ever allocated in this process; node ids are assigned
+    from this counter, so the value taken before a reparse is a
+    watermark separating reused nodes ([nid <=] it) from freshly built
+    ones (used by [iglrc dot] to shade reused subtrees). *)
+
 (** {1 Construction} *)
 
 val make_term : term:int -> text:string -> trivia:string -> lex_la:int -> t

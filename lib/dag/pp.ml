@@ -64,22 +64,39 @@ let to_sexp g root =
   walk root;
   Buffer.contents buf
 
-let to_dot g root =
+let to_dot ?reused g root =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph parsedag {\n  node [fontname=\"monospace\"];\n";
+  (* Ids are assigned per call in traversal order, so the output depends
+     only on dag shape — stable for golden tests regardless of how many
+     nodes the process allocated before. *)
+  let ids = Hashtbl.create 64 in
+  let fresh = ref 0 in
+  let id (n : Node.t) =
+    match Hashtbl.find_opt ids n.Node.nid with
+    | Some i -> i
+    | None ->
+        let i = !fresh in
+        incr fresh;
+        Hashtbl.replace ids n.Node.nid i;
+        i
+  in
   let seen = Hashtbl.create 64 in
   let rec walk (n : Node.t) =
     if not (Hashtbl.mem seen n.Node.nid) then begin
       Hashtbl.replace seen n.Node.nid ();
+      let is_reused = match reused with Some f -> f n | None -> false in
       let attrs =
         match n.Node.kind with
         | Node.Term i ->
-            Printf.sprintf "label=%S shape=box style=filled fillcolor=lightgrey"
+            Printf.sprintf "label=%S shape=box style=filled fillcolor=%s"
               i.Node.text
+              (if is_reused then "palegreen" else "lightgrey")
         | Node.Prod p ->
             let prod = Cfg.production g p in
-            Printf.sprintf "label=%S shape=ellipse"
+            Printf.sprintf "label=%S shape=ellipse%s"
               (Cfg.nonterminal_name g prod.lhs)
+              (if is_reused then " style=filled fillcolor=palegreen" else "")
         | Node.Choice ci ->
             Printf.sprintf
               "label=\"%s?\" shape=diamond style=filled fillcolor=gold"
@@ -88,7 +105,7 @@ let to_dot g root =
         | Node.Eos _ -> "label=\"eos\" shape=point"
         | Node.Root -> "label=\"root\" shape=plaintext"
       in
-      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" n.Node.nid attrs);
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" (id n) attrs);
       Array.iteri
         (fun i k ->
           let style =
@@ -99,7 +116,7 @@ let to_dot g root =
             | _ -> ""
           in
           Buffer.add_string buf
-            (Printf.sprintf "  n%d -> n%d%s;\n" n.Node.nid k.Node.nid style);
+            (Printf.sprintf "  n%d -> n%d%s;\n" (id n) (id k) style);
           walk k)
         n.Node.kids
     end

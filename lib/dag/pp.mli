@@ -11,5 +11,9 @@ val to_sexp : Grammar.Cfg.t -> Node.t -> string
 
 (** Graphviz rendering of the dag: choice nodes are diamonds, shared
     terminals show their multiple parents, filtered alternatives are
-    dashed.  Paste into [dot -Tsvg] to visualize Figure 3-style pictures. *)
-val to_dot : Grammar.Cfg.t -> Node.t -> string
+    dashed.  Node ids are assigned per call in traversal order, so equal
+    dags render identically (golden-test stable).  [?reused] shades the
+    nodes it selects palegreen — [iglrc dot] passes a node-id watermark
+    predicate to highlight subtrees reused by the last reparse.  Paste
+    into [dot -Tsvg] to visualize Figure 3-style pictures. *)
+val to_dot : ?reused:(Node.t -> bool) -> Grammar.Cfg.t -> Node.t -> string

@@ -29,6 +29,7 @@ let m_runs = Metrics.counter "dag.unshare_runs"
 let m_copies = Metrics.counter "dag.unshare_copies"
 
 let run root =
+  if Trace.enabled () then Trace.begin_span Trace.Commit "unshare" [];
   let seen = Hashtbl.create 64 in
   let duplicated = ref 0 in
   (* Runs before commit: a kid whose parent pointer already points here
@@ -58,4 +59,6 @@ let run root =
   walk root;
   Metrics.incr m_runs;
   Metrics.add m_copies !duplicated;
+  if Trace.enabled () then
+    Trace.end_span Trace.Commit "unshare" [ ("copies", Trace.Int !duplicated) ];
   !duplicated

@@ -21,7 +21,9 @@ let node_of_token (tok : Scanner.token) =
     ~trivia:tok.Scanner.trivia ~lex_la:tok.Scanner.lookahead
 
 let create ~lexer text =
-  let tokens, trailing = Scanner.all lexer text in
+  let tokens, trailing =
+    Trace.span Trace.Lex "lex" @@ fun () -> Scanner.all lexer text
+  in
   let leaves = Array.of_list (List.map node_of_token tokens) in
   let root =
     Node.make_root
@@ -101,6 +103,7 @@ let edit t ~pos ~del ~insert =
   in
   (* Relex before touching the tree so a lex error leaves us unchanged. *)
   let r =
+    Trace.span Trace.Relex "relex" @@ fun () ->
     Metrics.time m_relex_span (fun () ->
         Relex.relex ~lexer:t.lexer ~old_text:t.text ~leaves:t.leaves ~pos ~del
           ~insert ~new_text)
@@ -149,6 +152,17 @@ let edit t ~pos ~del ~insert =
   Metrics.incr m_edits;
   Metrics.add m_tokens_relexed (List.length r.Relex.tokens);
   Metrics.add m_tokens_reused (n - r.Relex.replaced);
+  (* The splice decision after trimming: which leaves the edit actually
+     replaced versus kept (the relex half of the reuse story). *)
+  if Trace.enabled () then
+    Trace.instant Trace.Relex "splice"
+      [
+        ("first", Trace.Int r.Relex.first);
+        ("replaced", Trace.Int r.Relex.replaced);
+        ("inserted", Trace.Int (List.length r.Relex.tokens));
+        ("relexed", Trace.Int (List.length r.Relex.tokens));
+        ("reused", Trace.Int (n - r.Relex.replaced));
+      ];
   let new_terms = Array.of_list (List.map node_of_token r.Relex.tokens) in
   (* Splice into the tree: the replacement terminals take the tree position
      of the first replaced leaf (or sit just before eos when appending);

@@ -1,0 +1,372 @@
+(* Structured, low-overhead tracing for the incremental engine.
+
+   Complements lib/metrics (aggregate counters) with a *narrative* view:
+   typed begin/end/instant events with monotone timestamps, recorded into
+   a preallocated ring buffer behind a process-global sink.  When the
+   sink is disabled every emission is a single branch; hot paths that
+   would have to allocate an argument list guard on [enabled ()] first,
+   mirroring the [tracing] pattern the old string-callback hook used.
+
+   The ring stores mutable slots allocated once at [set_enabled true]:
+   recording overwrites a slot in place (a timestamp read plus six
+   stores), and on overflow the oldest events are dropped, never the
+   parse. *)
+
+module Json = Metrics.Json
+
+type cat = Lex | Relex | Glr | Gss | Reuse | Commit | Filter | Session
+
+let cat_name = function
+  | Lex -> "lex"
+  | Relex -> "relex"
+  | Glr -> "glr"
+  | Gss -> "gss"
+  | Reuse -> "reuse"
+  | Commit -> "commit"
+  | Filter -> "filter"
+  | Session -> "session"
+
+type arg = Int of int | Str of string | Float of float | Bool of bool
+
+type phase = Begin | End | Instant
+
+type event = {
+  seq : int;
+  ts : float;
+  phase : phase;
+  cat : cat;
+  name : string;
+  args : (string * arg) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The ring.                                                           *)
+
+type slot = {
+  mutable s_seq : int;
+  mutable s_ts : float;
+  mutable s_phase : phase;
+  mutable s_cat : cat;
+  mutable s_name : string;
+  mutable s_args : (string * arg) list;
+}
+
+let on = ref false
+let capacity = ref 65536
+let ring : slot array ref = ref [||]
+let next = ref 0
+let last_ts = ref 0.
+
+let enabled () = !on
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  capacity := n;
+  (* Resize lazily: an enabled sink reallocates immediately so capacity
+     changes take effect without a disable/enable cycle. *)
+  if !on && Array.length !ring <> n then begin
+    ring :=
+      Array.init n (fun _ ->
+          { s_seq = 0; s_ts = 0.; s_phase = Instant; s_cat = Session;
+            s_name = ""; s_args = [] });
+    next := 0
+  end
+
+let set_enabled b =
+  if b && Array.length !ring <> !capacity then
+    ring :=
+      Array.init !capacity (fun _ ->
+          { s_seq = 0; s_ts = 0.; s_phase = Instant; s_cat = Session;
+            s_name = ""; s_args = [] });
+  on := b
+
+let clear () =
+  next := 0;
+  last_ts := 0.
+
+let recorded () = !next
+let dropped () = max 0 (!next - Array.length !ring)
+
+(* Monotone clock: wall time clamped to never run backwards, so the
+   stream invariant (non-decreasing timestamps) holds by construction. *)
+let[@inline] now_monotone () =
+  let t = Unix.gettimeofday () in
+  if t > !last_ts then last_ts := t;
+  !last_ts
+
+let record phase cat name args =
+  if !on then begin
+    let r = !ring in
+    let cap = Array.length r in
+    if cap > 0 then begin
+      let s = r.(!next mod cap) in
+      s.s_seq <- !next;
+      s.s_ts <- now_monotone ();
+      s.s_phase <- phase;
+      s.s_cat <- cat;
+      s.s_name <- name;
+      s.s_args <- args;
+      incr next
+    end
+  end
+
+let[@inline] instant cat name args = record Instant cat name args
+let[@inline] begin_span cat name args = record Begin cat name args
+let[@inline] end_span cat name args = record End cat name args
+
+let span cat name f =
+  if not !on then f ()
+  else begin
+    record Begin cat name [];
+    match f () with
+    | v ->
+        record End cat name [];
+        v
+    | exception e ->
+        record End cat name [ ("exception", Bool true) ];
+        raise e
+  end
+
+let events () =
+  let r = !ring in
+  let cap = Array.length r in
+  if cap = 0 || !next = 0 then []
+  else begin
+    let first = max 0 (!next - cap) in
+    let out = ref [] in
+    for i = !next - 1 downto first do
+      let s = r.(i mod cap) in
+      out :=
+        { seq = s.s_seq; ts = s.s_ts; phase = s.s_phase; cat = s.s_cat;
+          name = s.s_name; args = s.s_args }
+        :: !out
+    done;
+    !out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Argument access.                                                    *)
+
+let str_arg name e =
+  match List.assoc_opt name e.args with Some (Str s) -> Some s | _ -> None
+
+let int_arg name e =
+  match List.assoc_opt name e.args with Some (Int n) -> Some n | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let pp_arg ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_event ppf e =
+  Format.fprintf ppf "%c %s.%s"
+    (match e.phase with Begin -> 'B' | End -> 'E' | Instant -> 'i')
+    (cat_name e.cat) e.name;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v) e.args
+
+(* The pretty-printer kept for the Appendix B golden traces: the exact
+   strings the retired [Glr.config.trace] callback used to produce. *)
+let to_legacy_string e =
+  let str n = str_arg n e and int n = int_arg n e in
+  match (e.cat, e.name) with
+  | Glr, "reduce" -> (
+      match (str "prod", int "target") with
+      | Some p, Some t -> Some (Printf.sprintf "reduce: %s (target state %d)" p t)
+      | _ -> None)
+  | Glr, "shift" -> (
+      match (str "yield", int "parsers") with
+      | Some y, Some n -> Some (Printf.sprintf "shift: %S -> %d parser(s)" y n)
+      | _ -> None)
+  | Gss, "pack" -> (
+      match (str "symbol", int "alts") with
+      | Some s, Some n ->
+          Some
+            (Printf.sprintf "amb: symbol node for %s (%d interpretations)" s n)
+      | _ -> None)
+  | Gss, "merge" -> (
+      match (str "symbol", str "kind") with
+      | Some s, Some "duplicate" ->
+          Some
+            (Printf.sprintf "merge: duplicate interpretation of %s folded" s)
+      | Some s, Some _ ->
+          Some (Printf.sprintf "merge: new interpretation of %s" s)
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (Perfetto / chrome://tracing).            *)
+
+module Export = struct
+  let json_of_arg = function
+    | Int n -> Json.Int n
+    | Str s -> Json.String s
+    | Float f -> Json.Float f
+    | Bool b -> Json.Bool b
+
+  let to_chrome evs =
+    let t0 = match evs with [] -> 0. | e :: _ -> e.ts in
+    let event e =
+      Json.Obj
+        ([
+           ("name", Json.String e.name);
+           ("cat", Json.String (cat_name e.cat));
+           ( "ph",
+             Json.String
+               (match e.phase with Begin -> "B" | End -> "E" | Instant -> "i")
+           );
+           (* Chrome expects microseconds; rebase on the first event so
+              the numbers stay readable. *)
+           ("ts", Json.Float ((e.ts -. t0) *. 1e6));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+         ]
+        @ (match e.phase with
+          | Instant -> [ ("s", Json.String "t") ]
+          | Begin | End -> [])
+        @
+        match e.args with
+        | [] -> []
+        | args ->
+            [
+              ( "args",
+                Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args) );
+            ])
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.map event evs));
+        ("displayTimeUnit", Json.String "ms");
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Stream well-formedness (the test_trace_events invariants).          *)
+
+module Check = struct
+  let well_formed evs =
+    let faults = ref [] in
+    let fault fmt =
+      Printf.ksprintf (fun m -> faults := m :: !faults) fmt
+    in
+    let prev_ts = ref neg_infinity in
+    let stack = ref [] in
+    List.iter
+      (fun e ->
+        if e.ts < !prev_ts then
+          fault "event %d (%s.%s): timestamp went backwards" e.seq
+            (cat_name e.cat) e.name;
+        prev_ts := e.ts;
+        match e.phase with
+        | Begin -> stack := (e.cat, e.name) :: !stack
+        | End -> (
+            match !stack with
+            | (c, n) :: rest when c = e.cat && n = e.name -> stack := rest
+            | (c, n) :: _ ->
+                fault "event %d: end of %s.%s inside open span %s.%s" e.seq
+                  (cat_name e.cat) e.name (cat_name c) n
+            | [] ->
+                fault "event %d: end of %s.%s with no open span" e.seq
+                  (cat_name e.cat) e.name)
+        | Instant -> ())
+      evs;
+    List.iter
+      (fun (c, n) -> fault "span %s.%s never ended" (cat_name c) n)
+      !stack;
+    List.rev !faults
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-edit reuse explanation, derived from the event stream.          *)
+
+module Explain = struct
+  type subtree = {
+    symbol : string;
+    tok_from : int;  (** token offset where the decision was taken *)
+    tokens : int;  (** yield length of the candidate subtree *)
+    reason : string;  (** reject slug; "reused" for accepts *)
+    detail : string;  (** human-readable reason *)
+  }
+
+  type t = {
+    tokens_relexed : int;
+    tokens_reused : int;
+    accepted : subtree list;  (** subtrees shifted whole, input order *)
+    rebuilt : subtree list;  (** decomposed candidates, input order *)
+    reductions : int;
+    reparse_ms : float option;
+  }
+
+  (* Reject slugs are emitted by the engine; keep the prose here so every
+     consumer renders the same sentence. *)
+  let describe e =
+    let reason = Option.value ~default:"unknown" (str_arg "reason" e) in
+    let detail =
+      match reason with
+      | "pending-edit" -> "contains a pending edit (unincorporated change bits)"
+      | "lookahead-change" ->
+          "lookahead changed (one-terminal right context was modified)"
+      | "state-mismatch" ->
+          Printf.sprintf "recorded parse state %d does not match parser state %d"
+            (Option.value ~default:(-1) (int_arg "recorded" e))
+            (Option.value ~default:(-1) (int_arg "current" e))
+      | "no-state" -> "built while several parsers were active (no recorded state)"
+      | "multiple-parsers" -> "several parsers active (non-deterministic region)"
+      | "no-goto" -> "no goto transition from the current state on this symbol"
+      | "disabled" -> "state-matching disabled by configuration"
+      | other -> other
+    in
+    (reason, detail)
+
+  let of_events evs =
+    let relexed = ref 0 and reused = ref 0 and reductions = ref 0 in
+    let accepted = ref [] and rebuilt = ref [] in
+    let reparse_ms = ref None in
+    let reparse_begin = ref None in
+    List.iter
+      (fun e ->
+        match (e.cat, e.name, e.phase) with
+        | Relex, "splice", Instant ->
+            relexed := !relexed + Option.value ~default:0 (int_arg "relexed" e);
+            reused := !reused + Option.value ~default:0 (int_arg "reused" e)
+        | Glr, "reduce", Instant -> incr reductions
+        | Reuse, "accept", Instant ->
+            accepted :=
+              {
+                symbol = Option.value ~default:"?" (str_arg "symbol" e);
+                tok_from = Option.value ~default:0 (int_arg "from" e);
+                tokens = Option.value ~default:0 (int_arg "tokens" e);
+                reason = "reused";
+                detail = "shifted whole (recorded state matched)";
+              }
+              :: !accepted
+        | Reuse, "reject", Instant ->
+            let reason, detail = describe e in
+            rebuilt :=
+              {
+                symbol = Option.value ~default:"?" (str_arg "symbol" e);
+                tok_from = Option.value ~default:0 (int_arg "from" e);
+                tokens = Option.value ~default:0 (int_arg "tokens" e);
+                reason;
+                detail;
+              }
+              :: !rebuilt
+        | Session, "reparse", Begin -> reparse_begin := Some e.ts
+        | Session, "reparse", End -> (
+            match !reparse_begin with
+            | Some t0 -> reparse_ms := Some ((e.ts -. t0) *. 1e3)
+            | None -> ())
+        | _ -> ())
+      evs;
+    {
+      tokens_relexed = !relexed;
+      tokens_reused = !reused;
+      accepted = List.rev !accepted;
+      rebuilt = List.rev !rebuilt;
+      reductions = !reductions;
+      reparse_ms = !reparse_ms;
+    }
+end

@@ -201,9 +201,23 @@ let test_to_dot () =
   Alcotest.(check bool) "digraph header" true (has "digraph parsedag");
   Alcotest.(check bool) "choice is a diamond" true (has "shape=diamond");
   Alcotest.(check bool) "terminal box" true (has "shape=box");
-  (* The shared terminal appears once but has two incoming edges. *)
+  (* The shared terminal appears once but has two incoming edges.  Ids
+     are per-call (not global nids): recover the terminal's id from its
+     declaration line, then count edges into it. *)
+  ignore a;
+  let find sub =
+    let n = String.length dot and m = String.length sub in
+    let rec go i = if i + m > n then -1
+      else if String.sub dot i m = sub then i else go (i + 1) in
+    go 0
+  in
+  let decl = find (Printf.sprintf "[label=%S shape=box" "x") in
+  Alcotest.(check bool) "terminal declared" true (decl >= 0);
+  let id_start = String.rindex_from dot decl 'n' + 1 in
+  let id_end = String.index_from dot id_start ' ' in
+  let a_id = String.sub dot id_start (id_end - id_start) in
   let count_edges_to_a =
-    let needle = Printf.sprintf "-> n%d" a.Node.nid in
+    let needle = Printf.sprintf "-> n%s;" a_id in
     let n = String.length dot and m = String.length needle in
     let rec go i acc =
       if i + m > n then acc

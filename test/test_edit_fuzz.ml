@@ -43,6 +43,11 @@ let batch lang text =
 let replay lang base (seed, count) =
   let table = Language.table lang in
   let script = Edit_gen.random_script ~seed ~count base in
+  (* Every fuzzed edit also runs with the trace sink live: whatever the
+     edit does to the parser — including recovery — the event stream must
+     stay well-formed (balanced spans, monotone timestamps). *)
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) @@ fun () ->
   let s, outcome0 =
     Session.create ~table ~lexer:(Language.lexer lang) base
   in
@@ -53,11 +58,18 @@ let replay lang base (seed, count) =
   List.for_all
     (fun (e : Edit_gen.edit) ->
       text := Edit_gen.apply e !text;
+      Trace.clear ();
       Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
         ~insert:e.Edit_gen.e_insert;
       if not (String.equal (Session.text s) !text) then
         QCheck.Test.fail_report "document text diverged from edit replay";
       let outcome = Session.reparse s in
+      (if Trace.dropped () = 0 then
+         match Trace.Check.well_formed (Trace.events ()) with
+         | [] -> ()
+         | faults ->
+             QCheck.Test.fail_reportf "malformed trace after edit:\n %s"
+               (String.concat "\n " faults));
       match (batch lang !text, outcome) with
       | Some expected, Session.Parsed _ ->
           Analyze.Check.assert_dag table (Session.root s);

@@ -23,6 +23,7 @@ let () =
       ("langs", Test_langs.suite);
       ("sequence", Test_sequence.suite);
       ("trace", Test_trace.suite);
+      ("trace-events", Test_trace_events.suite);
       ("analyze", Test_analyze.suite);
       ("metrics", Test_metrics.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);

@@ -1,24 +1,26 @@
 (* Golden-ish tests of the parser action trace (Appendix B): the fork on
    the typedef reduce/reduce conflict, tandem shifting by both parsers,
-   and the merge into a symbol (choice) node. *)
+   and the merge into a symbol (choice) node.  The strings come from the
+   structured sink via [Trace.to_legacy_string] — the same lines the
+   retired [Glr.config.trace] callback used to produce. *)
 
 module Session = Iglr.Session
-module Glr = Iglr.Glr
 module Language = Languages.Language
 
 let capture_trace lang text =
-  let lines = ref [] in
-  let config =
-    { Glr.default_config with trace = Some (fun l -> lines := l :: !lines) }
-  in
+  Trace.set_enabled true;
+  Trace.clear ();
   let _, outcome =
-    Session.create ~config ~table:(Language.table lang)
-      ~lexer:(Language.lexer lang) text
+    Fun.protect
+      ~finally:(fun () -> Trace.set_enabled false)
+      (fun () ->
+        Session.create ~table:(Language.table lang)
+          ~lexer:(Language.lexer lang) text)
   in
   (match outcome with
   | Session.Parsed _ -> ()
   | Session.Recovered _ -> Alcotest.fail "trace parse failed");
-  List.rev !lines
+  List.filter_map Trace.to_legacy_string (Trace.events ())
 
 let contains sub line =
   let n = String.length line and m = String.length sub in

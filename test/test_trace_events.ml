@@ -1,0 +1,212 @@
+(* Invariants of the structured trace stream (lib/trace) and a golden
+   check of the dag visualization.
+
+   - Every capture must satisfy [Trace.Check.well_formed]: timestamps
+     monotone non-decreasing, begin/end spans balanced under strict
+     stack discipline.
+   - During a reparse, the [session.reparse] root span must enclose all
+     engine events (glr/gss/reuse/commit), and the [session.edit] span
+     must enclose the relex events — the Perfetto view is only readable
+     if nesting reflects the actual call structure.
+   - [Pp.to_dot] on the Appendix B typedef-ambiguity example must match
+     a golden graph: per-call sequential node ids make the output a pure
+     function of dag shape, so this is stable across runs. *)
+
+module Session = Iglr.Session
+module Language = Languages.Language
+
+let capture f =
+  Trace.set_enabled true;
+  Trace.clear ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let make_session lang text =
+  let s, outcome =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang)
+      text
+  in
+  (match outcome with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "fixture rejected");
+  s
+
+let assert_well_formed ctx =
+  Alcotest.(check int) (ctx ^ ": no ring overflow") 0 (Trace.dropped ());
+  match Trace.Check.well_formed (Trace.events ()) with
+  | [] -> ()
+  | faults ->
+      Alcotest.failf "%s: malformed trace:\n %s" ctx
+        (String.concat "\n " faults)
+
+(* Full lifecycle — initial parse, an edit, a reparse — produces a
+   balanced, monotone stream. *)
+let test_stream_well_formed () =
+  capture @@ fun () ->
+  let lang = Languages.C_subset.language in
+  let s = make_session lang "int f () { int x; x = 1; }" in
+  assert_well_formed "initial parse";
+  Session.edit s ~pos:22 ~del:1 ~insert:"2";
+  (match Session.reparse s with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> Alcotest.fail "edit broke the parse");
+  assert_well_formed "edit + reparse"
+
+(* Ambiguous input exercises fork/merge/pack emission; the stream must
+   still be balanced. *)
+let test_ambiguous_stream_well_formed () =
+  capture @@ fun () ->
+  let lang = Languages.Cpp_subset.language in
+  let _ = make_session lang "int f () { a (b); }" in
+  assert_well_formed "ambiguous parse"
+
+let span_bounds name evs =
+  let seq_of phase =
+    List.find_map
+      (fun (e : Trace.event) ->
+        if e.Trace.cat = Trace.Session && e.Trace.name = name
+           && e.Trace.phase = phase
+        then Some e.Trace.seq
+        else None)
+      evs
+  in
+  match (seq_of Trace.Begin, seq_of Trace.End) with
+  | Some b, Some e -> (b, e)
+  | _ -> Alcotest.failf "session span %S missing begin or end" name
+
+let test_root_span_encloses () =
+  let lang = Languages.C_subset.language in
+  let s =
+    capture (fun () -> make_session lang "int f () { int x; x = 1; }")
+  in
+  let evs =
+    capture @@ fun () ->
+    Session.edit s ~pos:22 ~del:1 ~insert:"2";
+    (match Session.reparse s with
+    | Session.Parsed _ -> ()
+    | Session.Recovered _ -> Alcotest.fail "edit broke the parse");
+    Trace.events ()
+  in
+  let edit_b, edit_e = span_bounds "edit" evs
+  and rep_b, rep_e = span_bounds "reparse" evs in
+  Alcotest.(check bool) "edit span precedes reparse span" true
+    (edit_e < rep_b);
+  List.iter
+    (fun (e : Trace.event) ->
+      let inside lo hi what =
+        if not (lo < e.Trace.seq && e.Trace.seq < hi) then
+          Alcotest.failf "%a escapes the session %s span" Trace.pp_event e
+            what
+      in
+      match e.Trace.cat with
+      | Trace.Glr | Trace.Gss | Trace.Reuse | Trace.Commit ->
+          inside rep_b rep_e "reparse"
+      | Trace.Relex -> inside edit_b edit_e "edit"
+      | Trace.Lex | Trace.Filter | Trace.Session -> ())
+    evs;
+  Alcotest.(check bool) "engine events present" true
+    (List.exists (fun (e : Trace.event) -> e.Trace.cat = Trace.Glr) evs)
+
+(* Appendix B: "a (b);" inside a function body is both an expression
+   statement and a declaration of b; the dag keeps both readings under a
+   choice node (gold diamond, dotted edges) and shares the terminals of
+   the ambiguous region between them. *)
+let golden_appendix_b_dot =
+  {golden|digraph parsedag {
+  node [fontname="monospace"];
+  n0 [label="root" shape=plaintext];
+  n0 -> n1;
+  n1 [label="bos" shape=point];
+  n0 -> n2;
+  n2 [label="translation_unit" shape=ellipse];
+  n2 -> n3;
+  n3 [label="ext_decl*" shape=ellipse];
+  n3 -> n4;
+  n4 [label="ext_decl*" shape=ellipse];
+  n3 -> n5;
+  n5 [label="ext_decl" shape=ellipse];
+  n5 -> n6;
+  n6 [label="func_def" shape=ellipse];
+  n6 -> n7;
+  n7 [label="type_spec" shape=ellipse];
+  n7 -> n8;
+  n8 [label="int" shape=box style=filled fillcolor=lightgrey];
+  n6 -> n9;
+  n9 [label="f" shape=box style=filled fillcolor=lightgrey];
+  n6 -> n10;
+  n10 [label="(" shape=box style=filled fillcolor=lightgrey];
+  n6 -> n11;
+  n11 [label=")" shape=box style=filled fillcolor=lightgrey];
+  n6 -> n12;
+  n12 [label="compound" shape=ellipse];
+  n12 -> n13;
+  n13 [label="{" shape=box style=filled fillcolor=lightgrey];
+  n12 -> n14;
+  n14 [label="stmt*" shape=ellipse];
+  n14 -> n15;
+  n15 [label="stmt*" shape=ellipse];
+  n14 -> n16;
+  n16 [label="stmt?" shape=diamond style=filled fillcolor=gold];
+  n16 -> n17 [style=dotted];
+  n17 [label="stmt" shape=ellipse];
+  n17 -> n18;
+  n18 [label="expr" shape=ellipse];
+  n18 -> n19;
+  n19 [label="expr" shape=ellipse];
+  n19 -> n20;
+  n20 [label="a" shape=box style=filled fillcolor=lightgrey];
+  n18 -> n21;
+  n21 [label="(" shape=box style=filled fillcolor=lightgrey];
+  n18 -> n22;
+  n22 [label="arg_list" shape=ellipse];
+  n22 -> n23;
+  n23 [label="expr" shape=ellipse];
+  n23 -> n24;
+  n24 [label="b" shape=box style=filled fillcolor=lightgrey];
+  n18 -> n25;
+  n25 [label=")" shape=box style=filled fillcolor=lightgrey];
+  n17 -> n26;
+  n26 [label=";" shape=box style=filled fillcolor=lightgrey];
+  n16 -> n27 [style=dotted];
+  n27 [label="stmt" shape=ellipse];
+  n27 -> n28;
+  n28 [label="decl" shape=ellipse];
+  n28 -> n29;
+  n29 [label="type_spec" shape=ellipse];
+  n29 -> n20;
+  n28 -> n30;
+  n30 [label="init_decl_list" shape=ellipse];
+  n30 -> n31;
+  n31 [label="init_decl" shape=ellipse];
+  n31 -> n32;
+  n32 [label="declarator" shape=ellipse];
+  n32 -> n21;
+  n32 -> n33;
+  n33 [label="declarator" shape=ellipse];
+  n33 -> n24;
+  n32 -> n25;
+  n28 -> n26;
+  n12 -> n34;
+  n34 [label="}" shape=box style=filled fillcolor=lightgrey];
+  n0 -> n35;
+  n35 [label="eos" shape=point];
+}
+|golden}
+
+let test_golden_dot () =
+  let lang = Languages.Cpp_subset.language in
+  let s = make_session lang "int f () { a (b); }" in
+  let dot =
+    Parsedag.Pp.to_dot lang.Language.grammar (Session.root s)
+  in
+  Alcotest.(check string) "appendix B dot" golden_appendix_b_dot dot
+
+let suite =
+  [
+    Alcotest.test_case "stream well-formed across edit" `Quick
+      test_stream_well_formed;
+    Alcotest.test_case "ambiguous stream well-formed" `Quick
+      test_ambiguous_stream_well_formed;
+    Alcotest.test_case "session spans enclose engine events" `Quick
+      test_root_span_encloses;
+    Alcotest.test_case "appendix B golden dot" `Quick test_golden_dot;
+  ]
