@@ -4,9 +4,10 @@
      check_regress.exe --baseline DIR --fresh DIR
          [--tolerance 0.2] [--reuse-tolerance 0.2] [--floor-ms 5.0]
 
-   Both directories must hold BENCH_latency.json and BENCH_reuse.json
-   (iglr-bench/1 schema).  Entries are keyed by (experiment, language,
-   case); only entries with "gate": true are compared.
+   Both directories must hold BENCH_latency.json, BENCH_reuse.json and
+   BENCH_recovery.json (iglr-bench/1 schema).  Entries are keyed by
+   (experiment, language, case); only entries with "gate": true are
+   compared.
 
    - Latency: fail when fresh median > baseline median * (1 + tolerance),
      but entries whose baseline median is below --floor-ms are skipped —
@@ -15,6 +16,9 @@
    - Reuse: fail when any fresh percentage drops below
      baseline * (1 - reuse-tolerance).  These are deterministic (seeded
      edit streams), so they are the primary gate.
+   - Recovery: same rule as reuse — the *_pct fields (containment,
+     outside-reuse, convergence, budget survival) are deterministic, so
+     any drop means the error path regressed.
 
    Every regression is reported as one machine-parseable line naming the
    offending metric with its baseline/current values, so CI logs localize
@@ -194,6 +198,7 @@ let () =
    | _ -> ());
   check "latency" check_latency "BENCH_latency.json";
   check "reuse" check_reuse "BENCH_reuse.json";
+  check "recovery" check_reuse "BENCH_recovery.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

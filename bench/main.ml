@@ -12,9 +12,10 @@
    overheads, are scale-invariant).
 
    Besides the text tables, the harness emits machine-readable results —
-   BENCH_latency.json and BENCH_reuse.json in --json-dir (default the
-   working directory; --no-json disables) — which seed the perf
-   trajectory and feed bench/check_regress.ml, the regression gate. *)
+   BENCH_latency.json, BENCH_reuse.json and BENCH_recovery.json in
+   --json-dir (default the working directory; --no-json disables) —
+   which seed the perf trajectory and feed bench/check_regress.ml, the
+   regression gate. *)
 
 module Session = Iglr.Session
 module Glr = Iglr.Glr
@@ -75,6 +76,7 @@ let header title =
    instrumentation-overhead ratio) ship with [gate = false]. *)
 let latency_entries : Json.t list ref = ref []
 let reuse_entries : Json.t list ref = ref []
+let recovery_entries : Json.t list ref = ref []
 
 let record_latency ?(gate = true) ~experiment ~language ~case ~runs t =
   latency_entries :=
@@ -117,6 +119,21 @@ let record_reuse ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !reuse_entries
 
+(* Recovery entries share the reuse schema (gated *_pct fields over a
+   deterministic workload) but live in their own document so the error
+   path gates independently of the steady-state reuse numbers. *)
+let record_recovery ?(gate = true) ~experiment ~language ~case fields =
+  recovery_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !recovery_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -132,12 +149,17 @@ let write_json () =
       in
       let latency = Filename.concat dir "BENCH_latency.json" in
       let reuse = Filename.concat dir "BENCH_reuse.json" in
+      let recovery = Filename.concat dir "BENCH_recovery.json" in
       Json.to_file latency (doc "latency" !latency_entries);
       Json.to_file reuse (doc "reuse" !reuse_entries);
-      Printf.printf "\nwrote %s (%d entries), %s (%d entries)\n" latency
+      Json.to_file recovery (doc "recovery" !recovery_entries);
+      Printf.printf "\nwrote %s (%d entries), %s (%d entries), %s (%d entries)\n"
+        latency
         (List.length !latency_entries)
         reuse
         (List.length !reuse_entries)
+        recovery
+        (List.length !recovery_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -981,6 +1003,136 @@ let reuse () =
      %%:\n tokens reused by the incremental lexer vs re-lexed)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: error isolation, reuse outside the damage, budgets.       *)
+
+(* Deterministic (fixed seed, fixed fault site), so every percentage
+   gates exactly against the committed baseline:
+   - containment: a mid-file fault must be confined to a few tokens of
+     the enclosing statement, not spread over the document;
+   - outside reuse: with the fault still present, edits far away must
+     reuse almost the whole tree (the §5 invariant on the error path);
+   - convergence: repairing the text must return to a clean parse with
+     no residual error regions;
+   - budget survival: each budget kind must terminate with an outcome
+     (degraded or recovered), never an uncaught exception. *)
+let recovery () =
+  header "Recovery: error isolation, reuse outside the damage, budgets";
+  let lang = Languages.C_subset.language in
+  let lines = max 200 (int_of_float (4000. *. !scale)) in
+  let src = Spec_gen.plain ~lines ~seed:101 in
+  let s = session_of lang src in
+  (* Inject a fault at the statement boundary nearest the middle. *)
+  let fault_pos =
+    match String.index_from_opt src (String.length src / 2) ';' with
+    | Some i -> i
+    | None -> String.index src ';'
+  in
+  Session.edit s ~pos:fault_pos ~del:0 ~insert:" ) ( ";
+  let (isolated, flagged), t_isolate =
+    time_once (fun () ->
+        match Session.reparse s with
+        | Session.Recovered { isolated; flagged; _ } -> (isolated, flagged)
+        | Session.Parsed _ -> failwith "recovery: fault text parsed cleanly")
+  in
+  let doc_tokens = Vdoc.Document.token_count (Session.document s) in
+  let contained_pct =
+    100. *. (1. -. (float_of_int flagged /. float_of_int doc_tokens))
+  in
+  record_latency ~gate:true ~experiment:"recovery" ~language:"c"
+    ~case:"isolating-reparse" ~runs:1
+    (timing_of_samples [ t_isolate ]);
+  Printf.printf
+    "fault at byte %d: %d token(s) flagged in %d isolated region(s) of a \
+     %d-token document (%.2f%% contained), %.2f ms\n"
+    fault_pos flagged isolated doc_tokens contained_pct (t_isolate *. 1e3);
+  (* Edits far from the standing error: one near the start, one near the
+     end; each is inserted and removed again, and every reparse should
+     rebuild only the spine plus the re-isolated region. *)
+  let samples = ref [] in
+  let reuse_pcts = ref [] in
+  List.iter
+    (fun pos ->
+      let total = float_of_int (Node.count_nodes (Session.root s)) in
+      let before = Metrics.snapshot () in
+      Session.edit s ~pos ~del:0 ~insert:" x9 = 1;";
+      let _, t1 = time_once (fun () -> Session.reparse s) in
+      Session.edit s ~pos ~del:8 ~insert:"";
+      let _, t2 = time_once (fun () -> Session.reparse s) in
+      let d = Metrics.diff (Metrics.snapshot ()) before in
+      let created =
+        float_of_int (Metrics.count d "glr.nodes_created") /. 2.
+      in
+      reuse_pcts := (100. *. (1. -. (created /. total))) :: !reuse_pcts;
+      samples := t1 :: t2 :: !samples)
+    [ String.index src ';' + 1; String.rindex src ';' + 1 ];
+  let outside_reuse_pct =
+    List.fold_left ( +. ) 0.0 !reuse_pcts
+    /. float_of_int (List.length !reuse_pcts)
+  in
+  record_latency ~experiment:"recovery" ~language:"c"
+    ~case:"reparse-with-standing-error"
+    ~runs:(List.length !samples)
+    (timing_of_samples !samples);
+  Printf.printf
+    "edits outside the damaged region: %.2f%% of the tree reused per \
+     reparse (%d reparses)\n"
+    outside_reuse_pct (List.length !samples);
+  (* Repair: rewrite the document back to the pristine text. *)
+  let cur = String.length (Session.text s) in
+  Session.edit s ~pos:0 ~del:cur ~insert:src;
+  let converged =
+    match Session.reparse s with
+    | Session.Parsed _ -> Session.error_regions s = []
+    | Session.Recovered _ -> false
+  in
+  Printf.printf "repair converges to a clean parse: %b\n" converged;
+  (* Budgets: each kind must terminate with an outcome on a fresh parse. *)
+  let survived = ref 0 in
+  let budgets =
+    [
+      ("max-parsers=1", { Glr.no_budget with Glr.max_parsers = 1 });
+      ("max-nodes=64", { Glr.no_budget with Glr.max_nodes = 64 });
+      ("deadline-ms=0", { Glr.no_budget with Glr.deadline_ms = 0.0 });
+    ]
+  in
+  List.iter
+    (fun (name, budget) ->
+      match
+        Session.create ~budget ~table:(Language.table lang)
+          ~lexer:(Language.lexer lang) src
+      with
+      | _, Session.Parsed st ->
+          incr survived;
+          Printf.printf "budget %-14s parsed (degraded=%b)\n" name
+            st.Glr.degraded
+      | _, Session.Recovered { degraded; flagged; isolated; _ } ->
+          incr survived;
+          Printf.printf "budget %-14s recovered (degraded=%b flagged=%d \
+                         isolated=%d)\n"
+            name degraded flagged isolated
+      | exception e ->
+          Printf.printf "budget %-14s ESCAPED: %s\n" name
+            (Printexc.to_string e))
+    budgets;
+  let survival_pct =
+    100. *. float_of_int !survived /. float_of_int (List.length budgets)
+  in
+  record_recovery ~experiment:"recovery" ~language:"c" ~case:"mid-file-fault"
+    [
+      ("isolated_regions", Json.Int isolated);
+      ("flagged_tokens", Json.Int flagged);
+      ("doc_tokens", Json.Int doc_tokens);
+      ("containment_pct", Json.Float contained_pct);
+      ("outside_reuse_pct", Json.Float outside_reuse_pct);
+      ("convergence_pct", Json.Float (if converged then 100. else 0.));
+      ("budget_survival_pct", Json.Float survival_pct);
+    ];
+  Printf.printf
+    "(containment, outside reuse, convergence and budget survival are \
+     deterministic and gate\n against the committed baseline via \
+     check_regress)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Instrumentation overhead: the observability layer's own cost.       *)
 
 let overhead () =
@@ -1066,6 +1218,7 @@ let experiments =
     ("attrs", attrs);
     ("ablate-reuse", ablate_reuse);
     ("reuse", reuse);
+    ("recovery", recovery);
     ("overhead", overhead);
     ("earley", earley);
     ("bechamel", bechamel);

@@ -8,6 +8,7 @@
      sem     parse a C/C++ file and run semantic disambiguation
      gen     emit a synthetic SPEC-like program
      replay  apply an edit script with incremental reparses
+     errors  list damaged regions (error nodes, flagged tokens) of a parse
      trace   replay with the structured sink on; export Chrome trace JSON
      dot     Graphviz DOT of the parse dag (or the last GSS snapshot)
      explain per-subtree reuse breakdown of the last edit of a script
@@ -49,6 +50,54 @@ let read_input = function
   | None -> In_channel.input_all stdin
   | Some path -> In_channel.with_open_bin path In_channel.input_all
 
+(* Resource budgets (parse/errors/replay): exhaustion degrades the parse
+   deterministically instead of aborting the tool. *)
+let budget_term =
+  let max_parsers =
+    Arg.(
+      value
+      & opt int Iglr.Glr.no_budget.Iglr.Glr.max_parsers
+      & info [ "max-parsers" ] ~docv:"N"
+          ~doc:
+            "Cap on simultaneously active GLR parsers; excess parsers are \
+             pruned deterministically (lowest-state priority) and the parse \
+             is marked degraded.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt int Iglr.Glr.no_budget.Iglr.Glr.max_nodes
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Cap on dag nodes created by one reparse; exhaustion falls back \
+             to error isolation, then to flag-only recovery.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt float Iglr.Glr.no_budget.Iglr.Glr.deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline for one reparse (including recovery \
+             attempts), in milliseconds.")
+  in
+  let make max_parsers max_nodes deadline_ms =
+    { Iglr.Glr.max_parsers; max_nodes; deadline_ms }
+  in
+  Term.(const make $ max_parsers $ max_nodes $ deadline_ms)
+
+let pp_location (l : Iglr.Session.location) =
+  Printf.sprintf "%d:%d (byte %d, token %d)" l.Iglr.Session.line
+    l.Iglr.Session.col l.Iglr.Session.offset_bytes l.Iglr.Session.offset_tokens
+
+let print_recovered ~flagged ~isolated ~degraded ~(error : Iglr.Glr.error)
+    ~location =
+  Printf.printf
+    "syntax error at %s: %s; %d token(s) in %d isolated region(s)%s%s\n"
+    (pp_location location) error.Iglr.Glr.message flagged isolated
+    (if isolated = 0 then " (flag-only recovery)" else "")
+    (if degraded then " [degraded: budget exhausted]" else "")
+
 let print_stats (st : Iglr.Glr.stats) =
   Printf.printf
     "parse: terminals=%d subtrees=%d reductions=%d breakdowns=%d \
@@ -77,10 +126,10 @@ let parse_cmd =
             "Print the metrics snapshot of the parse (counters, spans, \
              reuse percentages); FMT is $(b,text) (default) or $(b,json).")
   in
-  let run lang file dump sexp stats =
+  let run lang file budget dump sexp stats =
     let text = read_input file in
     let s, outcome =
-      Iglr.Session.create
+      Iglr.Session.create ~budget
         ~table:(Languages.Language.table lang)
         ~lexer:(Languages.Language.lexer lang)
         text
@@ -92,10 +141,9 @@ let parse_cmd =
           let m = Parsedag.Stats.measure (Iglr.Session.root s) in
           Format.printf "space: %a@." Parsedag.Stats.pp m;
           false
-      | Iglr.Session.Recovered { error; flagged } ->
-          Printf.printf
-            "syntax error near token %d (%s); %d token(s) flagged\n"
-            error.Iglr.Glr.offset_tokens error.Iglr.Glr.message flagged;
+      | Iglr.Session.Recovered { error; flagged; isolated; degraded; location }
+        ->
+          print_recovered ~flagged ~isolated ~degraded ~error ~location;
           true
     in
     if dump then
@@ -116,7 +164,7 @@ let parse_cmd =
     if errors then exit 2
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse a file with the IGLR parser")
-    Term.(const run $ lang_arg $ file_arg $ dump $ sexp $ stats)
+    Term.(const run $ lang_arg $ file_arg $ budget_term $ dump $ sexp $ stats)
 
 let table_cmd =
   let run lang =
@@ -292,11 +340,51 @@ let script_opt_arg =
     & opt (some string) None
     & info [ "edits" ] ~docv:"SCRIPT" ~doc:script_doc)
 
-let make_session lang text =
-  Iglr.Session.create
+let make_session ?budget lang text =
+  Iglr.Session.create ?budget
     ~table:(Languages.Language.table lang)
     ~lexer:(Languages.Language.lexer lang)
     text
+
+let errors_cmd =
+  let run lang file budget script =
+    let text = read_input file in
+    let session, outcome = make_session ~budget lang text in
+    (match outcome with
+    | Iglr.Session.Parsed _ -> ()
+    | Iglr.Session.Recovered { error; flagged; isolated; degraded; location }
+      ->
+        print_recovered ~flagged ~isolated ~degraded ~error ~location);
+    (match script with
+    | Some path ->
+        List.iter
+          (fun (pos, del, insert) ->
+            Iglr.Session.edit session ~pos ~del ~insert;
+            ignore (Iglr.Session.reparse session))
+          (edits_of_script path)
+    | None -> ());
+    match Iglr.Session.error_regions session with
+    | [] -> print_endline "no error regions"
+    | regions ->
+        List.iter
+          (fun (r : Iglr.Session.region) ->
+            Printf.printf "%d:%d: bytes %d-%d, %d token(s): %s\n"
+              r.Iglr.Session.r_start.Iglr.Session.line
+              r.Iglr.Session.r_start.Iglr.Session.col
+              r.Iglr.Session.r_start.Iglr.Session.offset_bytes
+              r.Iglr.Session.r_end_byte r.Iglr.Session.r_tokens
+              r.Iglr.Session.r_message)
+          regions;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "errors"
+       ~doc:
+         "Parse a file (optionally replaying an edit script) and list the \
+          damaged regions of the final tree: isolated error nodes and \
+          terminals flagged as unincorporated, with line:column and byte \
+          spans.  Exits 2 when any region remains, 0 on a clean tree.")
+    Term.(const run $ lang_arg $ file_arg $ budget_term $ script_opt_arg)
 
 let replay_cmd =
   let run lang file script =
@@ -546,5 +634,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; table_cmd; lint_cmd; check_cmd; sem_cmd; gen_cmd;
-            replay_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
+            replay_cmd; errors_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
           ]))

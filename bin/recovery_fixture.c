@@ -1,0 +1,3 @@
+int f () { int i; i = 1; }
+int g () { int j; j = ) ( 2; }
+int h () { int k; k = 3; }

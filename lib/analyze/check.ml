@@ -15,9 +15,13 @@ let kind_name (n : Node.t) =
   | Node.Term _ -> "term"
   | Node.Prod _ -> "prod"
   | Node.Choice _ -> "choice"
+  | Node.Error _ -> "error"
   | Node.Bos -> "bos"
   | Node.Eos _ -> "eos"
   | Node.Root -> "root"
+
+let is_error_kid (k : Node.t) =
+  match k.Node.kind with Node.Error _ -> true | _ -> false
 
 (* Is [n] an interior node of a sequence spine (i.e. the leftmost kid of a
    same-nonterminal Seq_cons production)?  Spine checks run only at spine
@@ -32,7 +36,7 @@ let spine_interior g (n : Node.t) =
       && p.Node.kids.(0) == n
   | _ -> false
 
-let dag ?expect_text table root =
+let dag ?(allow_pending = false) ?expect_text table root =
   let g = Table.grammar table in
   let num_states = Table.num_states table in
   let vs = ref [] in
@@ -79,10 +83,11 @@ let dag ?expect_text table root =
             not
               (match n.Node.parent with Some p -> p == root | None -> false)
           then add n "sentinel" "sentinel below an interior node"
-      | Node.Term _ | Node.Prod _ | Node.Choice _ -> ()
+      | Node.Term _ | Node.Prod _ | Node.Choice _ | Node.Error _ -> ()
     end;
-    (* No change bits survive a commit. *)
-    if n.Node.changed || n.Node.nested then
+    (* No change bits survive a commit (unless the caller is inspecting a
+       mid-recovery dag whose damage is deliberately pending). *)
+    if (not allow_pending) && (n.Node.changed || n.Node.nested) then
       add n "change-bits" "change bits set after commit (changed=%b nested=%b)"
         n.Node.changed n.Node.nested;
     (* Parse-state validity against the table. *)
@@ -99,7 +104,7 @@ let dag ?expect_text table root =
       | Node.Choice _ ->
           if Array.length n.Node.kids = 0 then 0
           else n.Node.kids.(0).Node.tcount
-      | Node.Prod _ | Node.Root ->
+      | Node.Prod _ | Node.Error _ | Node.Root ->
           Array.fold_left (fun acc (k : Node.t) -> acc + k.Node.tcount) 0
             n.Node.kids
     in
@@ -116,10 +121,19 @@ let dag ?expect_text table root =
         if p < 0 || p >= Cfg.num_productions g then
           add n "production" "production id %d out of range" p
         else begin
+          (* Error kids are transparent to the grammar: an isolated error
+             region spliced among the rhs instances carries extra tokens
+             but stands for no rhs symbol. *)
           let rhs = (Cfg.production g p).Cfg.rhs in
-          if Array.length n.Node.kids <> Array.length rhs then
+          let kids =
+            Array.of_list
+              (List.filter
+                 (fun k -> not (is_error_kid k))
+                 (Array.to_list n.Node.kids))
+          in
+          if Array.length kids <> Array.length rhs then
             add n "production" "%a has %d kid(s), rhs needs %d"
-              (Cfg.pp_production g) p (Array.length n.Node.kids)
+              (Cfg.pp_production g) p (Array.length kids)
               (Array.length rhs)
           else
             Array.iteri
@@ -135,7 +149,7 @@ let dag ?expect_text table root =
                   add n "production" "kid %d (%s) does not match rhs symbol %s"
                     i (kind_name k)
                     (Cfg.symbol_name g rhs.(i)))
-              n.Node.kids
+              kids
         end
     | Node.Choice ci ->
         let arity = Array.length n.Node.kids in
@@ -177,6 +191,31 @@ let dag ?expect_text table root =
                   i j
             done)
           n.Node.kids
+    | Node.Error _ ->
+        (* An error node wraps exactly the flagged token run: >= 1 kids,
+           all raw terminals, count cached as their sum; it carries
+           nostate (never reusable by state matching) and the error flag;
+           it must not hang under a choice (alternatives must share one
+           terminal yield, which a damage region cannot guarantee). *)
+        let arity = Array.length n.Node.kids in
+        if arity = 0 then add n "error-node" "error node with no kids";
+        Array.iteri
+          (fun i (k : Node.t) ->
+            match k.Node.kind with
+            | Node.Term _ -> ()
+            | _ ->
+                add n "error-node" "kid %d has kind %s, error kids must be terminals"
+                  i (kind_name k))
+          n.Node.kids;
+        if n.Node.state <> Node.nostate then
+          add n "error-node" "error node carries state %d, must be nostate"
+            n.Node.state;
+        if not n.Node.error then
+          add n "error-node" "error node without its error flag";
+        (match n.Node.parent with
+        | Some { Node.kind = Node.Choice _; _ } ->
+            add n "error-node" "error node is a choice alternative"
+        | _ -> ())
     | Node.Bos | Node.Eos _ | Node.Root -> ()
   in
   Node.iter check root;
@@ -219,7 +258,7 @@ let () =
              vs)
     | _ -> None)
 
-let assert_dag ?expect_text table root =
-  match dag ?expect_text table root with
+let assert_dag ?allow_pending ?expect_text table root =
+  match dag ?allow_pending ?expect_text table root with
   | [] -> ()
   | vs -> raise (Corrupt vs)

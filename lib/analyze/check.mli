@@ -12,7 +12,12 @@
       kids (shared terminals point along the first-alternative spine),
       and no change bits survive a commit;
     - production shape: a [Prod p] node has exactly the kids prescribed by
-      production [p]'s right-hand side, symbol for symbol;
+      production [p]'s right-hand side, symbol for symbol (isolated error
+      regions spliced among the kids are transparent to this rule);
+    - error nodes: ≥ 1 kids, all raw terminals (the flagged token run,
+      covered exactly by the cached count), carrying
+      {!Parsedag.Node.nostate} and the [error] flag, and never an
+      alternative of a choice;
     - choice nodes: ≥ 2 alternatives, none itself a choice, pairwise
       structurally distinct, sharing one yield, carrying
       {!Parsedag.Node.nostate};
@@ -32,10 +37,13 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
-(** [dag ?expect_text table root] — all violations found (empty = sane).
-    [expect_text] additionally checks the root's text yield against the
-    document text. *)
+(** [dag ?allow_pending ?expect_text table root] — all violations found
+    (empty = sane).  [expect_text] additionally checks the root's text
+    yield against the document text.  [allow_pending] skips the
+    change-bit rule: use it to inspect a recovered dag whose damage is
+    deliberately left pending for the next reparse. *)
 val dag :
+  ?allow_pending:bool ->
   ?expect_text:string ->
   Lrtab.Table.t ->
   Parsedag.Node.t ->
@@ -43,7 +51,12 @@ val dag :
 
 exception Corrupt of violation list
 
-(** [assert_dag ?expect_text table root] — @raise Corrupt on the first
-    sweep that finds violations.  The exception message lists them all. *)
+(** [assert_dag ?allow_pending ?expect_text table root] — @raise Corrupt
+    on the first sweep that finds violations.  The exception message
+    lists them all. *)
 val assert_dag :
-  ?expect_text:string -> Lrtab.Table.t -> Parsedag.Node.t -> unit
+  ?allow_pending:bool ->
+  ?expect_text:string ->
+  Lrtab.Table.t ->
+  Parsedag.Node.t ->
+  unit

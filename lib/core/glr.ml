@@ -8,6 +8,24 @@ type error = { offset_tokens : int; message : string }
 
 exception Parse_error of error
 
+type budget = {
+  max_parsers : int;
+  max_nodes : int;
+  deadline_ms : float;
+}
+
+let no_budget =
+  { max_parsers = max_int; max_nodes = max_int; deadline_ms = infinity }
+
+type budget_kind = Parsers | Nodes | Deadline
+
+let budget_kind_name = function
+  | Parsers -> "parsers"
+  | Nodes -> "nodes"
+  | Deadline -> "deadline"
+
+exception Budget_exhausted of { kind : budget_kind; offset_tokens : int }
+
 type stats = {
   mutable shifted_subtrees : int;
   mutable shifted_terminals : int;
@@ -17,6 +35,8 @@ type stats = {
   mutable forks : int;
   mutable nodes_created : int;
   mutable nodes_reused : int;
+  mutable degraded : bool;
+  mutable pruned_parsers : int;
 }
 
 let fresh_stats () =
@@ -29,6 +49,8 @@ let fresh_stats () =
     forks = 0;
     nodes_created = 0;
     nodes_reused = 0;
+    degraded = false;
+    pruned_parsers = 0;
   }
 
 (* Global observability (lib/metrics): per-parse totals are folded in
@@ -56,6 +78,13 @@ let m_la_state_match = Metrics.counter "glr.lookahead_state_match"
 let m_la_state_miss = Metrics.counter "glr.lookahead_state_miss"
 let m_la_nostate = Metrics.counter "glr.lookahead_nostate"
 
+(* Resource-budget observability: degraded parses (some GSS branches
+   pruned), parsers pruned in total, and hard budget aborts by kind. *)
+let m_degraded = Metrics.counter "glr.degraded_parses"
+let m_pruned_parsers = Metrics.counter "glr.pruned_parsers"
+let m_budget_nodes = Metrics.counter "glr.budget_exhausted_nodes"
+let m_budget_deadline = Metrics.counter "glr.budget_exhausted_deadline"
+
 type config = {
   reuse_nodes : bool;
   unshare_eps : bool;
@@ -76,6 +105,8 @@ type run = {
   table : Table.t;
   g : Cfg.t;
   cfgc : config;
+  budget : budget;
+  deadline : float;  (* absolute wall-clock ms, [infinity] = none *)
   stats : stats;
   cursor : Traverse.cursor;  (* the input stream over the previous tree *)
   mutable red_term : Node.t option;  (* cached reduction lookahead *)
@@ -156,7 +187,7 @@ let term_of n =
   match n.Node.kind with
   | Node.Term i -> i.term
   | Node.Eos _ -> Cfg.eof
-  | Node.Bos | Node.Prod _ | Node.Choice _ | Node.Root ->
+  | Node.Bos | Node.Prod _ | Node.Choice _ | Node.Error _ | Node.Root ->
       invalid_arg "Glr.term_of: not a terminal"
 
 let red_term r =
@@ -184,7 +215,8 @@ let lookup_actions r (p : Gss.node) =
           | Some acts -> acts
           | None -> fallback ())
       | `T _ | `Other -> fallback ())
-  | Node.Prod _ | Node.Choice _ | Node.Bos | Node.Root -> fallback ()
+  | Node.Prod _ | Node.Choice _ | Node.Error _ | Node.Bos | Node.Root ->
+      fallback ()
 
 (* ------------------------------------------------------------------ *)
 (* Node construction with merging and bottom-up reuse.                 *)
@@ -497,6 +529,21 @@ let settle_lookahead r =
              { offset_tokens = r.pos; message = "internal: shift past eos" })
     | Node.Bos | Node.Root ->
         invalid_arg "Glr.settle_lookahead: sentinel lookahead"
+    | Node.Error _ ->
+        (* An isolated error region is never reused wholesale: its raw
+           token run is re-offered terminal by terminal, so a repaired
+           context reintegrates it (and a clean parse dissolves it). *)
+        if tracing () then
+          Trace.instant Trace.Reuse "reject"
+            [
+              ("symbol", Trace.Str "<error>");
+              ("from", Trace.Int r.pos);
+              ("tokens", Trace.Int (Node.token_count la));
+              ("reason", Trace.Str "error-subtree");
+            ];
+        r.stats.breakdowns <- r.stats.breakdowns + 1;
+        Traverse.descend r.cursor;
+        settle ()
     | Node.Prod _ | Node.Choice _ ->
         let ok =
           r.cfgc.state_matching
@@ -605,11 +652,55 @@ let shifter r =
         Trace.instant Trace.Gss "snapshot"
           [ ("dot", Trace.Str (gss_dot r.g r.active)); ("at", Trace.Int r.pos) ]
     end;
+    (* Degradation rung 1: too many simultaneous parsers.  Keep the
+       [max_parsers] lowest-state tops (a deterministic priority: state
+       ids are stable across runs of the same table) and drop the rest,
+       flagging the parse as degraded rather than failing it. *)
+    (if List.length r.active > r.budget.max_parsers then begin
+       let sorted =
+         List.sort
+           (fun (a : Gss.node) (b : Gss.node) -> compare a.Gss.state b.Gss.state)
+           r.active
+       in
+       let rec take k = function
+         | x :: rest when k > 0 -> x :: take (k - 1) rest
+         | _ -> []
+       in
+       let kept = take r.budget.max_parsers sorted in
+       let pruned = List.length r.active - List.length kept in
+       r.active <- kept;
+       r.stats.degraded <- true;
+       r.stats.pruned_parsers <- r.stats.pruned_parsers + pruned;
+       if tracing () then
+         Trace.instant Trace.Gss "prune"
+           [
+             ("pruned", Trace.Int pruned);
+             ("kept", Trace.Int (List.length kept));
+             ("budget", Trace.Str "max-parsers");
+             ("at", Trace.Int r.pos);
+           ]
+     end);
     if List.length r.active > r.stats.max_parsers then
       r.stats.max_parsers <- List.length r.active
   end
 
+(* Hard budget rungs, checked once per shifted symbol: cheap enough for
+   the hot loop, fine-grained enough that exhaustion is detected within
+   one token of the limit.  Raising leaves the previous tree structurally
+   intact (kid arrays are only rewritten on accept), so the caller can
+   fall back to isolation-unit recovery on the old structure. *)
+let check_budget r =
+  if r.stats.nodes_created > r.budget.max_nodes then begin
+    Metrics.incr m_budget_nodes;
+    raise (Budget_exhausted { kind = Nodes; offset_tokens = r.pos })
+  end;
+  if r.deadline < infinity && Metrics.now_ms () > r.deadline then begin
+    Metrics.incr m_budget_deadline;
+    raise (Budget_exhausted { kind = Deadline; offset_tokens = r.pos })
+  end
+
 let parse_next_symbol r =
+  check_budget r;
   r.for_actor <- r.active;
   r.for_shifter <- [];
   r.nondet_round <-
@@ -703,7 +794,7 @@ let process_modifications root =
                         | Node.Term _ | Node.Bos -> Some n
                         | Node.Eos _ -> None
                         | Node.Choice _ -> rightmost n.Node.kids.(0)
-                        | Node.Prod _ | Node.Root ->
+                        | Node.Prod _ | Node.Error _ | Node.Root ->
                             let rec scan j =
                               if j < 0 then None
                               else
@@ -757,11 +848,13 @@ let process_modifications root =
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                       *)
 
-let make_run config table root =
+let make_run config budget deadline table root =
   {
     table;
     g = Table.grammar table;
     cfgc = config;
+    budget;
+    deadline;
     stats = fresh_stats ();
     cursor = Traverse.cursor_at root;
     red_term = None;
@@ -789,9 +882,14 @@ let record_run r ~gss0 =
   Metrics.add m_nodes_reused r.stats.nodes_reused;
   Metrics.add m_forks r.stats.forks;
   Metrics.add m_gss_nodes (Gss.allocated () - gss0);
-  Metrics.record_peak m_gss_peak r.stats.max_parsers
+  Metrics.record_peak m_gss_peak r.stats.max_parsers;
+  if r.stats.degraded then begin
+    Metrics.incr m_degraded;
+    Metrics.add m_pruned_parsers r.stats.pruned_parsers
+  end
 
-let parse ?(config = default_config) table root =
+let parse ?(config = default_config) ?(budget = no_budget) ?deadline table
+    root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Glr.parse: not a document root");
@@ -799,7 +897,14 @@ let parse ?(config = default_config) table root =
   process_modifications root;
   let t0 = Metrics.start () in
   let gss0 = Gss.allocated () in
-  let r = make_run config table root in
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None ->
+        if budget.deadline_ms = infinity then infinity
+        else Metrics.now_ms () +. budget.deadline_ms
+  in
+  let r = make_run config budget deadline table root in
   let bos = root.Node.kids.(0) in
   r.active <- [ Gss.make_node ~state:(Table.start_state table) [] ];
   r.stats.max_parsers <- 1;
@@ -807,7 +912,7 @@ let parse ?(config = default_config) table root =
      while r.accepting = None do
        parse_next_symbol r
      done
-   with Parse_error _ as e ->
+   with (Parse_error _ | Budget_exhausted _) as e ->
      Metrics.incr m_parse_errors;
      record_run r ~gss0;
      Metrics.stop m_parse_span t0;
@@ -827,7 +932,8 @@ let parse ?(config = default_config) table root =
   Metrics.stop m_parse_span t0;
   r.stats
 
-let parse_tokens ?(config = default_config) table tokens ~trailing =
+let parse_tokens ?(config = default_config) ?budget ?deadline table tokens
+    ~trailing =
   let terms =
     List.map
       (fun (t : Lexgen.Scanner.token) ->
@@ -841,5 +947,5 @@ let parse_tokens ?(config = default_config) table tokens ~trailing =
          ((Node.make_bos () :: terms) @ [ Node.make_eos ~trailing ]))
   in
   Node.commit root;
-  let stats = parse ?config:(Some config) table root in
+  let stats = parse ~config ?budget ?deadline table root in
   (root, stats)

@@ -24,6 +24,28 @@ type error = {
 
 exception Parse_error of error
 
+(** Resource budget for one (re)parse: on exhaustion the parser degrades
+    deterministically instead of running away.  [max_parsers] is a soft
+    limit — the shifter prunes the excess GSS tops (lowest state ids
+    survive) and flags the parse [degraded]; [max_nodes] and
+    [deadline_ms] are hard limits — crossing one raises
+    {!Budget_exhausted} with the previous tree left structurally intact,
+    so the caller can fall back to isolation-unit recovery. *)
+type budget = {
+  max_parsers : int;  (** max simultaneously active parsers *)
+  max_nodes : int;  (** max dag nodes created per reparse *)
+  deadline_ms : float;  (** wall-clock deadline, relative to parse start *)
+}
+
+val no_budget : budget
+(** All limits off ([max_int]/[infinity]). *)
+
+type budget_kind = Parsers | Nodes | Deadline
+
+val budget_kind_name : budget_kind -> string
+
+exception Budget_exhausted of { kind : budget_kind; offset_tokens : int }
+
 type stats = {
   mutable shifted_subtrees : int;
   mutable shifted_terminals : int;
@@ -34,6 +56,9 @@ type stats = {
       (** table interrogations that returned multiple actions *)
   mutable nodes_created : int;
   mutable nodes_reused : int;  (** bottom-up node reuse hits *)
+  mutable degraded : bool;
+      (** some GSS branches were pruned by the parser budget *)
+  mutable pruned_parsers : int;  (** parsers dropped by [max_parsers] *)
 }
 
 val fresh_stats : unit -> stats
@@ -61,14 +86,27 @@ val default_config : config
 (** [parse table root] reparses the document in place: on success
     [root.kids] becomes [[bos; top; eos]], parents are repaired and change
     bits cleared.  On failure the old tree is left structurally intact and
-    {!Parse_error} is raised.  Returns parse statistics. *)
-val parse : ?config:config -> Lrtab.Table.t -> Parsedag.Node.t -> stats
+    {!Parse_error} is raised.  Returns parse statistics.
+
+    [budget] bounds the reparse (see {!type:budget}); [deadline] overrides
+    the budget's relative deadline with an absolute wall-clock instant in
+    {!Metrics.now_ms} milliseconds, so a sequence of recovery attempts can
+    share one overall deadline. *)
+val parse :
+  ?config:config ->
+  ?budget:budget ->
+  ?deadline:float ->
+  Lrtab.Table.t ->
+  Parsedag.Node.t ->
+  stats
 
 (** [parse_tokens table tokens] — batch parse: builds a fresh document
     root over the token list and parses it.  The token list excludes
     sentinels. *)
 val parse_tokens :
   ?config:config ->
+  ?budget:budget ->
+  ?deadline:float ->
   Lrtab.Table.t ->
   Lexgen.Scanner.token list ->
   trailing:string ->

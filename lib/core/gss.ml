@@ -21,11 +21,21 @@ let paths node ~arity =
   go node arity [];
   !acc
 
-let validate ~num_states tops =
+let validate ?max_parsers ~num_states tops =
   let faults = ref [] in
   let fault gid fmt =
     Printf.ksprintf (fun m -> faults := (gid, m) :: !faults) fmt
   in
+  (* Under a resource budget the frontier must respect the cap: pruning
+     happens before the shift commits, so a wider frontier means the
+     budget enforcement is broken. *)
+  (match max_parsers with
+  | Some cap when List.length tops > cap ->
+      fault
+        (match tops with n :: _ -> n.gid | [] -> 0)
+        "%d active parsers exceed the max-parsers budget %d"
+        (List.length tops) cap
+  | _ -> ());
   (* Active parsers must carry pairwise distinct states (Tomita's
      invariant: one configuration per state, interpretations merge). *)
   let rec dups = function

@@ -37,9 +37,13 @@ val paths : node -> arity:int -> (node * Parsedag.Node.t list) list
 val paths_through :
   node -> arity:int -> link:link -> (node * Parsedag.Node.t list) list
 
-(** [validate ~num_states tops] — the GSS sanitizer: checks that the
-    active parsers carry pairwise distinct states (Tomita's merge
-    invariant), that every reachable node's state is a real table state,
-    and that links are acyclic (they must point strictly toward the stack
-    bottom).  Returns [(gid, message)] faults; empty = sane. *)
-val validate : num_states:int -> node list -> (int * string) list
+(** [validate ?max_parsers ~num_states tops] — the GSS sanitizer: checks
+    that the active parsers carry pairwise distinct states (Tomita's
+    merge invariant), that every reachable node's state is a real table
+    state, and that links are acyclic (they must point strictly toward
+    the stack bottom).  With [max_parsers] (a {!Glr.budget} in force),
+    additionally faults a frontier wider than the cap — degraded parses
+    prune before shifting, so the budget must hold at every step.
+    Returns [(gid, message)] faults; empty = sane. *)
+val validate :
+  ?max_parsers:int -> num_states:int -> node list -> (int * string) list

@@ -1,5 +1,6 @@
 module Node = Parsedag.Node
 module Document = Vdoc.Document
+module Cfg = Grammar.Cfg
 
 (* Reparse latency distribution across every session in the process;
    log-ish bucket bounds in milliseconds. *)
@@ -9,10 +10,14 @@ let m_reparse_ms =
 
 let m_reparses = Metrics.counter "session.reparses"
 let m_recoveries = Metrics.counter "session.recoveries"
+let m_isolations = Metrics.counter "session.isolations"
+let m_isolation_attempts = Metrics.counter "session.isolation_attempts"
+let m_degraded = Metrics.counter "session.degraded"
 
 type t = {
   table : Lrtab.Table.t;
   config : Glr.config;
+  budget : Glr.budget;
   syn_filters : Syn_filter.rule list;
   doc : Document.t;
   baseline : Metrics.snapshot;
@@ -22,44 +27,339 @@ type t = {
   mutable on_parse : (Node.t -> unit) option;
 }
 
+type location = {
+  offset_tokens : int;
+  offset_bytes : int;
+  line : int;  (* 1-based *)
+  col : int;  (* 1-based, in bytes *)
+}
+
+type region = {
+  r_start : location;
+  r_end_byte : int;
+  r_tokens : int;
+  r_message : string;
+}
+
 type outcome =
   | Parsed of Glr.stats
-  | Recovered of { flagged : int; error : Glr.error }
+  | Recovered of {
+      flagged : int;
+      isolated : int;
+      degraded : bool;
+      error : Glr.error;
+      location : location;
+    }
 
 let document t = t.doc
 let root t = Document.root t.doc
 let text t = Document.text t.doc
 let table t = t.table
+let budget t = t.budget
 let has_errors t = t.errors
-
 let metrics t = Metrics.diff (Metrics.snapshot ()) t.baseline
 
-let reparse t =
-  (* The per-edit root span: every glr/gss/reuse/commit event of this
-     reparse nests inside it. *)
-  Trace.span Trace.Session "reparse" @@ fun () ->
-  let t0 = Metrics.start () in
-  Metrics.incr m_reparses;
-  match Glr.parse ~config:t.config t.table (Document.root t.doc) with
-  | stats ->
+(* ------------------------------------------------------------------ *)
+(* Locations.                                                          *)
+
+(* Byte offset of token [k]'s text start (skipping its leading trivia);
+   [k] may equal the token count, giving the end of the last token. *)
+let location_of_token t k =
+  let leaves = Document.leaves t.doc in
+  let n = Array.length leaves in
+  let k = max 0 (min k n) in
+  let byte = ref 0 in
+  for i = 0 to k - 1 do
+    match leaves.(i).Node.kind with
+    | Node.Term inf ->
+        byte := !byte + String.length inf.Node.trivia + String.length inf.Node.text
+    | _ -> ()
+  done;
+  (if k < n then
+     match leaves.(k).Node.kind with
+     | Node.Term inf -> byte := !byte + String.length inf.Node.trivia
+     | _ -> ());
+  let text = Document.text t.doc in
+  let byte = min !byte (String.length text) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to byte - 1 do
+    if text.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { offset_tokens = k; offset_bytes = byte; line = !line; col = byte - !bol + 1 }
+
+let token_end_byte t j =
+  let leaves = Document.leaves t.doc in
+  let b = ref 0 in
+  for i = 0 to min j (Array.length leaves - 1) do
+    match leaves.(i).Node.kind with
+    | Node.Term inf ->
+        b := !b + String.length inf.Node.trivia + String.length inf.Node.text
+    | _ -> ()
+  done;
+  !b
+
+(* ------------------------------------------------------------------ *)
+(* Local error isolation (§4.3 extended): mask the smallest enclosing
+   isolation unit out of the token stream, reparse the remainder, and
+   splice the damaged run back as an explicit error node.  Isolation
+   units are the elements of associative (ECFG) sequences — statements,
+   declarations: removing one leaves a program the grammar still
+   accepts, which is exactly what makes the damage locally confinable. *)
+
+let grammar t = Lrtab.Table.grammar t.table
+
+(* [n] is a sequence element: its parent — through choice wrappers — is a
+   [Seq_one]/[Seq_cons] production of a sequence nonterminal with [n] in
+   the element slot (the last kid in every spine pattern). *)
+let rec is_seq_element g (n : Node.t) =
+  match n.Node.parent with
+  | None -> false
+  | Some p -> (
+      match p.Node.kind with
+      | Node.Choice _ -> is_seq_element g p
+      | Node.Prod pr -> (
+          let prod = Cfg.production g pr in
+          Cfg.seq_kind g prod.Cfg.lhs = Cfg.Seq
+          &&
+          match prod.Cfg.role with
+          | Cfg.Seq_one | Cfg.Seq_cons ->
+              Array.length p.Node.kids > 0
+              && p.Node.kids.(Array.length p.Node.kids - 1) == n
+          | Cfg.Seq_empty | Cfg.Plain -> false)
+      | _ -> false)
+
+let span_of idx_tbl (u : Node.t) =
+  match Node.first_terminal u with
+  | Some ft -> (
+      match Hashtbl.find_opt idx_tbl ft.Node.nid with
+      | Some lo -> Some (lo, lo + Node.token_count u - 1)
+      | None -> None)
+  | None -> None
+
+(* Smallest isolation unit containing leaf [i], as a leaf-index span:
+   the span of the enclosing error node when [i] sits in an already
+   isolated region (keeps the region stable across reparses instead of
+   widening to the enclosing statement), else the enclosing sequence
+   element, else the single token itself. *)
+let unit_around t idx_tbl i =
+  let g = grammar t in
+  let leaves = Document.leaves t.doc in
+  let existing =
+    match leaves.(i).Node.parent with
+    | Some ({ Node.kind = Node.Error _; _ } as e) -> span_of idx_tbl e
+    | _ -> None
+  in
+  match existing with
+  | Some s -> s
+  | None -> (
+      let rec climb (n : Node.t) =
+        if is_seq_element g n then
+          match span_of idx_tbl n with Some s -> Some s | None -> None
+        else match n.Node.parent with Some p -> climb p | None -> None
+      in
+      match climb leaves.(i) with Some s -> s | None -> (i, i))
+
+(* Strictly larger covering unit of run [(lo, hi)], or — when no such
+   unit exists (a structureless tree, e.g. after an initial parse
+   failure) — the run widened by its own width on each side, so repeated
+   escalation reaches an isolable region in logarithmically many
+   attempts instead of creeping one token per attempt. *)
+let escalate t idx_tbl (lo, hi) =
+  let g = grammar t in
+  let leaves = Document.leaves t.doc in
+  let n = Array.length leaves in
+  let rec climb (x : Node.t) =
+    match x.Node.parent with
+    | None -> None
+    | Some p ->
+        if is_seq_element g p then
+          match span_of idx_tbl p with
+          | Some (l, h) when l <= lo && hi <= h && (l < lo || hi < h) ->
+              Some (l, h)
+          | _ -> climb p
+        else climb p
+  in
+  match climb leaves.(lo) with
+  | Some r -> r
+  | None ->
+      let w = max 1 (hi - lo + 1) in
+      (max 0 (lo - w), min (n - 1) (hi + w))
+
+(* Masked-stream token offset -> index in the full leaves array. *)
+let unmask_offset masked offset =
+  let n = Array.length masked in
+  let rec go i seen last =
+    if i >= n then if last >= 0 then last else 0
+    else if masked.(i) then go (i + 1) seen last
+    else if seen = offset then i
+    else go (i + 1) (seen + 1) i
+  in
+  go 0 0 (-1)
+
+let normalize_runs rs =
+  let rs = List.sort_uniq compare rs in
+  (* Merge overlapping and adjacent runs so the token after every run is
+     always unmasked (the splice anchor). *)
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+        merge ((l1, max h1 h2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge rs
+
+let total_tokens rs = List.fold_left (fun a (l, h) -> a + h - l + 1) 0 rs
+
+exception Give_up
+
+(* The isolation loop.  Invariant at the top of every attempt: the tree
+   is whole (all leaves attached).  On success the masked runs are
+   spliced back as error nodes and the new tree is committed; on
+   [Give_up]/attempt exhaustion the tree is whole again and the caller
+   falls back to flag-only recovery. *)
+let isolate t ~deadline (error : Glr.error) =
+  let leaves = Document.leaves t.doc in
+  let n = Array.length leaves in
+  if n = 0 then None
+  else begin
+    let idx_tbl = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun i (l : Node.t) -> Hashtbl.replace idx_tbl l.Node.nid i)
+      leaves;
+    (* Seed: the unit around the failure point, plus spans of existing
+       error regions with no pending edits (their text is still broken).
+       A region the user just edited is *not* seeded — it gets its chance
+       to integrate cleanly, and is re-added below only if it still
+       fails. *)
+    let runs =
+      ref [ unit_around t idx_tbl (max 0 (min error.Glr.offset_tokens (n - 1))) ]
+    in
+    Node.iter
+      (fun (e : Node.t) ->
+        match e.Node.kind with
+        | Node.Error _ when not (Node.has_changes e) -> (
+            match span_of idx_tbl e with
+            | Some s -> runs := s :: !runs
+            | None -> ())
+        | _ -> ())
+      (Document.root t.doc);
+    let result = ref None in
+    let prev_total = ref 0 in
+    let attempts = ref 0 in
+    (try
+       while !result = None && !attempts < 12 do
+         incr attempts;
+         Metrics.incr m_isolation_attempts;
+         let rs = normalize_runs !runs in
+         runs := rs;
+         let tot = total_tokens rs in
+         (* Strict progress: every attempt must mask more tokens than the
+            previous one, so the loop terminates even without the cap. *)
+         if tot <= !prev_total then raise Give_up;
+         prev_total := tot;
+         let undo =
+           List.fold_left
+             (fun acc (lo, hi) -> Document.detach_leaves t.doc ~lo ~hi @ acc)
+             [] rs
+         in
+         match
+           Glr.parse ~config:t.config ~budget:t.budget ~deadline t.table
+             (Document.root t.doc)
+         with
+         | stats ->
+             List.iter
+               (fun (lo, hi) ->
+                 ignore
+                   (Document.splice_error t.doc ~message:error.Glr.message ~lo
+                      ~hi))
+               rs;
+             result := Some (rs, tot, stats)
+         | exception Glr.Parse_error e2 ->
+             Document.reattach undo;
+             let masked = Array.make n false in
+             List.iter
+               (fun (lo, hi) ->
+                 for i = lo to hi do
+                   masked.(i) <- true
+                 done)
+               rs;
+             let at = unmask_offset masked e2.Glr.offset_tokens in
+             if masked.(at) then
+               (* Every token is masked and the empty program still fails:
+                  nothing left to isolate. *)
+               raise Give_up;
+             let ((ulo, uhi) as u) = unit_around t idx_tbl at in
+             let adjacent (lo, hi) = at >= lo - 1 && at <= hi + 1 in
+             let candidate = normalize_runs (u :: rs) in
+             (* A degenerate unit (single token, no enclosing structure)
+                right next to an existing run means the failure is just
+                cascading off the run's edge: merging it would creep one
+                token per attempt, so escalate the run instead. *)
+             let creeping = ulo = uhi && List.exists adjacent rs in
+             if total_tokens candidate > tot && not creeping then
+               runs := candidate
+             else
+               (* The failing unit is already covered or adjacent: widen
+                  the run nearest the new failure point. *)
+               runs :=
+                 List.map
+                   (fun r -> if adjacent r then escalate t idx_tbl r else r)
+                   rs
+         | exception Glr.Budget_exhausted _ ->
+             (* Out of budget mid-isolation: restore and degrade to
+                flag-only recovery. *)
+             Document.reattach undo;
+             raise Give_up
+       done
+     with Give_up -> ());
+    !result
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let apply_filters t =
+  if t.syn_filters <> [] then
+    ignore
+      (Syn_filter.apply
+         (Lrtab.Table.grammar t.table)
+         t.syn_filters (Document.root t.doc))
+
+let run_hook t =
+  match t.on_parse with
+  | Some hook -> hook (Document.root t.doc)
+  | None -> ()
+
+(* The degradation ladder after a failed (or budget-exhausted) full
+   parse: try local isolation under the same absolute deadline; fall
+   back to the history-based flag-only recovery of §4.3 (previous
+   structure retained, pending modifications marked unincorporated). *)
+let recover t ~t0 ~deadline ~degraded (error : Glr.error) =
+  Metrics.incr m_recoveries;
+  let location = location_of_token t error.Glr.offset_tokens in
+  match isolate t ~deadline error with
+  | Some (rs, tot, stats) ->
+      Metrics.incr m_isolations;
+      let degraded = degraded || stats.Glr.degraded in
+      if degraded then Metrics.incr m_degraded;
+      t.errors <- true;
+      apply_filters t;
       Metrics.observe_since m_reparse_ms t0;
-      if t.syn_filters <> [] then
-        ignore
-          (Syn_filter.apply
-             (Lrtab.Table.grammar t.table)
-             t.syn_filters (Document.root t.doc));
-      t.errors <- false;
-      (match t.on_parse with
-      | Some hook -> hook (Document.root t.doc)
-      | None -> ());
-      Parsed stats
-  | exception Glr.Parse_error error ->
-      Metrics.incr m_recoveries;
-      Metrics.observe_since m_reparse_ms t0;
-      (* History-based, non-correcting recovery: the previous structure is
-         intact (the parser only commits on success); flag the pending
-         modifications as unincorporated and leave their change bits set so
-         future edits re-attempt integration. *)
+      run_hook t;
+      if Trace.enabled () then
+        Trace.instant Trace.Session "recovered"
+          [
+            ("isolated", Trace.Int (List.length rs));
+            ("flagged", Trace.Int tot);
+            ("at", Trace.Int error.Glr.offset_tokens);
+            ("degraded", Trace.Bool degraded);
+          ];
+      Recovered
+        { flagged = tot; isolated = List.length rs; degraded; error; location }
+  | None ->
+      if degraded then Metrics.incr m_degraded;
       let flagged = ref 0 in
       List.iter
         (fun (l : Node.t) ->
@@ -68,21 +368,91 @@ let reparse t =
             incr flagged
           end)
         (Document.changed_tokens t.doc);
+      (* A fully-committed document (the initial parse, or a reparse
+         after commit) has no pending modifications to flag; mark the
+         failure token itself so the damage still shows up in
+         [error_regions] instead of reporting a clean tree. *)
+      if !flagged = 0 then begin
+        let leaves = Document.leaves t.doc in
+        let n = Array.length leaves in
+        if n > 0 then begin
+          let at = max 0 (min error.Glr.offset_tokens (n - 1)) in
+          if not leaves.(at).Node.error then begin
+            leaves.(at).Node.error <- true;
+            incr flagged
+          end
+        end
+      end;
       t.errors <- true;
+      Metrics.observe_since m_reparse_ms t0;
       if Trace.enabled () then
         Trace.instant Trace.Session "recovered"
           [
+            ("isolated", Trace.Int 0);
             ("flagged", Trace.Int !flagged);
             ("at", Trace.Int error.Glr.offset_tokens);
+            ("degraded", Trace.Bool degraded);
           ];
-      Recovered { flagged = !flagged; error }
+      Recovered { flagged = !flagged; isolated = 0; degraded; error; location }
 
-let create ?(config = Glr.default_config) ?(syn_filters = []) ?on_parse
-    ~table ~lexer text =
+let reparse t =
+  (* The per-edit root span: every glr/gss/reuse/commit event of this
+     reparse nests inside it. *)
+  Trace.span Trace.Session "reparse" @@ fun () ->
+  let t0 = Metrics.start () in
+  Metrics.incr m_reparses;
+  (* One absolute deadline for the whole reparse: full parse, then every
+     isolation attempt, share it — a reparse terminates within the
+     deadline budget no matter how recovery unfolds. *)
+  let deadline =
+    if t.budget.Glr.deadline_ms = infinity then infinity
+    else Metrics.now_ms () +. t.budget.Glr.deadline_ms
+  in
+  let had_errors = t.errors in
+  match
+    Glr.parse ~config:t.config ~budget:t.budget ~deadline t.table
+      (Document.root t.doc)
+  with
+  | stats ->
+      Metrics.observe_since m_reparse_ms t0;
+      apply_filters t;
+      t.errors <- false;
+      (* Error nodes cannot survive a clean parse (their spine never
+         state-matches and they always decompose), but flag-only
+         recovery may have left error bits on terminals: clear them so
+         [error_regions] reflects the clean state. *)
+      if had_errors then
+        Array.iter
+          (fun (l : Node.t) -> l.Node.error <- false)
+          (Document.leaves t.doc);
+      run_hook t;
+      if stats.Glr.degraded then Metrics.incr m_degraded;
+      Parsed stats
+  | exception Glr.Parse_error error -> recover t ~t0 ~deadline ~degraded:false error
+  | exception Glr.Budget_exhausted { kind; offset_tokens } ->
+      let error =
+        {
+          Glr.offset_tokens;
+          message = "budget exhausted: " ^ Glr.budget_kind_name kind;
+        }
+      in
+      recover t ~t0 ~deadline ~degraded:true error
+
+let create ?(config = Glr.default_config) ?(budget = Glr.no_budget)
+    ?(syn_filters = []) ?on_parse ~table ~lexer text =
   let baseline = Metrics.snapshot () in
   let doc = Document.create ~lexer text in
   let t =
-    { table; config; syn_filters; doc; baseline; errors = false; on_parse }
+    {
+      table;
+      config;
+      budget;
+      syn_filters;
+      doc;
+      baseline;
+      errors = false;
+      on_parse;
+    }
   in
   (t, reparse t)
 
@@ -101,3 +471,52 @@ let edit t ~pos ~del ~insert =
   | exception e ->
       Trace.end_span Trace.Session "edit" [ ("exception", Trace.Bool true) ];
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Error-region reporting.                                             *)
+
+let error_regions t =
+  let leaves = Document.leaves t.doc in
+  let n = Array.length leaves in
+  let idx_tbl = Hashtbl.create (2 * max 1 n) in
+  Array.iteri
+    (fun i (l : Node.t) -> Hashtbl.replace idx_tbl l.Node.nid i)
+    leaves;
+  let raw = ref [] in
+  Node.iter
+    (fun (e : Node.t) ->
+      match e.Node.kind with
+      | Node.Error info -> (
+          match span_of idx_tbl e with
+          | Some (lo, hi) -> raw := (lo, hi - lo + 1, info.Node.message) :: !raw
+          | None -> ())
+      | _ -> ())
+    (Document.root t.doc);
+  (* Flag-only recovery leaves error bits on terminals outside any error
+     node: report maximal runs of those too. *)
+  let inside_error (l : Node.t) =
+    match l.Node.parent with
+    | Some { Node.kind = Node.Error _; _ } -> true
+    | _ -> false
+  in
+  let flagged i = leaves.(i).Node.error && not (inside_error leaves.(i)) in
+  let i = ref 0 in
+  while !i < n do
+    if flagged !i then begin
+      let j = ref !i in
+      while !j + 1 < n && flagged (!j + 1) do
+        incr j
+      done;
+      raw := (!i, !j - !i + 1, "unincorporated edit") :: !raw;
+      i := !j + 1
+    end
+    else incr i
+  done;
+  List.sort compare !raw
+  |> List.map (fun (lo, k, msg) ->
+         {
+           r_start = location_of_token t lo;
+           r_end_byte = token_end_byte t (lo + k - 1);
+           r_tokens = k;
+           r_message = msg;
+         })

@@ -1,33 +1,82 @@
 (** Editing sessions: document + table + incremental parser + recovery.
 
     The convenience layer a tool builds on: create a session from source
-    text, apply edits, reparse incrementally.  Failed parses fall back to
-    the history-based non-correcting recovery of §4.3: the previous
-    structure is retained and the unincorporated modifications stay marked
-    (their change bits survive), so later edits can still repair the
-    program. *)
+    text, apply edits, reparse incrementally.  Failed parses go through a
+    degradation ladder:
+
+    + {e local error isolation} — the damaged token run (widened to the
+      smallest enclosing isolation unit: an element of an associative
+      ECFG sequence, i.e. a statement or declaration) is masked out of
+      the stream, the remainder is reparsed with full reuse, and the run
+      is spliced back as an explicit error node in the committed tree;
+    + {e flag-only recovery} (§4.3) — when isolation fails or runs out of
+      budget, the previous structure is retained and the unincorporated
+      modifications stay marked (their change bits survive).  A document
+      with no pending modifications (an initial parse) flags the failure
+      token itself, so the damage always shows in {!error_regions}.
+
+    Both forms converge: isolated regions sit under state-cleared spines
+    and are re-offered to the parser on every later reparse, so the
+    session returns to a clean parse — identical to a batch parse — once
+    the text is repaired.
+
+    Resource budgets ({!Glr.budget}) bound every reparse: the full parse
+    and all isolation attempts share one absolute deadline, and GSS
+    width / dag allocation limits apply to each parse, so [reparse]
+    always terminates with a well-formed tree. *)
 
 type t
+
+(** A position in the document, redundantly encoded: token offset, byte
+    offset of the token's text (after leading trivia), and 1-based
+    line/column (column in bytes). *)
+type location = {
+  offset_tokens : int;
+  offset_bytes : int;
+  line : int;
+  col : int;
+}
+
+(** One damaged region of the current tree: either an isolated error
+    node (message from the parse failure) or a maximal run of terminals
+    flagged by flag-only recovery (message ["unincorporated edit"]). *)
+type region = {
+  r_start : location;
+  r_end_byte : int;  (** byte offset one past the last token's text *)
+  r_tokens : int;  (** tokens covered *)
+  r_message : string;
+}
 
 type outcome =
   | Parsed of Glr.stats  (** clean parse; tree committed *)
   | Recovered of {
-      flagged : int;  (** terminals flagged as unincorporated *)
+      flagged : int;  (** tokens inside error regions / flagged *)
+      isolated : int;
+          (** error regions spliced (0 = flag-only fallback) *)
+      degraded : bool;
+          (** a resource budget was hit (GSS pruned or parse aborted) *)
       error : Glr.error;
+      location : location;  (** [error]'s position in the document *)
     }
-      (** the parse failed; previous structure kept, damage still pending *)
+      (** the parse failed; damage confined to error regions (or left
+          pending), rest of the tree reparsed and committed normally *)
 
 (** [syn_filters] are dynamic syntactic filters (§4.1) applied after every
     successful parse; rejected interpretations are discarded.
 
+    [budget] bounds every reparse (default {!Glr.no_budget}): exhaustion
+    degrades deterministically instead of raising.
+
     [on_parse] is a post-parse validation hook, invoked with the committed
-    root after every successful parse (initial and incremental), once any
-    syntactic filters have run.  Intended for sanity checking — e.g. the
-    [Analyze.Check.dag] sanitizer — so dag corruption is detected at the
+    root after every parse that commits a tree — clean parses {e and}
+    successful isolations (the tree then contains error nodes, which
+    [Analyze.Check.dag] accepts), once any syntactic filters have run.
+    Intended for sanity checking, so dag corruption is detected at the
     edit that introduces it; an exception it raises propagates to the
     caller of {!create}/{!reparse}. *)
 val create :
   ?config:Glr.config ->
+  ?budget:Glr.budget ->
   ?syn_filters:Syn_filter.rule list ->
   ?on_parse:(Parsedag.Node.t -> unit) ->
   table:Lrtab.Table.t ->
@@ -42,7 +91,8 @@ val metrics : t -> Metrics.snapshot
 (** Observability delta attributable to this session: the global
     {!Metrics} registry diffed against its state when the session was
     created.  Covers parse work ([glr.*]), relex reuse ([vdoc.*]), dag
-    maintenance ([dag.*]) and reparse latency ([session.*]).  Note the
+    maintenance ([dag.*]), recovery ([session.isolations],
+    [session.degraded]) and reparse latency ([session.*]).  Note the
     registry is process-global: concurrent sessions fold into the same
     counters, so per-session readings assume one active session (the
     tooling case). *)
@@ -51,13 +101,25 @@ val document : t -> Vdoc.Document.t
 val root : t -> Parsedag.Node.t
 val text : t -> string
 val table : t -> Lrtab.Table.t
+val budget : t -> Glr.budget
 
 (** [edit t ~pos ~del ~insert] — textual edit (no reparse). *)
 val edit : t -> pos:int -> del:int -> insert:string -> unit
 
-(** [reparse t] — incremental reparse of all pending edits. *)
+(** [reparse t] — incremental reparse of all pending edits.  Never raises
+    {!Glr.Parse_error} or {!Glr.Budget_exhausted}: failures surface as
+    [Recovered]. *)
 val reparse : t -> outcome
 
 (** [has_errors t] — true after a [Recovered] outcome until a later clean
     parse. *)
 val has_errors : t -> bool
+
+(** [error_regions t] — the damaged regions of the current tree, in
+    source order: isolated error nodes plus maximal runs of terminals
+    flagged by flag-only recovery.  Empty after a clean parse. *)
+val error_regions : t -> region list
+
+(** [location_of_token t k] — position of token [k] (clamped to
+    [0..token_count]); [k = token_count] is the end of input. *)
+val location_of_token : t -> int -> location

@@ -125,6 +125,10 @@ let parse ?(reuse_nodes = true) table root =
                 stats.Glr.breakdowns <- stats.Glr.breakdowns + 1;
                 Traverse.descend cursor)
         | None -> fail "syntax error")
+    | Node.Error _ ->
+        (* Isolated error region: always decompose to its raw tokens. *)
+        stats.Glr.breakdowns <- stats.Glr.breakdowns + 1;
+        Traverse.descend cursor
     | Node.Bos | Node.Root -> fail "internal: sentinel lookahead"
   done;
   root.Node.kids <- [| bos; Option.get !result; eos |];

@@ -94,7 +94,7 @@ let apply g rules root =
                 (* Leave the ambiguity for later stages; process the
                    first alternative's structure. *)
                 walk k.Node.kids.(0))
-        | Node.Prod _ | Node.Root -> walk k
+        | Node.Prod _ | Node.Error _ | Node.Root -> walk k
         | Node.Term _ | Node.Bos | Node.Eos _ -> ())
       parent.Node.kids
   in

@@ -2,6 +2,7 @@ type kind =
   | Term of term_info
   | Prod of int
   | Choice of choice_info
+  | Error of err_info
   | Bos
   | Eos of eos_info
   | Root
@@ -14,6 +15,7 @@ and term_info = {
 }
 
 and choice_info = { nt : int; mutable selected : int }
+and err_info = { mutable message : string }
 and eos_info = { mutable trailing : string }
 
 type t = {
@@ -51,7 +53,7 @@ let fresh kind state kids =
     | Term _ -> 1
     | Bos | Eos _ -> 0
     | Choice _ -> if Array.length kids = 0 then 0 else kids.(0).tcount
-    | Prod _ | Root -> sum_tcount kids
+    | Prod _ | Error _ | Root -> sum_tcount kids
   in
   {
     nid = !counter;
@@ -75,6 +77,21 @@ let make_choice ~nt alts =
   Metrics.incr m_choices;
   fresh (Choice { nt; selected = -1 }) nostate alts
 
+let m_errors = Metrics.counter "dag.error_nodes"
+
+let make_error ~message kids =
+  if Array.length kids = 0 then invalid_arg "Node.make_error: empty";
+  Array.iter
+    (fun k ->
+      match k.kind with
+      | Term _ -> ()
+      | _ -> invalid_arg "Node.make_error: non-terminal kid")
+    kids;
+  Metrics.incr m_errors;
+  let n = fresh (Error { message }) nostate kids in
+  n.error <- true;
+  n
+
 let make_bos () = fresh Bos nostate [||]
 let make_eos ~trailing = fresh (Eos { trailing }) nostate [||]
 
@@ -94,14 +111,16 @@ let arity n = Array.length n.kids
 let is_terminal n = match n.kind with Term _ -> true | _ -> false
 
 let is_sentinel n =
-  match n.kind with Bos | Eos _ -> true | Term _ | Prod _ | Choice _ | Root -> false
+  match n.kind with
+  | Bos | Eos _ -> true
+  | Term _ | Prod _ | Choice _ | Error _ | Root -> false
 
 let symbol g n =
   match n.kind with
   | Term i -> `T i.term
   | Prod p -> `N (Grammar.Cfg.production g p).lhs
   | Choice c -> `N c.nt
-  | Bos | Eos _ | Root -> `Other
+  | Bos | Eos _ | Error _ | Root -> `Other
 
 let rec add_yield buf n =
   match n.kind with
@@ -111,7 +130,7 @@ let rec add_yield buf n =
   | Eos e -> Buffer.add_string buf e.trailing
   | Bos -> ()
   | Choice _ -> add_yield buf n.kids.(0)
-  | Prod _ | Root -> Array.iter (add_yield buf) n.kids
+  | Prod _ | Error _ | Root -> Array.iter (add_yield buf) n.kids
 
 let text_yield n =
   let buf = Buffer.create 64 in
@@ -126,7 +145,7 @@ let refresh_token_count n =
     | Term _ -> 1
     | Bos | Eos _ -> 0
     | Choice _ -> if Array.length n.kids = 0 then 0 else n.kids.(0).tcount
-    | Prod _ | Root -> sum_tcount n.kids)
+    | Prod _ | Error _ | Root -> sum_tcount n.kids)
 
 let adjust_token_count n delta =
   let rec up = function
@@ -143,7 +162,7 @@ let rec first_terminal n =
   | Term _ -> Some n
   | Bos | Eos _ -> None
   | Choice _ -> first_terminal n.kids.(0)
-  | Prod _ | Root ->
+  | Prod _ | Error _ | Root ->
       let rec scan i =
         if i >= Array.length n.kids then None
         else
@@ -201,7 +220,7 @@ let commit root =
             k.parent <- Some n;
             walk ~force:true k
           done
-    | Prod _ | Root ->
+    | Prod _ | Error _ | Root ->
         Array.iter
           (fun k ->
             if force || not (intact n k) then begin
@@ -226,10 +245,11 @@ let rec structural_equal a b =
       && String.equal x.trivia y.trivia
   | Prod p, Prod q -> p = q && kids_equal ()
   | Choice x, Choice y -> x.nt = y.nt && kids_equal ()
+  | Error _, Error _ -> kids_equal ()
   | Bos, Bos -> true
   | Eos x, Eos y -> String.equal x.trailing y.trailing
   | Root, Root -> kids_equal ()
-  | (Term _ | Prod _ | Choice _ | Bos | Eos _ | Root), _ -> false
+  | (Term _ | Prod _ | Choice _ | Error _ | Bos | Eos _ | Root), _ -> false
 
 let iter f root =
   let seen = Hashtbl.create 256 in

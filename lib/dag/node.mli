@@ -26,6 +26,9 @@ type kind =
   | Term of term_info
   | Prod of int  (** production id; kids are the rhs instances *)
   | Choice of choice_info
+  | Error of err_info
+      (** isolated error region: kids are the raw terminal run that could
+          not be incorporated into the parse (local error isolation) *)
   | Bos  (** beginning-of-stream sentinel *)
   | Eos of eos_info  (** end-of-stream sentinel, owns trailing trivia *)
   | Root  (** document root: kids = [bos; top; eos] *)
@@ -42,6 +45,7 @@ and choice_info = {
   mutable selected : int;  (** disambiguated child index, or -1 *)
 }
 
+and err_info = { mutable message : string }
 and eos_info = { mutable trailing : string }
 
 type t = {
@@ -75,6 +79,13 @@ val make_prod : prod:int -> state:int -> t array -> t
 (** [make_choice ~nt alts] — a symbol node over ≥2 interpretations; its
     state is always {!nostate}. *)
 val make_choice : nt:int -> t array -> t
+
+(** [make_error ~message kids] — an error-region node over ≥1 terminal
+    kids (the unincorporated token run); its state is always {!nostate}
+    and its [error] flag is set.  The incremental parser decomposes error
+    nodes unconditionally, so the region is re-offered to the parser on
+    every later reparse until the text is fixed. *)
+val make_error : message:string -> t array -> t
 
 val make_bos : unit -> t
 val make_eos : trailing:string -> t

@@ -7,6 +7,7 @@ let node_label g n =
       let prod = Cfg.production g p in
       Printf.sprintf "%s [p%d]" (Cfg.nonterminal_name g prod.lhs) p
   | Node.Choice c -> Printf.sprintf "amb<%s>" (Cfg.nonterminal_name g c.nt)
+  | Node.Error e -> Printf.sprintf "<error %S>" e.message
   | Node.Bos -> "<bos>"
   | Node.Eos _ -> "<eos>"
   | Node.Root -> "<root>"
@@ -43,6 +44,14 @@ let to_sexp g root =
         Buffer.add_char buf ')'
     | Node.Choice _ ->
         Buffer.add_string buf "(amb";
+        Array.iter
+          (fun k ->
+            Buffer.add_char buf ' ';
+            walk k)
+          n.Node.kids;
+        Buffer.add_char buf ')'
+    | Node.Error _ ->
+        Buffer.add_string buf "(<error>";
         Array.iter
           (fun k ->
             Buffer.add_char buf ' ';
@@ -101,6 +110,8 @@ let to_dot ?reused g root =
             Printf.sprintf
               "label=\"%s?\" shape=diamond style=filled fillcolor=gold"
               (Cfg.nonterminal_name g ci.nt)
+        | Node.Error _ ->
+            "label=\"error\" shape=box style=filled fillcolor=salmon"
         | Node.Bos -> "label=\"bos\" shape=point"
         | Node.Eos _ -> "label=\"eos\" shape=point"
         | Node.Root -> "label=\"root\" shape=plaintext"

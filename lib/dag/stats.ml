@@ -19,6 +19,7 @@ let node_words n =
     match n.Node.kind with
     | Node.Term i -> words_of_string i.text + words_of_string i.trivia
     | Node.Eos e -> words_of_string e.trailing
+    | Node.Error e -> words_of_string e.message
     | Node.Prod _ | Node.Choice _ | Node.Bos | Node.Root -> 0
   in
   header_words + kids + payload
@@ -37,7 +38,7 @@ let measure root =
       | Node.Choice _ ->
           incr choices;
           alts := !alts + Array.length n.Node.kids
-      | Node.Bos | Node.Eos _ | Node.Root -> ())
+      | Node.Error _ | Node.Bos | Node.Eos _ | Node.Root -> ())
     root;
   (* The disambiguated-tree baseline: walk with each choice node replaced
      by its selected (default: first) alternative. *)
@@ -49,7 +50,8 @@ let measure root =
     | Node.Choice c ->
         let pick = if c.selected >= 0 then c.selected else 0 in
         walk n.Node.kids.(pick)
-    | Node.Term _ | Node.Prod _ | Node.Bos | Node.Eos _ | Node.Root ->
+    | Node.Term _ | Node.Prod _ | Node.Error _ | Node.Bos | Node.Eos _
+    | Node.Root ->
         if not (Hashtbl.mem seen n.Node.nid) then begin
           Hashtbl.replace seen n.Node.nid ();
           incr tree_nodes;

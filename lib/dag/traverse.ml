@@ -14,7 +14,8 @@ let rec pop_lookahead n =
       | Node.Choice _ ->
           (* Alternatives have no mutual siblings: climb past the choice. *)
           pop_lookahead p
-      | Node.Term _ | Node.Prod _ | Node.Bos | Node.Eos _ | Node.Root -> (
+      | Node.Term _ | Node.Prod _ | Node.Error _ | Node.Bos | Node.Eos _
+      | Node.Root -> (
           match index_of p n with
           | None ->
               invalid_arg "Traverse.pop_lookahead: stale parent pointer"
@@ -29,7 +30,7 @@ let rec next_terminal n =
   match n.Node.kind with
   | Node.Term _ | Node.Eos _ -> n
   | Node.Bos -> next_terminal (pop_lookahead n)
-  | Node.Choice _ | Node.Prod _ | Node.Root -> (
+  | Node.Choice _ | Node.Prod _ | Node.Error _ | Node.Root -> (
       match Node.first_terminal n with
       | Some t -> t
       | None -> next_terminal (pop_lookahead n))

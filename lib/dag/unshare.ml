@@ -18,6 +18,8 @@ let rec deep_copy n =
         | Node.Choice ci' -> ci'.selected <- ci.selected
         | _ -> assert false);
         c
+    | Node.Error e ->
+        Node.make_error ~message:e.message (Array.map deep_copy n.Node.kids)
     | Node.Bos -> Node.make_bos ()
     | Node.Eos e -> Node.make_eos ~trailing:e.trailing
     | Node.Root -> Node.make_root (Array.map deep_copy n.Node.kids)

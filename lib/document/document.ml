@@ -206,3 +206,131 @@ let edit t ~pos ~del ~insert =
 let changed_tokens t =
   Array.to_list t.leaves
   |> List.filter (fun (l : Node.t) -> l.Node.changed)
+
+(* ------------------------------------------------------------------ *)
+(* Error-isolation surgery (local error recovery).                     *)
+
+type detach = { d_leaf : Node.t; d_parent : Node.t; d_index : int }
+
+let detach_leaves t ~lo ~hi =
+  if lo < 0 || hi >= Array.length t.leaves || lo > hi then
+    invalid_arg "Document.detach_leaves: bad range";
+  let undo = ref [] in
+  for i = lo to hi do
+    let leaf = t.leaves.(i) in
+    match leaf.Node.parent with
+    | None -> invalid_arg "Document.detach_leaves: leaf without parent"
+    | Some p ->
+        let idx = index_in_parent p leaf in
+        p.Node.kids <-
+          Array.append
+            (Array.sub p.Node.kids 0 idx)
+            (Array.sub p.Node.kids (idx + 1)
+               (Array.length p.Node.kids - idx - 1));
+        Node.adjust_token_count p (-Node.token_count leaf);
+        Node.mark_changed p;
+        undo := { d_leaf = leaf; d_parent = p; d_index = idx } :: !undo
+  done;
+  !undo
+
+let reattach undo =
+  (* [undo] is in reverse removal order (a stack), so a single forward
+     pass replays the exact inverse operations. *)
+  List.iter
+    (fun { d_leaf; d_parent; d_index } ->
+      d_parent.Node.kids <-
+        Array.concat
+          [
+            Array.sub d_parent.Node.kids 0 d_index;
+            [| d_leaf |];
+            Array.sub d_parent.Node.kids d_index
+              (Array.length d_parent.Node.kids - d_index);
+          ];
+      d_leaf.Node.parent <- Some d_parent;
+      Node.adjust_token_count d_parent (Node.token_count d_leaf);
+      Node.mark_changed d_parent)
+    undo
+
+(* Highest ancestor of [anchor] whose yield still starts at [anchor]:
+   splicing just before it puts the error run at statement level rather
+   than deep inside the following subtree.  Choice nodes on the way are
+   flattened to the on-path alternative — alternatives share their
+   terminals, so the substitution preserves yield and token counts, and
+   it guarantees the spliced error node never sits under a choice (whose
+   alternatives must agree on one yield). *)
+let rec climb_anchor (anchor : Node.t) (a : Node.t) =
+  match a.Node.parent with
+  | None -> a
+  | Some p -> (
+      match p.Node.kind with
+      | Node.Root -> a
+      | Node.Choice _ -> (
+          match p.Node.parent with
+          | None -> a
+          | Some q ->
+              let i = index_in_parent q p in
+              q.Node.kids.(i) <- a;
+              a.Node.parent <- Some q;
+              climb_anchor anchor a)
+      | _ ->
+          if
+            match Node.first_terminal p with
+            | Some ft -> ft == anchor
+            | None -> false
+          then climb_anchor anchor p
+          else a)
+
+let splice_error t ~message ~lo ~hi =
+  if lo < 0 || hi >= Array.length t.leaves || lo > hi then
+    invalid_arg "Document.splice_error: bad range";
+  let kids = Array.sub t.leaves lo (hi - lo + 1) in
+  let e = Node.make_error ~message kids in
+  Array.iter
+    (fun (k : Node.t) ->
+      k.Node.parent <- Some e;
+      k.Node.changed <- false;
+      k.Node.nested <- false)
+    kids;
+  let anchor =
+    if hi + 1 < Array.length t.leaves then t.leaves.(hi + 1) else eos_of t
+  in
+  let a = climb_anchor anchor anchor in
+  match a.Node.parent with
+  | None -> invalid_arg "Document.splice_error: detached anchor"
+  | Some p ->
+      let at = index_in_parent p a in
+      p.Node.kids <-
+        Array.concat
+          [
+            Array.sub p.Node.kids 0 at;
+            [| e |];
+            Array.sub p.Node.kids at (Array.length p.Node.kids - at);
+          ];
+      e.Node.parent <- Some p;
+      Node.adjust_token_count p (Node.token_count e);
+      (* Walk to the root: clear states so the spine over an error region
+         never state-matches (integration of the flagged run is
+         re-attempted on every later reparse, succeeding once the text is
+         repaired), and flatten any choice ancestor — the insertion grew
+         this alternative's yield, so the alternatives no longer agree;
+         keep the on-path interpretation.  [adjust_token_count] above
+         already updated every node on this chain, so the substitution
+         leaves all counts exact. *)
+      let rec fixup (n : Node.t) =
+        n.Node.state <- Node.nostate;
+        match n.Node.parent with
+        | None -> ()
+        | Some q -> (
+            match q.Node.kind with
+            | Node.Choice _ -> (
+                match q.Node.parent with
+                | None -> ()
+                | Some r ->
+                    let i = index_in_parent r q in
+                    r.Node.kids.(i) <- n;
+                    n.Node.parent <- Some r;
+                    fixup n)
+            | _ -> fixup q)
+      in
+      fixup p;
+      e

@@ -39,3 +39,35 @@ val edit : t -> pos:int -> del:int -> insert:string -> int
 
 (** Terminals whose change bit is set (pending modifications). *)
 val changed_tokens : t -> Parsedag.Node.t list
+
+(** {1 Error-isolation surgery}
+
+    Local error recovery masks a damaged token run out of the tree,
+    reparses the remainder, and splices the run back as an explicit error
+    node.  These operations keep token counts and parent links exact; the
+    leaves array and the text are never touched (masked terminals stay in
+    the document, only their tree attachment changes). *)
+
+type detach
+(** Undo record for one detached leaf. *)
+
+(** [detach_leaves t ~lo ~hi] unlinks leaves [lo..hi] (inclusive, leaf
+    indices) from their parents, marking the parents changed.  Returns an
+    undo stack for {!reattach}. *)
+val detach_leaves : t -> lo:int -> hi:int -> detach list
+
+(** [reattach undo] — exact inverse of the {!detach_leaves} that produced
+    [undo]: every leaf returns to its recorded parent and slot. *)
+val reattach : detach list -> unit
+
+(** [splice_error t ~message ~lo ~hi] wraps (currently detached) leaves
+    [lo..hi] in a fresh error node and splices it into the tree at the
+    token-order position just before leaf [hi+1] (or before eos), at the
+    highest ancestor whose yield starts there.  Choice nodes on the climb
+    are flattened to the on-path alternative.  Ancestor states are
+    cleared to {!Parsedag.Node.nostate} so the region is re-offered to
+    the parser on every later reparse; the error subtree's change bits
+    are cleared (it is part of the committed version).  Returns the error
+    node. *)
+val splice_error :
+  t -> message:string -> lo:int -> hi:int -> Parsedag.Node.t

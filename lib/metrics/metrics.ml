@@ -80,6 +80,7 @@ let[@inline] add c n = if !on then c.c_v <- c.c_v + n
 let[@inline] record_peak p v = if !on && v > p.p_v then p.p_v <- v
 
 let now = Unix.gettimeofday
+let now_ms () = now () *. 1e3
 
 (* [start]/[stop] bracket a span without closures: [start] returns a
    timestamp (0. when disabled), [stop] accumulates. *)

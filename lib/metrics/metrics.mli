@@ -73,6 +73,11 @@ val record_peak : peak -> int -> unit
 val start : unit -> float
 (** Timestamp for a span, 0. when disabled. *)
 
+val now_ms : unit -> float
+(** Wall-clock milliseconds, independent of {!enabled}.  The registry's
+    clock, exposed so clients that must not link [unix] directly (the
+    parser's deadline budget) share one time source. *)
+
 val stop : timer -> float -> unit
 (** [stop t (start ())] accumulates the elapsed span. *)
 

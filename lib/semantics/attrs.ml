@@ -42,6 +42,11 @@ and compute t (n : Node.t) =
         (* Disambiguated: transparent, per §4.2(d). *)
         eval t n.Node.kids.(ci.selected)
       else t.choice (Array.map (eval t) n.Node.kids)
+  | Node.Error _ ->
+      (* Isolated error region: no production applies.  Degrade to the
+         ambiguity combinator over the raw token values — total, so
+         semantic passes survive damaged documents. *)
+      t.choice (Array.map (eval t) n.Node.kids)
   | Node.Root -> (
       (* The single top-level subtree between the sentinels. *)
       match

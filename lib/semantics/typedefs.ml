@@ -70,7 +70,7 @@ let rec leading_id t (n : Node.t) =
   | Node.Term i -> if i.Node.term = t.id_term then Some i.Node.text else None
   | Node.Bos | Node.Eos _ -> None
   | Node.Choice _ -> leading_id t n.Node.kids.(0)
-  | Node.Prod _ | Node.Root ->
+  | Node.Prod _ | Node.Error _ | Node.Root ->
       let rec scan i =
         if i >= Array.length n.Node.kids then None
         else
@@ -232,7 +232,7 @@ let analyze t root =
         let pick = if ci.Node.selected >= 0 then ci.Node.selected else 0 in
         walk env n.Node.kids.(pick)
     | Node.Term _ | Node.Bos | Node.Eos _ -> ()
-    | Node.Prod _ | Node.Root ->
+    | Node.Prod _ | Node.Error _ | Node.Root ->
         let env =
           if is_compound n then Hashtbl.create 8 :: env else env
         in

@@ -84,12 +84,18 @@ let replay lang base (seed, count) =
       | Some _, Session.Recovered _ ->
           QCheck.Test.fail_reportf
             "incremental parse recovered on batch-parseable text %S" !text
-      | None, Session.Recovered _ ->
-          (* Rejected on both sides.  The retained tree is deliberately in
-             a damaged state here (change bits pending, unincorporated
-             terminals flagged), so the commit-time sanitizer does not
-             apply; the next clean parse after a repairing edit re-checks
-             the full invariants. *)
+      | None, Session.Recovered { isolated; _ } ->
+          (* Rejected on both sides.  When the damage was isolated, the
+             session committed a tree with explicit error nodes: the full
+             sanitizer (error-subtree rules included) applies, text yield
+             and all.  The flag-only fallback retains a deliberately
+             damaged tree (change bits pending, unincorporated terminals
+             flagged), so there the commit-time sanitizer does not apply;
+             the next clean parse after a repairing edit re-checks the
+             full invariants. *)
+          if isolated > 0 then
+            Analyze.Check.assert_dag ~expect_text:!text table
+              (Session.root s);
           if not (Session.has_errors s) then
             QCheck.Test.fail_report "has_errors unset after recovery";
           true
@@ -97,6 +103,95 @@ let replay lang base (seed, count) =
           QCheck.Test.fail_reportf
             "incremental parse accepted batch-rejected text %S" !text)
     script
+
+(* Fault injection: interleave syntactically invalid token runs with
+   ordinary random edits, under a GSS-width budget.  After every edit the
+   session must terminate with an outcome (never an uncaught exception),
+   committed trees (clean or isolated) must be sanitizer-clean, and a
+   final full-text rewrite must converge to the batch parse. *)
+let garbage = [| " ) ("; " ; ;"; " * /"; " = ="; " ( ;"; " ) ) )"; " + *" |]
+
+let fault_replay lang base (seed, count) =
+  let table = Language.table lang in
+  let budget = { Glr.no_budget with Glr.max_parsers = 8 } in
+  let rng = Random.State.make [| seed; 0xfa; 0x17 |] in
+  let s, outcome0 =
+    Session.create ~budget ~table ~lexer:(Language.lexer lang) base
+  in
+  (match outcome0 with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> QCheck.Test.fail_report "base program rejected");
+  let text = ref base in
+  let step () =
+    (* Half the edits inject an invalid token run at a random position;
+       the rest are random deletions of short spans. *)
+    let len = String.length !text in
+    let pos, del, insert =
+      if Random.State.bool rng then
+        ( Random.State.int rng (len + 1),
+          0,
+          garbage.(Random.State.int rng (Array.length garbage)) )
+      else
+        let pos = Random.State.int rng (max 1 len) in
+        (pos, min (1 + Random.State.int rng 3) (len - pos), "")
+    in
+    match Session.edit s ~pos ~del ~insert with
+    | () ->
+        text :=
+          String.concat ""
+            [
+              String.sub !text 0 pos;
+              insert;
+              String.sub !text (pos + del) (len - pos - del);
+            ]
+    | exception Lexgen.Scanner.Lex_error _ ->
+        (* Unscannable result: the edit was rejected and the document is
+           unchanged — skip. *)
+        ()
+  in
+  for _ = 1 to count do
+    step ();
+    match (batch lang !text, Session.reparse s) with
+    | Some expected, Session.Parsed _ ->
+        Analyze.Check.assert_dag ~expect_text:!text table (Session.root s);
+        let got = Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s) in
+        if not (String.equal got expected) then
+          QCheck.Test.fail_reportf "diverged from batch on %S" !text
+    | Some _, Session.Recovered { degraded; _ } ->
+        (* Only a budget hit may recover batch-parseable text. *)
+        if not degraded then
+          QCheck.Test.fail_reportf "recovered on batch-parseable text %S"
+            !text
+    | None, Session.Recovered { isolated; _ } ->
+        if isolated > 0 then
+          Analyze.Check.assert_dag ~expect_text:!text table (Session.root s)
+    | None, Session.Parsed _ ->
+        QCheck.Test.fail_reportf "accepted batch-rejected text %S" !text
+  done;
+  (* Convergence: rewrite the whole document back to the pristine base;
+     unless the final reparse itself was pruned by the budget, it must be
+     a clean parse, batch-identical, with no residual error regions. *)
+  let before = Session.metrics s in
+  Session.edit s ~pos:0 ~del:(String.length !text) ~insert:base;
+  let outcome = Session.reparse s in
+  let pruned =
+    Metrics.count (Metrics.diff (Session.metrics s) before)
+      "glr.pruned_parsers"
+  in
+  (match outcome with
+  | Session.Parsed _ ->
+      Analyze.Check.assert_dag ~expect_text:base table (Session.root s);
+      if Session.error_regions s <> [] then
+        QCheck.Test.fail_report "residual error regions after convergence";
+      let got = Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s) in
+      (match batch lang base with
+      | Some expected when not (String.equal got expected) ->
+          QCheck.Test.fail_report "converged tree differs from batch parse"
+      | _ -> ())
+  | Session.Recovered _ when pruned > 0 -> ()
+  | Session.Recovered _ ->
+      QCheck.Test.fail_report "failed to converge after full rewrite");
+  true
 
 let arb_script =
   QCheck.(pair (int_bound 1_000_000) (int_range 1 8))
@@ -110,6 +205,18 @@ let prop_c =
   QCheck.Test.make ~count:60 ~name:"edit fuzz: C incremental = batch"
     arb_script
     (replay Languages.C_subset.language base_c)
+
+let prop_fault_calc =
+  QCheck.Test.make ~count:40
+    ~name:"fault injection: calc isolation + budget + convergence"
+    arb_script
+    (fault_replay Languages.Calc.language base_calc)
+
+let prop_fault_c =
+  QCheck.Test.make ~count:40
+    ~name:"fault injection: C isolation + budget + convergence"
+    arb_script
+    (fault_replay Languages.C_subset.language base_c)
 
 (* The §5 reuse invariant, asserted via the metrics layer: one token edit
    deep inside a balanced program must rebuild only the spine — under 10%
@@ -148,6 +255,8 @@ let suite =
   [
     Test_seed.to_alcotest prop_calc;
     Test_seed.to_alcotest prop_c;
+    Test_seed.to_alcotest prop_fault_calc;
+    Test_seed.to_alcotest prop_fault_c;
     Alcotest.test_case "reuse invariant: single-token edit >= 90%" `Quick
       reuse_invariant;
   ]

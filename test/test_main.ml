@@ -26,5 +26,6 @@ let () =
       ("trace-events", Test_trace_events.suite);
       ("analyze", Test_analyze.suite);
       ("metrics", Test_metrics.suite);
+      ("recovery", Test_recovery.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);
     ]
