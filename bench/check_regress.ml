@@ -4,10 +4,10 @@
      check_regress.exe --baseline DIR --fresh DIR
          [--tolerance 0.2] [--reuse-tolerance 0.2] [--floor-ms 5.0]
 
-   Both directories must hold BENCH_latency.json, BENCH_reuse.json and
-   BENCH_recovery.json (iglr-bench/1 schema).  Entries are keyed by
-   (experiment, language, case); only entries with "gate": true are
-   compared.
+   Both directories must hold BENCH_latency.json, BENCH_reuse.json,
+   BENCH_recovery.json and BENCH_ambig.json (iglr-bench/1 schema).
+   Entries are keyed by (experiment, language, case); only entries with
+   "gate": true are compared.
 
    - Latency: fail when fresh median > baseline median * (1 + tolerance),
      but entries whose baseline median is below --floor-ms are skipped —
@@ -19,6 +19,11 @@
    - Recovery: same rule as reuse — the *_pct fields (containment,
      outside-reuse, convergence, budget survival) are deterministic, so
      any drop means the error path regressed.
+   - Ambig: mixed — analyze-time entries carry a median and follow the
+     latency rule (with the noise floor) when gated, though the harness
+     ships them informational; coverage entries carry deterministic
+     *_pct fields and follow the reuse rule, so a grammar change that
+     loses a resolved ambiguity class fails the gate.
 
    Every regression is reported as one machine-parseable line naming the
    offending metric with its baseline/current values, so CI logs localize
@@ -151,6 +156,14 @@ let check_reuse key base fresh =
           else ok key "%s %.2f%% vs baseline %.2f%%" name fv bv)
     (fields base)
 
+(* Ambig documents mix the two entry shapes: analyze-time medians
+   (noise-floored latency rule) and deterministic coverage percentages
+   (reuse rule).  Dispatch on the fields present. *)
+let check_ambig key base fresh =
+  match get_float "median" base with
+  | Some _ -> check_latency key base fresh
+  | None -> check_reuse key base fresh
+
 let check kind checker file =
   let base = entries (Filename.concat !baseline_dir file) in
   let fresh = entries (Filename.concat !fresh_dir file) in
@@ -199,6 +212,7 @@ let () =
   check "latency" check_latency "BENCH_latency.json";
   check "reuse" check_reuse "BENCH_reuse.json";
   check "recovery" check_reuse "BENCH_recovery.json";
+  check "ambig" check_ambig "BENCH_ambig.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

@@ -12,8 +12,9 @@
    overheads, are scale-invariant).
 
    Besides the text tables, the harness emits machine-readable results —
-   BENCH_latency.json, BENCH_reuse.json and BENCH_recovery.json in
-   --json-dir (default the working directory; --no-json disables) —
+   BENCH_latency.json, BENCH_reuse.json, BENCH_recovery.json and
+   BENCH_ambig.json in --json-dir (default the working directory;
+   --no-json disables) —
    which seed the perf trajectory and feed bench/check_regress.ml, the
    regression gate. *)
 
@@ -134,6 +135,24 @@ let record_recovery ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !recovery_entries
 
+(* Ambiguity-analysis entries live in their own document
+   (BENCH_ambig.json) and mix the two shapes: analyze-time medians
+   (latency rule, noise-floored) and deterministic coverage percentages
+   (reuse rule).  check_regress dispatches on the fields present. *)
+let ambig_entries : Json.t list ref = ref []
+
+let record_ambig ?(gate = true) ~experiment ~language ~case fields =
+  ambig_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !ambig_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -150,16 +169,22 @@ let write_json () =
       let latency = Filename.concat dir "BENCH_latency.json" in
       let reuse = Filename.concat dir "BENCH_reuse.json" in
       let recovery = Filename.concat dir "BENCH_recovery.json" in
+      let ambig = Filename.concat dir "BENCH_ambig.json" in
       Json.to_file latency (doc "latency" !latency_entries);
       Json.to_file reuse (doc "reuse" !reuse_entries);
       Json.to_file recovery (doc "recovery" !recovery_entries);
-      Printf.printf "\nwrote %s (%d entries), %s (%d entries), %s (%d entries)\n"
+      Json.to_file ambig (doc "ambig" !ambig_entries);
+      Printf.printf
+        "\nwrote %s (%d entries), %s (%d entries), %s (%d entries), %s (%d \
+         entries)\n"
         latency
         (List.length !latency_entries)
         reuse
         (List.length !reuse_entries)
         recovery
         (List.length !recovery_entries)
+        ambig
+        (List.length !ambig_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -1204,6 +1229,89 @@ let overhead () =
     ((trace_on_ns /. trace_off_ns -. 1.) *. 100.)
 
 (* ------------------------------------------------------------------ *)
+(* Static ambiguity analysis: analyzer cost and coverage drift.        *)
+
+(* The analyzer runs at build time (@ambig-smoke), so what matters here
+   is that a grammar change neither blows up the witness search nor
+   drifts the committed coverage.  Timing is absolute analyze time per
+   language at the witness bound K = 5 (the bound the smoke alias
+   uses); it is independent of --scale but not of process history, so
+   it is reported rather than gated.  The coverage shares are
+   deterministic — same grammar, same replay pipeline — so they gate
+   exactly like the reuse percentages: losing a resolved class, or
+   retaining a new unresolved one, shows up as a pct drop. *)
+let ambig () =
+  header "ambig: static ambiguity analysis (witness bound K = 5)";
+  let langs =
+    Languages.
+      [ Calc.language; C_subset.language; Cpp_subset.language; Lr2.language ]
+  in
+  List.iter
+    (fun lang ->
+      let spec = lang.Language.ambig in
+      let cfg =
+        Analyze.Ambig.config ~syn_filters:spec.Language.syn_filters
+          ?sem_policy:spec.Language.sem_policy
+          ~sem_preamble:spec.Language.sem_preamble
+          ~lexemes:spec.Language.lexemes ~max_len:5 (Language.table lang)
+      in
+      let report = ref None in
+      (* Compact so the witness search is not taxed with major-GC work
+         accumulated by earlier experiments in an all-suite run. *)
+      Gc.compact ();
+      let t =
+        time_stats ~runs:3 (fun () ->
+            report := Some (Analyze.Ambig.analyze cfg))
+      in
+      let r = Option.get !report in
+      let classes = r.Analyze.Ambig.r_classes in
+      let total = List.length classes in
+      let count res =
+        List.length
+          (List.filter (fun k -> k.Analyze.Ambig.k_resolution = res) classes)
+      in
+      let unresolved = count Analyze.Ambig.Retained_unresolved in
+      let witnesses =
+        List.length
+          (List.filter (fun k -> k.Analyze.Ambig.k_witness <> None) classes)
+      in
+      let pct n =
+        if total = 0 then 100. else 100. *. float_of_int n /. float_of_int total
+      in
+      (* Analyze time is absolute wall-clock and (for cpp) shifts with
+         whatever ran earlier in the process, so like the other absolute
+         figures it ships informational; the deterministic coverage
+         shares below are the gate. *)
+      record_ambig ~gate:false ~experiment:"ambig"
+        ~language:lang.Language.name ~case:"analyze-k5"
+        [
+          ("unit", Json.String "ms");
+          ("min", Json.Float (t.tmin *. 1e3));
+          ("median", Json.Float (t.tmed *. 1e3));
+          ("p90", Json.Float (t.tp90 *. 1e3));
+          ("runs", Json.Int 3);
+        ];
+      record_ambig ~experiment:"ambig" ~language:lang.Language.name
+        ~case:"coverage-k5"
+        [
+          ("classes", Json.Int total);
+          ("flagged", Json.Int (List.length r.Analyze.Ambig.r_flagged));
+          ("witnesses", Json.Int witnesses);
+          ("covered_pct", Json.Float (pct (total - unresolved)));
+          ( "static_pct",
+            Json.Float (pct (count Analyze.Ambig.Resolved_static)) );
+          ( "syntactic_pct",
+            Json.Float (pct (count Analyze.Ambig.Resolved_syntactic)) );
+          ( "semantic_pct",
+            Json.Float (pct (count Analyze.Ambig.Resolved_semantic)) );
+        ];
+      Printf.printf
+        "%-12s %2d classes, %d unresolved, %d witnesses; analyze median %.1f \
+         ms\n"
+        lang.Language.name total unresolved witnesses (t.tmed *. 1e3))
+    langs
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1220,6 +1328,7 @@ let experiments =
     ("reuse", reuse);
     ("recovery", recovery);
     ("overhead", overhead);
+    ("ambig", ambig);
     ("earley", earley);
     ("bechamel", bechamel);
   ]

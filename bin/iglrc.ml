@@ -4,6 +4,7 @@
      parse   parse a file (or stdin) with one of the bundled languages
      table   show parse-table statistics and retained conflicts
      lint    static grammar diagnostics and conflict explanations
+     ambig   static ambiguity analysis, witnesses, filter coverage
      check   parse a file and run the parse-dag sanitizer
      sem     parse a C/C++ file and run semantic disambiguation
      gen     emit a synthetic SPEC-like program
@@ -183,39 +184,224 @@ let lint_cmd =
     Arg.(
       value & flag
       & info [ "all" ]
-          ~doc:"Lint every bundled language (exit 1 on any error).")
+          ~doc:"Lint every bundled language (exit codes aggregate).")
   in
   let quiet =
     Arg.(
       value & flag
       & info [ "quiet" ] ~doc:"Only print languages with diagnostics.")
   in
-  let lint_one ~quiet (name, lang) =
-    let table = Languages.Language.table lang in
-    let ds = Analyze.Lint.run table in
-    if (not quiet) || ds <> [] then begin
-      Format.printf "== %s ==@." name;
-      Format.printf "%a@." (Analyze.Lint.pp_report table) ds
-    end;
-    List.length (Analyze.Lint.errors ds)
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the diagnostics as machine-readable JSON under the \
+             $(b,iglr-analysis/1) schema (shared with $(b,iglrc ambig)); \
+             with $(b,--all), one envelope with a per-language list.")
   in
-  let run lang all quiet =
-    let errors =
-      if all then
-        List.fold_left (fun acc l -> acc + lint_one ~quiet l) 0 languages
-      else
-        lint_one ~quiet
-          (List.find (fun (_, l) -> l == lang) languages)
+  let run lang all json quiet =
+    let targets =
+      if all then languages
+      else [ List.find (fun (_, l) -> l == lang) languages ]
     in
-    if errors > 0 then exit 1
+    let results =
+      List.map
+        (fun (name, lang) ->
+          let table = Languages.Language.table lang in
+          (name, table, Analyze.Lint.run table))
+        targets
+    in
+    if json then
+      let docs =
+        List.map
+          (fun (name, table, ds) ->
+            match Analyze.Lint.to_json table ds with
+            | Metrics.Json.Obj fields ->
+                Metrics.Json.Obj
+                  (("language", Metrics.Json.String name) :: fields)
+            | j -> j)
+          results
+      in
+      print_endline
+        (Metrics.Json.to_string
+           (match docs with
+           | [ d ] -> d
+           | ds ->
+               Metrics.Json.Obj
+                 [
+                   ("schema", Metrics.Json.String "iglr-analysis/1");
+                   ("tool", Metrics.Json.String "lint");
+                   ("languages", Metrics.Json.List ds);
+                 ]))
+    else
+      List.iter
+        (fun (name, table, ds) ->
+          if (not quiet) || ds <> [] then begin
+            Format.printf "== %s ==@." name;
+            Format.printf "%a@." (Analyze.Lint.pp_report table) ds
+          end)
+        results;
+    let count f =
+      List.fold_left
+        (fun acc (_, _, ds) -> acc + List.length (f ds))
+        0 results
+    in
+    (* Exit-code contract (see man page): 1 = errors, 3 = warnings only,
+       0 = clean or informational findings only. *)
+    if count Analyze.Lint.errors > 0 then exit 1
+    else if count Analyze.Lint.warnings > 0 then exit 3
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "$(b,0) — no findings, or informational findings only (retained \
+         conflicts the parser is designed to fork on are informational).";
+      `P "$(b,1) — at least one error-severity finding.";
+      `P
+        "$(b,3) — warning-severity findings but no errors.  (2 is left to \
+         the parse commands' syntax-error exit.)";
+      `P
+        "With $(b,--all), severities aggregate across languages before the \
+         exit code is chosen.";
+    ]
   in
   Cmd.v
-    (Cmd.info "lint"
+    (Cmd.info "lint" ~man
        ~doc:
          "Static grammar diagnostics: useless symbols, derivation cycles, \
           unused precedence, and per-conflict example sentences with a \
-          classification")
-    Term.(const run $ lang_arg $ all $ quiet)
+          classification.  Exits non-zero when findings are present (see \
+          EXIT STATUS)")
+    Term.(const run $ lang_arg $ all $ json $ quiet)
+
+let ambig_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze every bundled language.")
+  in
+  let max_len =
+    Arg.(
+      value & opt int 5
+      & info [ "max-len" ] ~docv:"K"
+          ~doc:
+            "Witness bound: maximum yield length of the flagged grammar \
+             region (contexts embedding it are not counted).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as machine-readable JSON under the \
+             $(b,iglr-analysis/1) schema (shared with $(b,iglrc lint)); \
+             with $(b,--all), one envelope with a per-language list.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Enforce the language's committed ambiguity budget (maximum \
+             retained-unresolved classes, expected per-class resolutions); \
+             violations go to stderr and the exit status is 1.")
+  in
+  let run lang all max_len json check =
+    let targets =
+      if all then languages
+      else [ List.find (fun (_, l) -> l == lang) languages ]
+    in
+    let analyze_one (name, lang) =
+      let spec = lang.Languages.Language.ambig in
+      let config =
+        Analyze.Ambig.config
+          ~syn_filters:spec.Languages.Language.syn_filters
+          ?sem_policy:spec.Languages.Language.sem_policy
+          ~sem_preamble:spec.Languages.Language.sem_preamble
+          ~lexemes:spec.Languages.Language.lexemes ~max_len
+          (Languages.Language.table lang)
+      in
+      let report = Analyze.Ambig.analyze config in
+      let violations =
+        if not check then []
+        else
+          Analyze.Ambig.check_budget
+            {
+              Analyze.Ambig.b_max_unresolved =
+                spec.Languages.Language.max_unresolved;
+              b_expect = spec.Languages.Language.expect;
+            }
+            report
+      in
+      (name, report, violations)
+    in
+    let results = List.map analyze_one targets in
+    if json then
+      let docs =
+        List.map
+          (fun (name, report, _) -> Analyze.Ambig.to_json ~language:name report)
+          results
+      in
+      print_endline
+        (Metrics.Json.to_string
+           (match docs with
+           | [ d ] -> d
+           | ds ->
+               Metrics.Json.Obj
+                 [
+                   ("schema", Metrics.Json.String "iglr-analysis/1");
+                   ("tool", Metrics.Json.String "ambig");
+                   ("languages", Metrics.Json.List ds);
+                 ]))
+    else
+      List.iter
+        (fun (name, report, _) ->
+          Format.printf "== %s ==@.%a@." name Analyze.Ambig.pp_report report)
+        results;
+    let failed =
+      List.fold_left
+        (fun acc (name, _, violations) ->
+          List.iter
+            (fun v -> Printf.eprintf "ambig: %s: budget: %s\n" name v)
+            violations;
+          acc + List.length violations)
+        0 results
+    in
+    if failed > 0 then exit 1
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Three stages: a conservative approximation flags \
+         potentially-ambiguous nonterminals from the unfiltered LR \
+         conflicts, refined by a pair-automaton co-accessibility check (a \
+         certified-unambiguous conflict is pruned; no false negatives); a \
+         bounded search confirms witness sentences with an Earley \
+         derivation-counting oracle and prints both derivations; each \
+         witness is then replayed through the language's actual \
+         disambiguation pipeline — precedence-filtered table, dynamic \
+         syntactic filters, semantic typedef analysis — and the class is \
+         labelled $(b,resolved-static), $(b,resolved-syntactic), \
+         $(b,resolved-semantic) or $(b,retained-unresolved).";
+      `S Manpage.s_exit_status;
+      `P "$(b,0) — analysis ran; without $(b,--check), always.";
+      `P
+        "$(b,1) — $(b,--check) found budget violations (unresolved classes \
+         above the committed maximum, or a class resolved differently than \
+         the language expects).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ambig" ~man
+       ~doc:
+         "Static ambiguity analysis: flag potentially-ambiguous \
+          nonterminals, search bounded witness sentences confirmed by an \
+          Earley oracle, and classify how each ambiguity class is resolved \
+          by the language's disambiguation filters")
+    Term.(const run $ lang_arg $ all $ max_len $ json $ check)
 
 let check_cmd =
   let run lang file =
@@ -345,6 +531,27 @@ let make_session ?budget lang text =
     ~table:(Languages.Language.table lang)
     ~lexer:(Languages.Language.lexer lang)
     text
+
+(* dot/explain render the committed dag, so they refuse to describe a
+   corrupt one: run the sanitizer first and fail fast.  Recovery leaves
+   damage deliberately pending for the next reparse, hence
+   [allow_pending] on sessions with error regions. *)
+let guard_dag cmd lang session =
+  let table = Languages.Language.table lang in
+  match
+    Analyze.Check.dag
+      ~allow_pending:(Iglr.Session.error_regions session <> [])
+      ~expect_text:(Iglr.Session.text session)
+      table (Iglr.Session.root session)
+  with
+  | [] -> ()
+  | vs ->
+      List.iter
+        (fun v -> Format.eprintf "%a@." Analyze.Check.pp_violation v)
+        vs;
+      Printf.eprintf "%s: parse dag failed the sanitizer; refusing to render\n"
+        cmd;
+      exit 1
 
 let errors_cmd =
   let run lang file budget script =
@@ -512,7 +719,8 @@ let dot_cmd =
              simultaneous parsers)";
           print_string "digraph gss {\n}\n"
     end
-    else
+    else begin
+      guard_dag "dot" lang session;
       let reused =
         if script = None then None
         else Some (fun (n : Parsedag.Node.t) -> n.Parsedag.Node.nid <= !watermark)
@@ -520,6 +728,7 @@ let dot_cmd =
       print_string
         (Parsedag.Pp.to_dot ?reused lang.Languages.Language.grammar
            (Iglr.Session.root session))
+    end
   in
   Cmd.v
     (Cmd.info "dot"
@@ -555,6 +764,7 @@ let explain_cmd =
         ignore (Iglr.Session.reparse session))
       edits;
     Trace.set_enabled false;
+    guard_dag "explain" lang session;
     let r = Trace.Explain.of_events (Trace.events ()) in
     (* Token offset -> character offset, via the document's leaf array. *)
     let leaves = Vdoc.Document.leaves (Iglr.Session.document session) in
@@ -633,6 +843,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; table_cmd; lint_cmd; check_cmd; sem_cmd; gen_cmd;
+            parse_cmd; table_cmd; lint_cmd; ambig_cmd; check_cmd; sem_cmd;
+            gen_cmd;
             replay_cmd; errors_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
           ]))

@@ -197,49 +197,15 @@ let grammar_diagnostics g =
 (* ------------------------------------------------------------------ *)
 (* Conflict diagnostics.                                               *)
 
-(* Shortest terminal yield of every nonterminal of [g] (None when
-   unproductive), by cost relaxation to a fixpoint. *)
-let shortest_yields g =
-  let nn = Cfg.num_nonterminals g in
-  let cost = Array.make nn max_int in
-  let witness = Array.make nn [] in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Cfg.iter_productions g (fun p ->
-        let total = ref 0 and feasible = ref true in
-        Array.iter
-          (function
-            | Cfg.T _ -> incr total
-            | Cfg.N n ->
-                if cost.(n) = max_int then feasible := false
-                else total := !total + cost.(n))
-          p.Cfg.rhs;
-        if !feasible && !total < cost.(p.Cfg.lhs) then begin
-          cost.(p.Cfg.lhs) <- !total;
-          witness.(p.Cfg.lhs) <-
-            Array.fold_left
-              (fun acc s ->
-                match s with
-                | Cfg.T t -> t :: acc
-                | Cfg.N n -> List.rev_append witness.(n) acc)
-              [] p.Cfg.rhs
-            |> List.rev;
-          changed := true
-        end)
-  done;
-  fun sym ->
-    match sym with
-    | Cfg.T t -> Some [ t ]
-    | Cfg.N n -> if cost.(n) = max_int then None else Some witness.(n)
-
 let shortest_sentence table ~state ~term =
   match Table.algo table with
   | Table.LR1 -> None
   | Table.SLR | Table.LALR ->
       let auto = Table.automaton table in
       let aug = (Automaton.aug auto).Lrtab.Augment.grammar in
-      let yield = shortest_yields aug in
+      (* Yield expansion is shared with the ambiguity witness generator
+         (Grammar.Yield) — keep it that way. *)
+      let yield = Grammar.Yield.shortest_yields aug in
       (* BFS over the LR(0) machine for a shortest symbol path from the
          start state. *)
       let ns = Automaton.num_states auto in
@@ -457,6 +423,84 @@ let pp_diagnostic table ppf d =
         info.items;
       Format.fprintf ppf "    hint: %s" info.hint);
   Format.pp_close_box ppf ()
+
+(* Machine-readable findings.  The envelope (schema/tool/findings) is
+   shared with [Ambig.to_json] so downstream tooling parses one format. *)
+let json_schema = "iglr-analysis/1"
+
+let to_json table ds =
+  let module J = Metrics.Json in
+  let g = Table.grammar table in
+  let str_of_severity = function
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "info"
+  in
+  let rule = function
+    | Unreachable_nt _ -> "unreachable-nonterminal"
+    | Unproductive_nt _ -> "unproductive-nonterminal"
+    | Useless_production _ -> "useless-production"
+    | Derivation_cycle _ -> "derivation-cycle"
+    | Unused_prec _ -> "unused-precedence"
+    | Conflict _ -> "retained-conflict"
+  in
+  let sentence terms =
+    String.concat " " (List.map (Cfg.terminal_name g) terms)
+  in
+  let extras = function
+    | Conflict info ->
+        let c = info.conflict in
+        [
+          ("state", J.Int c.Table.c_state);
+          ("term", J.String (Cfg.terminal_name g c.Table.c_term));
+          ("class", J.String (Format.asprintf "%a" pp_class info.klass));
+          ( "example",
+            match info.example with
+            | Some s -> J.String (sentence s)
+            | None -> J.Null );
+          ("hint", J.String info.hint);
+        ]
+    | Unreachable_nt n | Unproductive_nt n ->
+        [ ("nonterminal", J.String (Cfg.nonterminal_name g n)) ]
+    | Useless_production p -> [ ("production", J.Int p) ]
+    | Derivation_cycle cycle ->
+        [
+          ( "cycle",
+            J.List
+              (List.map
+                 (fun n -> J.String (Cfg.nonterminal_name g n))
+                 cycle) );
+        ]
+    | Unused_prec { level; terminals } ->
+        [
+          ("level", J.Int level);
+          ( "terminals",
+            J.List
+              (List.map
+                 (fun t -> J.String (Cfg.terminal_name g t))
+                 terminals) );
+        ]
+  in
+  let finding d =
+    J.Obj
+      ([
+         ("severity", J.String (str_of_severity (severity d)));
+         ("rule", J.String (rule d));
+         ( "message",
+           J.String (Format.asprintf "%a" (pp_diagnostic table) d) );
+       ]
+      @ extras d)
+  in
+  let count sev = List.length (List.filter (fun d -> severity d = sev) ds) in
+  J.Obj
+    [
+      ("schema", J.String json_schema);
+      ("tool", J.String "lint");
+      ("findings", J.List (List.map finding ds));
+      ("errors", J.Int (count Error));
+      ("warnings", J.Int (count Warning));
+      ("conflicts", J.Int (count Info));
+    ]
 
 let pp_report table ppf ds =
   Format.pp_open_vbox ppf 0;

@@ -4,7 +4,14 @@ type result = { accepted : bool; items : int }
 
 type item = { prod : int; dot : int; origin : int }
 
-let recognize g terms =
+(* Classical three-rule chart construction with the nullable-prediction
+   fix.  Shared by the recognizer and the derivation counter/extractor:
+   the chart at position [k] holds every viable item, so a span
+   (nonterminal, i, j) is derivable in a viable context iff a completed
+   item for it sits in chart.(j) — except ε spans, where the nullable
+   shortcut can skip the completer chain; those are handled grammar-side
+   below. *)
+let build_chart g terms =
   let analysis = Grammar.Analysis.compute g in
   let n = Array.length terms in
   let chart = Array.init (n + 1) (fun _ -> Hashtbl.create 64) in
@@ -57,6 +64,11 @@ let recognize g terms =
         List.iter (fun cand -> add k { cand with dot = cand.dot + 1 }) !advance
     done
   done;
+  (chart, !total)
+
+let recognize g terms =
+  let chart, total = build_chart g terms in
+  let n = Array.length terms in
   let accepted =
     Hashtbl.fold
       (fun (it : item) () acc ->
@@ -68,4 +80,207 @@ let recognize g terms =
         && it.dot = Array.length prod.Cfg.rhs)
       chart.(n) false
   in
-  { accepted; items = !total }
+  { accepted; items = total }
+
+(* ------------------------------------------------------------------ *)
+(* Derivation counting and tree extraction.                            *)
+
+type tree = { t_prod : int; t_kids : kid list }
+and kid = K_term of int | K_nt of tree
+
+(* Index of completed spans: (lhs, origin, end) present in the chart. *)
+let completed_spans g chart =
+  let spans = Hashtbl.create 256 in
+  Array.iteri
+    (fun k tbl ->
+      Hashtbl.iter
+        (fun (it : item) () ->
+          let p = Cfg.production g it.prod in
+          if it.dot = Array.length p.Cfg.rhs then
+            Hashtbl.replace spans (p.Cfg.lhs, it.origin, k) ())
+        tbl)
+    chart;
+  spans
+
+(* Both walks guard against unit/ε derivation cycles (A =>+ A spanning
+   the same tokens) with an in-progress set: a back edge contributes 0
+   derivations / no trees.  Cyclic grammars have infinitely many trees
+   there, so the result is a lower bound — safe for witness confirmation
+   (never overcounts), and lint reports such grammars as errors anyway. *)
+
+let count_derivations ?(limit = 1000) g terms =
+  let chart, _ = build_chart g terms in
+  let spans = completed_spans g chart in
+  let n = Array.length terms in
+  let sat_add a b = if a + b > limit || a + b < 0 then limit else a + b in
+  let sat_mul a b =
+    if a = 0 || b = 0 then 0 else if a > limit / b then limit else a * b
+  in
+  let memo = Hashtbl.create 256 in
+  let seq_memo = Hashtbl.create 1024 in
+  let in_progress = Hashtbl.create 64 in
+  let rec count nt i j =
+    if i = j then count_nullable nt
+    else if not (Hashtbl.mem spans (nt, i, j)) then 0
+    else via_prods nt i j
+  and count_nullable nt = via_prods_eps nt
+  and via_prods nt i j =
+    let key = (nt, i, j) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+        if Hashtbl.mem in_progress key then 0
+        else begin
+          Hashtbl.replace in_progress key ();
+          let c =
+            Array.fold_left
+              (fun acc pid ->
+                let p = Cfg.production g pid in
+                sat_add acc (seq pid p.Cfg.rhs 0 i j))
+              0
+              (Cfg.productions_of g nt)
+          in
+          Hashtbl.remove in_progress key;
+          Hashtbl.replace memo key c;
+          c
+        end
+  and via_prods_eps nt =
+    (* ε spans bypass the chart (the nullable shortcut may leave the
+       completer chain out); same production walk restricted to i = j,
+       keyed by position -1 so ε memoization is position-independent. *)
+    let key = (nt, -1, -1) in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+        if Hashtbl.mem in_progress key then 0
+        else begin
+          Hashtbl.replace in_progress key ();
+          let c =
+            Array.fold_left
+              (fun acc pid ->
+                let p = Cfg.production g pid in
+                sat_add acc (seq_eps p.Cfg.rhs 0))
+              0
+              (Cfg.productions_of g nt)
+          in
+          Hashtbl.remove in_progress key;
+          Hashtbl.replace memo key c;
+          c
+        end
+  and seq pid rhs k i j =
+    match Hashtbl.find_opt seq_memo (pid, k, i, j) with
+    | Some c -> c
+    | None ->
+        let c =
+          if k = Array.length rhs then if i = j then 1 else 0
+          else
+            match rhs.(k) with
+            | Cfg.T t ->
+                if i < j && terms.(i) = t then seq pid rhs (k + 1) (i + 1) j
+                else 0
+            | Cfg.N m ->
+                let acc = ref 0 in
+                for h = i to j do
+                  let c = count m i h in
+                  if c > 0 then
+                    acc := sat_add !acc (sat_mul c (seq pid rhs (k + 1) h j))
+                done;
+                !acc
+        in
+        Hashtbl.replace seq_memo (pid, k, i, j) c;
+        c
+  and seq_eps rhs k =
+    if k = Array.length rhs then 1
+    else
+      match rhs.(k) with
+      | Cfg.T _ -> 0
+      | Cfg.N m -> sat_mul (via_prods_eps m) (seq_eps rhs (k + 1))
+  in
+  count (Cfg.start g) 0 n
+
+let derivations ?(limit = 2) g terms =
+  let chart, _ = build_chart g terms in
+  let spans = completed_spans g chart in
+  let n = Array.length terms in
+  let take k l =
+    let rec go k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: go (k - 1) rest
+    in
+    go k l
+  in
+  let memo = Hashtbl.create 256 in
+  let in_progress = Hashtbl.create 64 in
+  let rec trees nt i j =
+    if i < j && not (Hashtbl.mem spans (nt, i, j)) then []
+    else
+      let key = (nt, i, j) in
+      match Hashtbl.find_opt memo key with
+      | Some ts -> ts
+      | None ->
+          if Hashtbl.mem in_progress key then []
+          else begin
+            Hashtbl.replace in_progress key ();
+            let ts =
+              Array.fold_left
+                (fun acc pid ->
+                  if List.length acc >= limit then acc
+                  else
+                    let p = Cfg.production g pid in
+                    let kid_lists = seq p.Cfg.rhs 0 i j in
+                    acc
+                    @ List.map
+                        (fun kids -> { t_prod = pid; t_kids = kids })
+                        kid_lists)
+                []
+                (Cfg.productions_of g nt)
+              |> take limit
+            in
+            Hashtbl.remove in_progress key;
+            Hashtbl.replace memo key ts;
+            ts
+          end
+  and seq rhs k i j =
+    if k = Array.length rhs then if i = j then [ [] ] else []
+    else
+      match rhs.(k) with
+      | Cfg.T t ->
+          if i < j && terms.(i) = t then
+            List.map (fun kids -> K_term t :: kids) (seq rhs (k + 1) (i + 1) j)
+          else []
+      | Cfg.N m ->
+          let acc = ref [] in
+          (try
+             for h = i to j do
+               List.iter
+                 (fun tr ->
+                   List.iter
+                     (fun kids ->
+                       if List.length !acc >= limit then raise Exit;
+                       acc := (K_nt tr :: kids) :: !acc)
+                     (seq rhs (k + 1) h j))
+                 (trees m i h)
+             done
+           with Exit -> ());
+          List.rev !acc
+  in
+  trees (Cfg.start g) 0 n
+
+let rec pp_tree g ppf tr =
+  let p = Cfg.production g tr.t_prod in
+  Format.fprintf ppf "@[<hov 1>%s(" (Cfg.nonterminal_name g p.Cfg.lhs);
+  List.iteri
+    (fun i kid ->
+      if i > 0 then Format.fprintf ppf "@ ";
+      match kid with
+      | K_term t -> Format.pp_print_string ppf (Cfg.terminal_name g t)
+      | K_nt sub -> pp_tree g ppf sub)
+    tr.t_kids;
+  Format.fprintf ppf ")@]"
+
+let rec tree_prods tr =
+  List.fold_left
+    (fun acc kid ->
+      match kid with K_term _ -> acc | K_nt sub -> tree_prods sub @ acc)
+    [ tr.t_prod ] tr.t_kids

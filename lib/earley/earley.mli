@@ -1,5 +1,9 @@
 (** Earley's recognizer (ref [2]) — the classical general-CFG baseline the
-    GLR literature compares against (§2.1, footnote 4).
+    GLR literature compares against (§2.1, footnote 4) — extended with a
+    derivation counter and parse-tree extractor over the same chart, used
+    by the ambiguity analyzer ({!Analyze.Ambig}) as its ground-truth
+    oracle: a sentence is really ambiguous iff it has two or more distinct
+    derivation trees.
 
     Standard three-rule chart parser with the nullable-prediction fix
     (a predicted nullable nonterminal immediately advances its
@@ -13,3 +17,33 @@ type result = {
 (** [recognize g terms] — does the start symbol derive the terminal
     string? *)
 val recognize : Grammar.Cfg.t -> int array -> result
+
+(** A concrete derivation tree: the production applied at this node plus
+    one kid per right-hand-side symbol. *)
+type tree = { t_prod : int; t_kids : kid list }
+
+and kid = K_term of int | K_nt of tree
+
+(** [count_derivations g terms] — the number of distinct derivation trees
+    of [terms] from the start symbol, saturating at [limit] (default
+    1000).  Computed by a span dynamic program over the Earley chart
+    (only chart-completed spans are explored), memoized per span.  On
+    grammars with unit/ε derivation cycles the true count is infinite;
+    cycle back-edges contribute zero, so the result is a lower bound —
+    never an overcount, which is the direction witness confirmation
+    needs. *)
+val count_derivations : ?limit:int -> Grammar.Cfg.t -> int array -> int
+
+(** [derivations g terms] — up to [limit] (default 2) structurally
+    distinct derivation trees of [terms], in a deterministic order
+    (production-id, then split position).  Empty when the sentence is not
+    in the language. *)
+val derivations : ?limit:int -> Grammar.Cfg.t -> int array -> tree list
+
+(** Render a tree as a bracketed derivation, e.g.
+    [expr(expr(id) + expr(id))]. *)
+val pp_tree : Grammar.Cfg.t -> Format.formatter -> tree -> unit
+
+(** Production ids used anywhere in the tree, with repetition (a
+    multiset, in no particular order). *)
+val tree_prods : tree -> int list

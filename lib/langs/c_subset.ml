@@ -1,3 +1,4 @@
 let language =
   Language.make ~name:"c" ~grammar:(Clike.grammar Clike.C)
+    ~ambig:(Clike.ambig Clike.C)
     ~rules:(Clike.rules Clike.C) ()

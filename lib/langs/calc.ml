@@ -44,4 +44,15 @@ let rules =
       error_rule;
     ]
 
-let language = Language.make ~name:"calc" ~grammar ~rules ()
+(* Fully statically disambiguated: every grammar-level ambiguity
+   (operator associativity/precedence) is killed by the precedence
+   declarations above, so the ambiguity budget admits no retained
+   classes at all and expects every class to resolve statically. *)
+let ambig =
+  {
+    Language.default_ambig with
+    Language.max_unresolved = 0;
+    expect = [ ("static:", "resolved-static") ];
+  }
+
+let language = Language.make ~name:"calc" ~grammar ~ambig ~rules ()

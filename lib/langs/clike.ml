@@ -88,6 +88,47 @@ let grammar dialect =
   Builder.set_start b unit;
   Builder.build b
 
+(* Disambiguation annotations shared by both dialects.
+
+   The operator-priority filter resolves the retained call-vs-binary-op
+   shift/reduce ambiguity ([x + x ( )]: call-of-sum vs sum-with-call) in
+   favour of the LOOSEST binder at the top of the interpretation — the
+   alternative whose top production's operator binds weakest spans the
+   whole sentence, which is C's grouping.  Ranking is by the operator
+   terminal at the alternative's second rhs position, highest wins, so
+   loose operators get HIGH priority and the call's [(] gets the lowest.
+   The typedef (decl-vs-expr) choice has no operator at that position and
+   ties stay ambiguous, which hands it to the semantic stage untouched.
+
+   The typedef ambiguity itself must resolve semantically: an unknown
+   name keeps both readings (§4.3), so the budget preamble
+   [typedef int x ;] supplies the binding for witness replay (witness
+   identifiers render as [x], context identifiers as [y]). *)
+let ambig dialect =
+  {
+    Language.syn_filters =
+      [
+        Iglr.Syn_filter.Production_priority
+          [
+            ("=", 90); ("==", 80); ("<", 70); ("+", 60); ("-", 60);
+            ("*", 50); ("/", 50); ("(", 10);
+          ];
+      ];
+    sem_policy =
+      Some
+        (match dialect with
+        | C -> Semantics.Typedefs.Namespace_only
+        | Cpp -> Semantics.Typedefs.Prefer_decl);
+    sem_preamble = [ "typedef"; "int"; "id"; ";" ];
+    lexemes = [];
+    max_unresolved = 0;
+    expect =
+      [
+        ("lexical:", "resolved-semantic");
+        ("sr:", "resolved-syntactic");
+      ];
+  }
+
 let rules dialect =
   let keywords =
     [ "typedef"; "int"; "char"; "void"; "return"; "if"; "else"; "while" ]

@@ -16,3 +16,13 @@ type dialect = C | Cpp
 
 val grammar : dialect -> Grammar.Cfg.t
 val rules : dialect -> Lexgen.Spec.rule list
+
+(** Disambiguation annotations for the ambiguity analyzer: the
+    operator-priority syntactic filter covering the retained
+    call-vs-binary-op conflicts, the dialect's semantic policy (C:
+    namespace decides; C++: prefer-declaration), and the
+    [typedef int x ;] preamble that supplies the binding when replaying
+    typedef witnesses.  Budget: no retained-unresolved classes; the
+    lexical (typedef) class must resolve semantically and the retained
+    shift/reduce classes syntactically. *)
+val ambig : dialect -> Language.ambig_spec

@@ -1,3 +1,4 @@
 let language =
   Language.make ~name:"cpp" ~grammar:(Clike.grammar Clike.Cpp)
+    ~ambig:(Clike.ambig Clike.Cpp)
     ~rules:(Clike.rules Clike.Cpp) ()

@@ -1,11 +1,32 @@
+type ambig_spec = {
+  syn_filters : Iglr.Syn_filter.rule list;
+  sem_policy : Semantics.Typedefs.policy option;
+  sem_preamble : string list;
+  lexemes : (string * string) list;
+  max_unresolved : int;
+  expect : (string * string) list;
+}
+
+let default_ambig =
+  {
+    syn_filters = [];
+    sem_policy = None;
+    sem_preamble = [];
+    lexemes = [];
+    max_unresolved = 0;
+    expect = [];
+  }
+
 type t = {
   name : string;
   grammar : Grammar.Cfg.t;
   table : Lrtab.Table.t Lazy.t;
   lexer : Lexgen.Spec.t Lazy.t;
+  ambig : ambig_spec;
 }
 
-let make ~name ~grammar ?(algo = Lrtab.Table.LALR) ~rules () =
+let make ~name ~grammar ?(algo = Lrtab.Table.LALR) ?(ambig = default_ambig)
+    ~rules () =
   {
     name;
     grammar;
@@ -14,6 +35,7 @@ let make ~name ~grammar ?(algo = Lrtab.Table.LALR) ~rules () =
       lazy
         (Lexgen.Spec.compile rules
            ~resolve:(Grammar.Cfg.find_terminal grammar));
+    ambig;
   }
 
 let table t = Lazy.force t.table

@@ -1,20 +1,47 @@
-(** A language bundle: grammar + parse table + lexer.
+(** A language bundle: grammar + parse table + lexer + disambiguation
+    annotations.
 
     Tables and lexers are built lazily (LALR construction and DFA subset
     construction are not free) and are shared by tests, examples and
     benchmarks. *)
+
+(** Per-language ambiguity annotations: how the ambiguity analyzer
+    ({!Analyze.Ambig}) should replay witnesses through this language's
+    disambiguation pipeline, and the committed {e ambiguity budget} the
+    build enforces ([iglrc ambig --check]). *)
+type ambig_spec = {
+  syn_filters : Iglr.Syn_filter.rule list;
+      (** dynamic syntactic filters the language's tooling applies *)
+  sem_policy : Semantics.Typedefs.policy option;
+      (** semantic disambiguation policy, when the language has one *)
+  sem_preamble : string list;
+      (** terminal names of a preamble that supplies semantic bindings
+          (e.g. [typedef int x ;]), tried when a bare witness stays
+          unresolved *)
+  lexemes : (string * string) list;
+      (** terminal-name → lexeme overrides for witness rendering *)
+  max_unresolved : int;
+      (** budget: maximum [retained-unresolved] ambiguity classes *)
+  expect : (string * string) list;
+      (** budget: (class-name prefix, expected resolution name) pairs *)
+}
+
+val default_ambig : ambig_spec
+(** No filters, no policy, zero unresolved classes allowed. *)
 
 type t = {
   name : string;
   grammar : Grammar.Cfg.t;
   table : Lrtab.Table.t Lazy.t;
   lexer : Lexgen.Spec.t Lazy.t;
+  ambig : ambig_spec;
 }
 
 val make :
   name:string ->
   grammar:Grammar.Cfg.t ->
   ?algo:Lrtab.Table.algo ->
+  ?ambig:ambig_spec ->
   rules:Lexgen.Spec.rule list ->
   unit ->
   t

@@ -25,6 +25,7 @@ let () =
       ("trace", Test_trace.suite);
       ("trace-events", Test_trace_events.suite);
       ("analyze", Test_analyze.suite);
+      ("ambig", Test_ambig.suite);
       ("metrics", Test_metrics.suite);
       ("recovery", Test_recovery.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);
