@@ -5,7 +5,8 @@
          [--tolerance 0.2] [--reuse-tolerance 0.2] [--floor-ms 5.0]
 
    Both directories must hold BENCH_latency.json, BENCH_reuse.json,
-   BENCH_recovery.json and BENCH_ambig.json (iglr-bench/1 schema).
+   BENCH_recovery.json, BENCH_ambig.json and BENCH_filter.json
+   (iglr-bench/1 schema).
    Entries are keyed by (experiment, language, case); only entries with
    "gate": true are compared.
 
@@ -24,6 +25,11 @@
      ships them informational; coverage entries carry deterministic
      *_pct fields and follow the reuse rule, so a grammar change that
      loses a resolved ambiguity class fails the gate.
+   - Filter: same mixed shape as ambig — per-parse filter-cost medians
+     ship informational; the deterministic elimination percentages
+     (empty residual set, zero Syn_filter.apply calls under the
+     compiled table) gate, so a grammar or filter change that pushes a
+     compiled rule back to the dynamic path fails the gate.
 
    Every regression is reported as one machine-parseable line naming the
    offending metric with its baseline/current values, so CI logs localize
@@ -213,6 +219,7 @@ let () =
   check "reuse" check_reuse "BENCH_reuse.json";
   check "recovery" check_reuse "BENCH_recovery.json";
   check "ambig" check_ambig "BENCH_ambig.json";
+  check "filter" check_ambig "BENCH_filter.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

@@ -153,6 +153,26 @@ let record_ambig ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !ambig_entries
 
+(* Filter-compilation entries live in their own document
+   (BENCH_filter.json) and mix the same two shapes as the ambig
+   document: per-parse filter-cost medians (latency rule, noise-floored,
+   shipped informational) and deterministic elimination percentages
+   (reuse rule) that gate the compiled pipeline's zero-residual
+   guarantee. *)
+let filter_entries : Json.t list ref = ref []
+
+let record_filter ?(gate = true) ~experiment ~language ~case fields =
+  filter_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !filter_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -170,13 +190,15 @@ let write_json () =
       let reuse = Filename.concat dir "BENCH_reuse.json" in
       let recovery = Filename.concat dir "BENCH_recovery.json" in
       let ambig = Filename.concat dir "BENCH_ambig.json" in
+      let filter = Filename.concat dir "BENCH_filter.json" in
       Json.to_file latency (doc "latency" !latency_entries);
       Json.to_file reuse (doc "reuse" !reuse_entries);
       Json.to_file recovery (doc "recovery" !recovery_entries);
       Json.to_file ambig (doc "ambig" !ambig_entries);
+      Json.to_file filter (doc "filter" !filter_entries);
       Printf.printf
         "\nwrote %s (%d entries), %s (%d entries), %s (%d entries), %s (%d \
-         entries)\n"
+         entries), %s (%d entries)\n"
         latency
         (List.length !latency_entries)
         reuse
@@ -185,6 +207,8 @@ let write_json () =
         (List.length !recovery_entries)
         ambig
         (List.length !ambig_entries)
+        filter
+        (List.length !filter_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -1312,6 +1336,124 @@ let ambig () =
     langs
 
 (* ------------------------------------------------------------------ *)
+(* Filter compilation: residual cost of dynamic disambiguation.        *)
+
+(* After [Lrtab.Compile] folds every compilable rule into the table,
+   the only filter work left in the parse loop is one branch per
+   committed parse (session.filter_skip) plus a [Syn_filter.apply] pass
+   for whatever rules stayed residual.  Every bundled language compiles
+   to an empty residual set, so the compiled pipeline must show zero
+   apply calls — a deterministic invariant, gated below as percentages
+   (elimination shares and the zero-apply indicator).  The per-parse
+   filter-cost medians are absolute wall-clock on small inputs and ship
+   informational, like the other absolute figures. *)
+let filter_bench () =
+  header "filter: compiled vs dynamic disambiguation cost";
+  let c_lines = max 120 (int_of_float (2000. *. !scale)) in
+  let programs =
+    [
+      ( "calc",
+        Languages.Calc.language,
+        String.concat "\n"
+          (List.init 80 (fun i ->
+               Printf.sprintf "v%d = (1%d + 2) * x%d / 3;" i (i mod 10) i)) );
+      ("c", Languages.C_subset.language, Spec_gen.plain ~lines:c_lines ~seed:71);
+      ("lr2", Languages.Lr2.language, "x z c");
+    ]
+  in
+  Printf.printf "%-8s %-9s %9s %11s %11s %12s\n" "lang" "pipeline"
+    "reparse" "apply-calls" "apply-ms" "branch-skip%";
+  List.iter
+    (fun (name, lang, src) ->
+      let lexer = Language.lexer lang in
+      let declared = lang.Language.ambig.Language.syn_filters in
+      let compiled = Language.compiled lang in
+      let decisions =
+        List.length compiled.Language.c_result.Lrtab.Compile.decisions
+      in
+      (* One pipeline run: parse, then a fixed stream of self-cancelling
+         leading-whitespace edits (safe in every bundled language), so
+         the filter branch is exercised once per reparse. *)
+      let run table filters =
+        Gc.compact ();
+        let before = Metrics.snapshot () in
+        let s, outcome = Session.create ~syn_filters:filters ~table ~lexer src in
+        (match outcome with
+        | Session.Parsed _ -> ()
+        | Session.Recovered _ -> failwith "filter bench: fixture failed to parse");
+        let samples =
+          List.concat_map
+            (fun _ ->
+              Session.edit s ~pos:0 ~del:0 ~insert:" ";
+              let _, t1 = time_once (fun () -> reparse_exn s) in
+              Session.edit s ~pos:0 ~del:1 ~insert:"";
+              let _, t2 = time_once (fun () -> reparse_exn s) in
+              [ t1; t2 ])
+            (List.init 8 Fun.id)
+        in
+        (Metrics.diff (Metrics.snapshot ()) before, timing_of_samples samples)
+      in
+      let report case (d, t) =
+        let parses = max 1 (Metrics.count d "glr.parses") in
+        let apply_calls = Metrics.count d "filter.apply_calls" in
+        let apply_ms = Metrics.span_seconds d "filter.apply" *. 1e3 in
+        let skip = Metrics.count d "session.filter_skip" in
+        let pass = Metrics.count d "session.filter_pass" in
+        let skip_pct =
+          if skip + pass = 0 then 0.
+          else 100. *. float_of_int skip /. float_of_int (skip + pass)
+        in
+        record_filter ~gate:false ~experiment:"filter" ~language:name
+          ~case:(case ^ "-reparse")
+          [
+            ("unit", Json.String "ms");
+            ("min", Json.Float (t.tmin *. 1e3));
+            ("median", Json.Float (t.tmed *. 1e3));
+            ("p90", Json.Float (t.tp90 *. 1e3));
+            ("runs", Json.Int (2 * 8));
+            ("apply_ms_per_parse", Json.Float (apply_ms /. float_of_int parses));
+          ];
+        Printf.printf "%-8s %-9s %7.2fms %11d %9.3fms %11.1f%%\n" name case
+          (t.tmed *. 1e3) apply_calls apply_ms skip_pct;
+        (apply_calls, skip_pct)
+      in
+      let dyn_calls, _ =
+        report "dynamic" (run (Language.table lang) declared)
+      in
+      let comp_calls, comp_skip_pct =
+        report "compiled"
+          (run (Language.compiled_table lang) (Language.residual_filters lang))
+      in
+      let residual = List.length (Language.residual_filters lang) in
+      let pct_of b = if b then 100. else 0. in
+      let elim_pct =
+        if dyn_calls = 0 then 100.
+        else
+          100. *. float_of_int (dyn_calls - comp_calls) /. float_of_int dyn_calls
+      in
+      (* The deterministic gate: compilation must keep the residual set
+         empty (so declared rules were compiled or dead, never left
+         dynamic), the compiled pipeline must make zero apply calls, and
+         its per-parse branch must always take the skip side. *)
+      record_filter ~experiment:"filter" ~language:name ~case:"elimination"
+        [
+          ("declared", Json.Int (List.length declared));
+          ("residual", Json.Int residual);
+          ("decisions", Json.Int decisions);
+          ("dynamic_apply_calls", Json.Int dyn_calls);
+          ("compiled_apply_calls", Json.Int comp_calls);
+          ("apply_eliminated_pct", Json.Float elim_pct);
+          ("residual_empty_pct", Json.Float (pct_of (residual = 0)));
+          ("compiled_zero_apply_pct", Json.Float (pct_of (comp_calls = 0)));
+          ("compiled_branch_skip_pct", Json.Float comp_skip_pct);
+        ])
+    programs;
+  Printf.printf
+    "(gate: residual sets stay empty and the compiled pipeline makes zero \
+     Syn_filter.apply calls;\n per-parse apply cost and reparse medians are \
+     informational)\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1329,6 +1471,7 @@ let experiments =
     ("recovery", recovery);
     ("overhead", overhead);
     ("ambig", ambig);
+    ("filter", filter_bench);
     ("earley", earley);
     ("bechamel", bechamel);
   ]

@@ -179,6 +179,28 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Show parse-table statistics and conflicts")
     Term.(const run $ lang_arg)
 
+(* One emission point for the iglr-analysis/1 JSON envelope shared by
+   lint/ambig/filtcomp: a single language prints its own document, --all
+   wraps the per-language documents in one aggregate. *)
+let print_envelope ~tool docs =
+  print_endline
+    (Metrics.Json.to_string
+       (match docs with
+       | [ d ] -> d
+       | ds ->
+           Metrics.Json.Obj
+             [
+               ("schema", Metrics.Json.String "iglr-analysis/1");
+               ("tool", Metrics.Json.String tool);
+               ("languages", Metrics.Json.List ds);
+             ]))
+
+(* The declared dynamic filters of a language, as (rules, compilation
+   specs) — what both the dead-filter lint and filtcomp analyze. *)
+let filter_decls lang =
+  let rules = lang.Languages.Language.ambig.Languages.Language.syn_filters in
+  (rules, List.map Languages.Language.spec_of_rule rules)
+
 let lint_cmd =
   let all =
     Arg.(
@@ -209,31 +231,24 @@ let lint_cmd =
       List.map
         (fun (name, lang) ->
           let table = Languages.Language.table lang in
-          (name, table, Analyze.Lint.run table))
+          let rules, specs = filter_decls lang in
+          let ds =
+            Analyze.Lint.run table
+            @ Analyze.Filtcomp.lint_rules table ~rules ~specs
+          in
+          (name, table, ds))
         targets
     in
     if json then
-      let docs =
-        List.map
-          (fun (name, table, ds) ->
-            match Analyze.Lint.to_json table ds with
-            | Metrics.Json.Obj fields ->
-                Metrics.Json.Obj
-                  (("language", Metrics.Json.String name) :: fields)
-            | j -> j)
-          results
-      in
-      print_endline
-        (Metrics.Json.to_string
-           (match docs with
-           | [ d ] -> d
-           | ds ->
-               Metrics.Json.Obj
-                 [
-                   ("schema", Metrics.Json.String "iglr-analysis/1");
-                   ("tool", Metrics.Json.String "lint");
-                   ("languages", Metrics.Json.List ds);
-                 ]))
+      print_envelope ~tool:"lint"
+        (List.map
+           (fun (name, table, ds) ->
+             match Analyze.Lint.to_json table ds with
+             | Metrics.Json.Obj fields ->
+                 Metrics.Json.Obj
+                   (("language", Metrics.Json.String name) :: fields)
+             | j -> j)
+           results)
     else
       List.iter
         (fun (name, table, ds) ->
@@ -271,9 +286,9 @@ let lint_cmd =
     (Cmd.info "lint" ~man
        ~doc:
          "Static grammar diagnostics: useless symbols, derivation cycles, \
-          unused precedence, and per-conflict example sentences with a \
-          classification.  Exits non-zero when findings are present (see \
-          EXIT STATUS)")
+          unused precedence, dead disambiguation filters, and per-conflict \
+          example sentences with a classification.  Exits non-zero when \
+          findings are present (see EXIT STATUS)")
     Term.(const run $ lang_arg $ all $ json $ quiet)
 
 let ambig_cmd =
@@ -339,22 +354,11 @@ let ambig_cmd =
     in
     let results = List.map analyze_one targets in
     if json then
-      let docs =
-        List.map
-          (fun (name, report, _) -> Analyze.Ambig.to_json ~language:name report)
-          results
-      in
-      print_endline
-        (Metrics.Json.to_string
-           (match docs with
-           | [ d ] -> d
-           | ds ->
-               Metrics.Json.Obj
-                 [
-                   ("schema", Metrics.Json.String "iglr-analysis/1");
-                   ("tool", Metrics.Json.String "ambig");
-                   ("languages", Metrics.Json.List ds);
-                 ]))
+      print_envelope ~tool:"ambig"
+        (List.map
+           (fun (name, report, _) ->
+             Analyze.Ambig.to_json ~language:name report)
+           results)
     else
       List.iter
         (fun (name, report, _) ->
@@ -402,6 +406,176 @@ let ambig_cmd =
           Earley oracle, and classify how each ambiguity class is resolved \
           by the language's disambiguation filters")
     Term.(const run $ lang_arg $ all $ max_len $ json $ check)
+
+let filtcomp_cmd =
+  let all =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Compile every bundled language.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the certificate as machine-readable JSON under the \
+             $(b,iglr-analysis/1) schema (shared with $(b,iglrc lint) and \
+             $(b,iglrc ambig)); with $(b,--all), one envelope with a \
+             per-language list.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the full soundness certification (Earley oracle, \
+             differential witness corpus, mutation fuzz, ambiguity-budget \
+             comparison) and compare the result against the committed \
+             certificate in the $(b,--certs) directory; any failure, \
+             violation or certificate drift exits 1.")
+  in
+  let emit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"DIR"
+          ~doc:
+            "Certify and (re)write $(i,DIR)/$(i,lang).filtcomp.json; \
+             creates $(i,DIR) if needed.")
+  in
+  let certs_dir =
+    Arg.(
+      value & opt string "certs"
+      & info [ "certs" ] ~docv:"DIR"
+          ~doc:"Directory of committed certificates compared by $(b,--check).")
+  in
+  let run lang all json check emit certs_dir =
+    let targets =
+      if all then languages
+      else [ List.find (fun (_, l) -> l == lang) languages ]
+    in
+    let heavy = check || emit <> None in
+    let analyze_one (name, lang) =
+      let spec = lang.Languages.Language.ambig in
+      let rules, specs = filter_decls lang in
+      let ambig_config =
+        Analyze.Ambig.config ~syn_filters:rules
+          ?sem_policy:spec.Languages.Language.sem_policy
+          ~sem_preamble:spec.Languages.Language.sem_preamble
+          ~lexemes:spec.Languages.Language.lexemes
+          (Languages.Language.table lang)
+      in
+      let config =
+        Analyze.Filtcomp.config ~language:name ~rules ~specs
+          ~expect:spec.Languages.Language.filter_expect
+          ~max_residual:spec.Languages.Language.max_residual ambig_config
+      in
+      let report =
+        if heavy then Analyze.Filtcomp.certify config
+        else Analyze.Filtcomp.analyze config
+      in
+      let drift =
+        if not check then []
+        else
+          let file = Filename.concat certs_dir (name ^ ".filtcomp.json") in
+          let fresh = Analyze.Filtcomp.to_json ~language:name report in
+          match Metrics.Json.of_file file with
+          | committed when committed = fresh -> []
+          | _ ->
+              [
+                Printf.sprintf
+                  "certificate %s is stale; regenerate with 'iglrc filtcomp \
+                   --all --emit %s'"
+                  file certs_dir;
+              ]
+          | exception _ ->
+              [
+                Printf.sprintf
+                  "certificate %s is missing or unreadable; generate with \
+                   'iglrc filtcomp --all --emit %s'"
+                  file certs_dir;
+              ]
+      in
+      (name, report, drift)
+    in
+    let results = List.map analyze_one targets in
+    (match emit with
+    | None -> ()
+    | Some dir ->
+        (if not (Sys.file_exists dir) then
+           try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        List.iter
+          (fun (name, report, _) ->
+            Metrics.Json.to_file
+              (Filename.concat dir (name ^ ".filtcomp.json"))
+              (Analyze.Filtcomp.to_json ~language:name report))
+          results);
+    if json then
+      print_envelope ~tool:"filtcomp"
+        (List.map
+           (fun (name, report, _) ->
+             Analyze.Filtcomp.to_json ~language:name report)
+           results)
+    else
+      List.iter
+        (fun (name, report, _) ->
+          Format.printf "== %s ==@.%a@." name Analyze.Filtcomp.pp_report report)
+        results;
+    let failures =
+      List.fold_left
+        (fun acc (name, report, drift) ->
+          let bad = report.Analyze.Filtcomp.r_violations @ drift in
+          List.iter (fun v -> Printf.eprintf "filtcomp: %s: %s\n" name v) bad;
+          acc + List.length bad)
+        0 results
+    in
+    let dead =
+      List.exists
+        (fun (_, report, _) ->
+          List.exists
+            (fun (_, v) -> v = "dead")
+            report.Analyze.Filtcomp.r_verdicts)
+        results
+    in
+    (* Exit-code contract (see man page), mirroring lint's: 1 = failed
+       checks / budget violations / certificate drift, 3 = warnings only
+       (dead rules), 0 = clean. *)
+    if failures > 0 then exit 1 else if dead then exit 3
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Classifies every declared dynamic disambiguation rule as \
+         $(b,compiled) (its accept/reject decision is a pure function of \
+         LR state, lookahead and production, so the losing actions are \
+         deleted from the parse table and the hot loop never consults the \
+         filter), $(b,residual) (must stay dynamic) or $(b,dead) (can \
+         never resolve anything).  With $(b,--check) or $(b,--emit) the \
+         compiled table is certified observationally equivalent to the \
+         dynamic pipeline: the witness corpus is reconfirmed by the Earley \
+         oracle and replayed differentially, deterministic token mutations \
+         are fuzzed through both pipelines, and the ambiguity-budget \
+         outcome is shown unchanged.";
+      `S Manpage.s_exit_status;
+      `P "$(b,0) — analysis (and certification, if requested) clean.";
+      `P
+        "$(b,1) — a soundness check failed, a filter_expect/max_residual \
+         annotation is violated, or the committed certificate is stale \
+         ($(b,--check)).";
+      `P
+        "$(b,3) — warning-severity findings only: some rule is dead (it \
+         can never resolve anything and should be deleted).  Matches \
+         $(b,iglrc lint)'s exit contract.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "filtcomp" ~man
+       ~doc:
+         "Static filter compilation: classify disambiguation rules as \
+          table-compilable or residual-dynamic, rewrite the parse table, \
+          and certify the rewrite sound against the Earley oracle and a \
+          differential corpus")
+    Term.(const run $ lang_arg $ all $ json $ check $ emit $ certs_dir)
 
 let check_cmd =
   let run lang file =
@@ -843,7 +1017,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; table_cmd; lint_cmd; ambig_cmd; check_cmd; sem_cmd;
+            parse_cmd; table_cmd; lint_cmd; ambig_cmd; filtcomp_cmd;
+            check_cmd; sem_cmd;
             gen_cmd;
             replay_cmd; errors_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
           ]))

@@ -25,13 +25,14 @@ type diagnostic =
   | Useless_production of int
   | Derivation_cycle of int list
   | Unused_prec of { level : int; terminals : int list }
+  | Dead_filter of { rule : string; why : string; example : int list option }
   | Conflict of conflict_info
 
 let severity = function
   | Unreachable_nt _ | Unproductive_nt _ | Useless_production _
   | Derivation_cycle _ ->
       Error
-  | Unused_prec _ -> Warning
+  | Unused_prec _ | Dead_filter _ -> Warning
   | Conflict _ -> Info
 
 let errors ds = List.filter (fun d -> severity d = Error) ds
@@ -404,6 +405,13 @@ let pp_diagnostic table ppf d =
         level
         (String.concat ", "
            (List.map (fun t -> "'" ^ Cfg.terminal_name g t ^ "'") terminals))
+  | Dead_filter { rule; why; example } ->
+      Format.fprintf ppf
+        "dynamic filter '%s' can never resolve anything: %s" rule why;
+      (match example with
+      | Some s ->
+          Format.fprintf ppf "@,    example: %a" (pp_sentence g) s
+      | None -> ())
   | Conflict info ->
       let c = info.conflict in
       Format.fprintf ppf "conflict in state %d on '%s' [%a]: %a@,"
@@ -442,6 +450,7 @@ let to_json table ds =
     | Useless_production _ -> "useless-production"
     | Derivation_cycle _ -> "derivation-cycle"
     | Unused_prec _ -> "unused-precedence"
+    | Dead_filter _ -> "dead-filter"
     | Conflict _ -> "retained-conflict"
   in
   let sentence terms =
@@ -479,6 +488,15 @@ let to_json table ds =
               (List.map
                  (fun t -> J.String (Cfg.terminal_name g t))
                  terminals) );
+        ]
+    | Dead_filter { rule; why; example } ->
+        [
+          ("filter", J.String rule);
+          ("why", J.String why);
+          ( "example",
+            match example with
+            | Some s -> J.String (sentence s)
+            | None -> J.Null );
         ]
   in
   let finding d =

@@ -62,11 +62,17 @@ type diagnostic =
   | Unused_prec of { level : int; terminals : int list }
       (** precedence level whose terminals occur in no right-hand side and
           whose precedence no production borrows *)
+  | Dead_filter of { rule : string; why : string; example : int list option }
+      (** declared dynamic disambiguation rule the filter-compilation
+          analysis ({!Filtcomp}) proves can never resolve anything on any
+          reachable conflict; [example] is a shortest sentence reaching a
+          conflict the rule examines in vain, when one exists *)
   | Conflict of conflict_info
 
 val severity : diagnostic -> severity
-(** Hygiene defects are [Error]s, unused precedence is a [Warning],
-    retained conflicts are [Info] (they are deliberate under GLR). *)
+(** Hygiene defects are [Error]s, unused precedence and dead filters are
+    [Warning]s, retained conflicts are [Info] (they are deliberate under
+    GLR). *)
 
 (** [grammar_diagnostics g] — the table-independent checks only. *)
 val grammar_diagnostics : Grammar.Cfg.t -> diagnostic list

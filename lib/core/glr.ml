@@ -67,6 +67,7 @@ let m_shifted_terminals = Metrics.counter "glr.shifted_terminals"
 let m_nodes_created = Metrics.counter "glr.nodes_created"
 let m_nodes_reused = Metrics.counter "glr.nodes_reused"
 let m_forks = Metrics.counter "glr.forks"
+let m_choices_packed = Metrics.counter "glr.choices_packed"
 let m_gss_nodes = Metrics.counter "glr.gss_nodes"
 let m_gss_peak = Metrics.peak "glr.gss_peak_parsers"
 
@@ -388,6 +389,7 @@ let get_symbol_node r node =
             | None -> Node.make_choice ~nt kids
           in
           entry.choice <- Some c;
+          Metrics.incr m_choices_packed;
           Array.iter
             (fun alt -> redirect_captures r ~old_node:alt ~canonical:c)
             kids;

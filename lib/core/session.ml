@@ -320,12 +320,23 @@ let isolate t ~deadline (error : Glr.error) =
 
 (* ------------------------------------------------------------------ *)
 
+(* The single residual-filter branch of static filter compilation: a
+   language whose filters all compiled into the table passes an empty
+   [syn_filters] list and the hot path skips the dag walk entirely —
+   [session.filter_skip] counts the savings, [session.filter_pass] the
+   walks still paid for. *)
+let m_filter_pass = Metrics.counter "session.filter_pass"
+let m_filter_skip = Metrics.counter "session.filter_skip"
+
 let apply_filters t =
-  if t.syn_filters <> [] then
+  if t.syn_filters <> [] then begin
+    Metrics.incr m_filter_pass;
     ignore
       (Syn_filter.apply
          (Lrtab.Table.grammar t.table)
          t.syn_filters (Document.root t.doc))
+  end
+  else Metrics.incr m_filter_skip
 
 let run_hook t =
   match t.on_parse with

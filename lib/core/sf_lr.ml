@@ -5,6 +5,8 @@ module Traverse = Parsedag.Traverse
 
 exception Error of { offset_tokens : int; message : string }
 
+let usable = Table.is_deterministic
+
 let parse ?(reuse_nodes = true) table root =
   (match root.Node.kind with
   | Node.Root -> ()

@@ -22,6 +22,12 @@
 
 exception Error of { offset_tokens : int; message : string }
 
+val usable : Lrtab.Table.t -> bool
+(** Whether the table is deterministic enough for sentential-form
+    parsing.  Filter compilation ([Lrtab.Compile]) can turn a conflicted
+    table into a usable one — a second payoff of static disambiguation
+    beyond skipping the dynamic filter pass. *)
+
 (** [parse table root] — incremental reparse in place, like
     {!Inc_lr.parse}.  @raise Error on syntax errors or conflicted
     entries. *)

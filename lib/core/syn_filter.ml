@@ -9,6 +9,19 @@ type rule =
 
 type report = { examined : int; filtered : int; remaining : int }
 
+(* Hot-loop cost of dynamic disambiguation: the whole point of static
+   filter compilation is driving these to zero. *)
+let m_apply_calls = Metrics.counter "filter.apply_calls"
+let m_examined = Metrics.counter "filter.choices_examined"
+let m_resolved = Metrics.counter "filter.choices_resolved"
+let m_apply_span = Metrics.timer "filter.apply"
+
+let rule_name = function
+  | Prefer_production n -> "prefer-production:" ^ n
+  | Production_priority _ -> "production-priority"
+  | Fewest_nodes -> "fewest-nodes"
+  | Custom _ -> "custom"
+
 let first_kid_nt g (alt : Node.t) =
   match alt.Node.kind with
   | Node.Prod _ when Array.length alt.Node.kids > 0 -> (
@@ -66,6 +79,8 @@ let decide g rule (choice : Node.t) =
   | Custom f -> f g choice
 
 let apply g rules root =
+  Metrics.incr m_apply_calls;
+  let t0 = Metrics.start () in
   let examined = ref 0 and filtered = ref 0 in
   let rec decide_rules choice = function
     | [] -> None
@@ -99,6 +114,9 @@ let apply g rules root =
       parent.Node.kids
   in
   walk root;
+  Metrics.add m_examined !examined;
+  Metrics.add m_resolved !filtered;
+  Metrics.stop m_apply_span t0;
   let report =
     { examined = !examined; filtered = !filtered;
       remaining = !examined - !filtered }

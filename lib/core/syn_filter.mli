@@ -39,7 +39,13 @@ type report = {
   remaining : int;  (** choices left for later (semantic) stages *)
 }
 
+val rule_name : rule -> string
+(** Stable short name for diagnostics and filter-compilation reports. *)
+
 (** [apply g rules root] — run the rules (first decisive rule wins) over
     every choice node, splicing out resolved choices.  Safe to run
-    repeatedly. *)
+    repeatedly.  Counts its work under the [filter.*] metrics
+    ([apply_calls], [choices_examined], [choices_resolved], and the
+    [filter.apply] timer) so the zero-overhead claim of static filter
+    compilation is checkable. *)
 val apply : Grammar.Cfg.t -> rule list -> Parsedag.Node.t -> report

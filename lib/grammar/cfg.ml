@@ -56,6 +56,18 @@ let fold_productions g f acc = Array.fold_left f acc g.productions
 
 let rhs_mentions g p sym =
   Array.exists (equal_symbol sym) g.productions.(p).rhs
+
+let operator_terminal g p =
+  (* The terminal at the second right-hand position of an infix-shaped
+     production [A -> B op ...]: the operator in the interpretation the
+     production builds.  Mirrors the dag-side extraction performed by the
+     operator-priority disambiguation filter, so static analyses can
+     predict the filter's ranking from the production alone. *)
+  let rhs = g.productions.(p).rhs in
+  if Array.length rhs >= 2 then
+    match rhs.(1) with T t -> Some t | N _ -> None
+  else None
+
 let start g = g.start
 let seq_kind g nt = g.seq_kinds.(nt)
 let term_prec g t = g.term_precs.(t)

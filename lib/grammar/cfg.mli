@@ -73,6 +73,15 @@ val fold_productions : t -> ('a -> production -> 'a) -> 'a -> 'a
     [sym]? *)
 val rhs_mentions : t -> int -> symbol -> bool
 
+val operator_terminal : t -> int -> int option
+(** The terminal at the second right-hand position of production [p]
+    ([A -> B op …]): the {e operator} of the interpretation the
+    production builds.  Exactly mirrors the extraction the dynamic
+    operator-priority filter performs on dag nodes, so table-compilation
+    analyses can predict the filter's ranking statically.  [None] when
+    the right-hand side is shorter than two symbols or the second symbol
+    is a nonterminal. *)
+
 val start : t -> int
 (** The user-declared start nonterminal. *)
 

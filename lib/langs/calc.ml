@@ -53,6 +53,11 @@ let ambig =
     Language.default_ambig with
     Language.max_unresolved = 0;
     expect = [ ("static:", "resolved-static") ];
+    (* No dynamic filters declared, so filter compilation is trivially
+       complete: the residual set is empty and the parse loop never
+       calls [Syn_filter.apply]. *)
+    filter_expect = [];
+    max_residual = 0;
   }
 
 let language = Language.make ~name:"calc" ~grammar ~ambig ~rules ()

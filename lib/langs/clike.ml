@@ -127,6 +127,15 @@ let ambig dialect =
         ("lexical:", "resolved-semantic");
         ("sr:", "resolved-syntactic");
       ];
+    (* Filter compilation proves every retained shift/reduce conflict on
+       [(] is decided by the operator priorities alone (call binds
+       tighter than any binary operator: [x + x ( )] groups as
+       [x + (x())]), so the priority rule compiles into the table and no
+       dynamic filter survives.  The typedef reduce/reduce conflict has
+       no operators, so compilation leaves it — and the semantic stage
+       that owns it — untouched. *)
+    filter_expect = [ ("production-priority", "compiled") ];
+    max_residual = 0;
   }
 
 let rules dialect =

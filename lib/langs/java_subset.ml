@@ -78,4 +78,9 @@ let rules =
       Lexcommon.error_rule;
     ]
 
-let language = Language.make ~name:"java" ~grammar ~rules ()
+(* Deterministic table (precedence already resolves the grammar), no
+   dynamic filters: filter compilation is trivially complete. *)
+let ambig =
+  { Language.default_ambig with Language.filter_expect = []; max_residual = 0 }
+
+let language = Language.make ~name:"java" ~grammar ~ambig ~rules ()

@@ -5,6 +5,8 @@ type ambig_spec = {
   lexemes : (string * string) list;
   max_unresolved : int;
   expect : (string * string) list;
+  filter_expect : (string * string) list;
+  max_residual : int;
 }
 
 let default_ambig =
@@ -15,7 +17,15 @@ let default_ambig =
     lexemes = [];
     max_unresolved = 0;
     expect = [];
+    filter_expect = [];
+    max_residual = 0;
   }
+
+type compiled = {
+  c_table : Lrtab.Table.t;
+  c_result : Lrtab.Compile.result;
+  c_residual : Iglr.Syn_filter.rule list;
+}
 
 type t = {
   name : string;
@@ -23,20 +33,44 @@ type t = {
   table : Lrtab.Table.t Lazy.t;
   lexer : Lexgen.Spec.t Lazy.t;
   ambig : ambig_spec;
+  compiled : compiled Lazy.t;
 }
+
+let spec_of_rule = function
+  | Iglr.Syn_filter.Prefer_production n -> Lrtab.Compile.Prefer_first n
+  | Iglr.Syn_filter.Production_priority prios ->
+      Lrtab.Compile.Operator_priority prios
+  | Iglr.Syn_filter.Fewest_nodes -> Lrtab.Compile.Opaque "fewest-nodes"
+  | Iglr.Syn_filter.Custom _ -> Lrtab.Compile.Opaque "custom"
 
 let make ~name ~grammar ?(algo = Lrtab.Table.LALR) ?(ambig = default_ambig)
     ~rules () =
+  let table = lazy (Lrtab.Table.build ~algo grammar) in
   {
     name;
     grammar;
-    table = lazy (Lrtab.Table.build ~algo grammar);
+    table;
     lexer =
       lazy
         (Lexgen.Spec.compile rules
            ~resolve:(Grammar.Cfg.find_terminal grammar));
     ambig;
+    compiled =
+      lazy
+        (let tbl = Lazy.force table in
+         let specs = List.map spec_of_rule ambig.syn_filters in
+         let result = Lrtab.Compile.compile tbl specs in
+         let residual =
+           List.filteri
+             (fun i _ -> List.mem i result.Lrtab.Compile.residual)
+             ambig.syn_filters
+         in
+         { c_table = result.Lrtab.Compile.table; c_result = result;
+           c_residual = residual });
   }
 
 let table t = Lazy.force t.table
 let lexer t = Lazy.force t.lexer
+let compiled t = Lazy.force t.compiled
+let compiled_table t = (Lazy.force t.compiled).c_table
+let residual_filters t = (Lazy.force t.compiled).c_residual

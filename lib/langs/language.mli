@@ -3,7 +3,10 @@
 
     Tables and lexers are built lazily (LALR construction and DFA subset
     construction are not free) and are shared by tests, examples and
-    benchmarks. *)
+    benchmarks.  Each bundle also carries its {e filter-compiled} table
+    ({!compiled}): the LALR table with every statically decidable
+    disambiguation rule rewritten into it ([Lrtab.Compile]), plus the
+    residual rules that must stay dynamic. *)
 
 (** Per-language ambiguity annotations: how the ambiguity analyzer
     ({!Analyze.Ambig}) should replay witnesses through this language's
@@ -24,10 +27,26 @@ type ambig_spec = {
       (** budget: maximum [retained-unresolved] ambiguity classes *)
   expect : (string * string) list;
       (** budget: (class-name prefix, expected resolution name) pairs *)
+  filter_expect : (string * string) list;
+      (** compiled-filter annotations: ([Syn_filter.rule_name],
+          expected [Lrtab.Compile] verdict name) per declared rule, in
+          declaration order — checked by [iglrc filtcomp --check] *)
+  max_residual : int;
+      (** budget: maximum rules allowed to stay residual-dynamic *)
 }
 
 val default_ambig : ambig_spec
-(** No filters, no policy, zero unresolved classes allowed. *)
+(** No filters, no policy, zero unresolved classes and zero residual
+    rules allowed. *)
+
+(** The filter-compiled view of a language: the rewritten table, the
+    compilation result (decisions, per-rule verdicts), and the rules the
+    analysis could not compile away. *)
+type compiled = {
+  c_table : Lrtab.Table.t;
+  c_result : Lrtab.Compile.result;
+  c_residual : Iglr.Syn_filter.rule list;
+}
 
 type t = {
   name : string;
@@ -35,7 +54,12 @@ type t = {
   table : Lrtab.Table.t Lazy.t;
   lexer : Lexgen.Spec.t Lazy.t;
   ambig : ambig_spec;
+  compiled : compiled Lazy.t;
 }
+
+val spec_of_rule : Iglr.Syn_filter.rule -> Lrtab.Compile.spec
+(** Translate a dynamic filter rule into its declarative compilation
+    spec ([Fewest_nodes] and [Custom] become [Opaque]). *)
 
 val make :
   name:string ->
@@ -48,3 +72,9 @@ val make :
 
 val table : t -> Lrtab.Table.t
 val lexer : t -> Lexgen.Spec.t
+
+val compiled : t -> compiled
+(** Forces the filter compilation (and hence the table). *)
+
+val compiled_table : t -> Lrtab.Table.t
+val residual_filters : t -> Iglr.Syn_filter.rule list

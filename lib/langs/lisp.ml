@@ -47,4 +47,9 @@ let rules =
     Lexcommon.error_rule;
   ]
 
-let language = Language.make ~name:"lisp" ~grammar ~rules ()
+(* Deterministic grammar, no dynamic filters: nothing to compile, empty
+   residual set. *)
+let ambig =
+  { Language.default_ambig with Language.filter_expect = []; max_residual = 0 }
+
+let language = Language.make ~name:"lisp" ~grammar ~ambig ~rules ()

@@ -39,6 +39,11 @@ let ambig =
     Language.default_ambig with
     Language.max_unresolved = 0;
     expect = [ ("lexical:", "resolved-static") ];
+    (* No dynamic filters: the U/V conflict is certified unrealizable by
+       the pair automaton, so the residual set is empty and the hot loop
+       skips the filter pass outright. *)
+    filter_expect = [];
+    max_residual = 0;
   }
 
 let language = Language.make ~name:"lr2" ~grammar ~ambig ~rules ()

@@ -56,4 +56,9 @@ let rules =
       error_rule;
     ]
 
-let language = Language.make ~name:"tiny" ~grammar ~rules ()
+(* Deterministic grammar, no dynamic filters: filter compilation is a
+   no-op and the residual set is empty by construction. *)
+let ambig =
+  { Language.default_ambig with Language.filter_expect = []; max_residual = 0 }
+
+let language = Language.make ~name:"tiny" ~grammar ~ambig ~rules ()

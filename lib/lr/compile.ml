@@ -1,0 +1,477 @@
+module Cfg = Grammar.Cfg
+module Analysis = Grammar.Analysis
+module Bitset = Grammar.Bitset
+
+type spec =
+  | Operator_priority of (string * int) list
+  | Prefer_first of string
+  | Opaque of string
+
+type verdict = Compiled | Residual | Dead
+
+let verdict_name = function
+  | Compiled -> "compiled"
+  | Residual -> "residual"
+  | Dead -> "dead"
+
+let spec_name = function
+  | Operator_priority _ -> "operator-priority"
+  | Prefer_first n -> "prefer-first:" ^ n
+  | Opaque n -> "opaque:" ^ n
+
+(* Per (conflict, spec) static outcome.  [Decided] and [No_op] assert the
+   dynamic filter's answer is a function of (state, lookahead, production)
+   alone; [Inapplicable] asserts it deterministically declines;
+   [Undecidable] means the choice shape escapes the item-context model, so
+   the answer may depend on dag context. *)
+type outcome =
+  | Decided of Table.action * string
+  | No_op of string
+  | Inapplicable
+  | Undecidable of string
+
+type decision = {
+  d_state : int;
+  d_term : int;
+  d_spec : int;
+  d_action : Table.action;
+  d_dropped : Table.action list;
+  d_why : string;
+}
+
+type spec_report = {
+  s_spec : int;
+  s_name : string;
+  s_verdict : verdict;
+  s_why : string;
+  s_decided : int;
+}
+
+type result = {
+  table : Table.t;
+  decisions : decision list;
+  reports : spec_report list;
+  residual : int list;
+  surviving : Table.conflict list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Choice-shape analysis                                               *)
+
+(* Split a conflict entry into its shift/reduce/accept constituents. *)
+let split entry =
+  let shift = List.find_opt (function Table.Shift _ -> true | _ -> false)
+      entry in
+  let reduces =
+    List.filter_map
+      (function Table.Reduce p -> Some p | Table.Shift _ | Table.Accept -> None)
+      entry
+  in
+  let accept = List.mem Table.Accept entry in
+  (shift, reduces, accept)
+
+(* Shift/reduce topology (see DESIGN.md).  At a conflict (s, t) with shift
+   items [A -> B . t γ] (dot 1, first symbol the reduce production's
+   left-hand side) and a single completed operator-shaped production
+   [p : B -> … N]:
+
+     - taking the {e reduce} arm makes [p] the first child of the item
+       production, whose operator is the lookahead [t];
+     - taking the {e shift} arm eventually completes [p] on top with the
+       [t]-expression nested under its final nonterminal, so the top
+       operator is [p]'s own second symbol.
+
+   When these preconditions hold, the dynamic filter's ranking of the two
+   dag alternatives is exactly a comparison keyed on [t] vs
+   [operator_terminal p] — decidable from the table alone. *)
+let sr_shape tbl ~state ~term p =
+  match Table.algo tbl with
+  | Table.LR1 -> Error "canonical-LR1 state space is not item-analyzed"
+  | Table.SLR | Table.LALR ->
+      let g = Table.grammar tbl in
+      let auto = Table.automaton tbl in
+      let ctx = Automaton.ctx auto in
+      let prod = Cfg.production g p in
+      let items = (Automaton.state auto state).Automaton.items in
+      let shift_items =
+        Array.to_list items
+        |> List.filter (fun it ->
+               match Item.next_symbol ctx it with
+               | Some (Cfg.T t) -> t = term
+               | Some (Cfg.N _) | None -> false)
+      in
+      let bad_item it =
+        Item.dot_of ctx it <> 1
+        ||
+        let rhs = (Cfg.production g (Item.prod_of ctx it)).Cfg.rhs in
+        Array.length rhs < 2
+        ||
+        match rhs.(0) with
+        | Cfg.N n -> n <> prod.Cfg.lhs
+        | Cfg.T _ -> true
+      in
+      let len = Array.length prod.Cfg.rhs in
+      if shift_items = [] then Error "no shift item on the conflict terminal"
+      else if List.exists bad_item shift_items then
+        Error "shift item is not infix-shaped over the reduced production"
+      else if len = 0 || (match prod.Cfg.rhs.(len - 1) with
+                          | Cfg.N _ -> false
+                          | Cfg.T _ -> true) then
+        Error "reduced production cannot nest the shifted expression"
+      else Ok ()
+
+(* Reduce/reduce topology: popping the same number of stack entries from
+   the shared stack covers the same span, and a shared left-hand side lets
+   the two arms pack into one choice node whose alternatives are exactly
+   the reduced productions. *)
+let rr_shape tbl reduces =
+  let g = Table.grammar tbl in
+  match reduces with
+  | [] | [ _ ] -> Error "not a reduce/reduce conflict"
+  | p0 :: rest ->
+      let pr0 = Cfg.production g p0 in
+      let same p =
+        let pr = Cfg.production g p in
+        pr.Cfg.lhs = pr0.Cfg.lhs
+        && Array.length pr.Cfg.rhs = Array.length pr0.Cfg.rhs
+      in
+      if List.for_all same rest then Ok ()
+      else Error "reduced productions differ in left-hand side or span"
+
+(* Remote-packing analysis.  When a reduce/reduce conflict's arms reduce
+   to different nonterminals (the typedef pattern: [type_spec -> id] vs
+   [expr -> id]), the two interpretations cannot pack at either arm:
+   they climb through derivation ancestors until they converge on a
+   common nonterminal, and the choice node's top productions are a pair
+   of {e distinct} productions of that ancestor (were they equal, the
+   divergence would pack deeper).  Each candidate top must mention an
+   ancestor of its arm, and — both alternatives spanning the same
+   tokens — the two tops' FIRST sets must intersect.  If {e no}
+   candidate pair lets the filter fire, the filter deterministically
+   declines on every choice this conflict can produce. *)
+
+let ancestors g nt =
+  let anc = Array.make (Cfg.num_nonterminals g) false in
+  anc.(nt) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Cfg.iter_productions g (fun pr ->
+        if
+          (not anc.(pr.Cfg.lhs))
+          && Array.exists
+               (function Cfg.N n -> anc.(n) | Cfg.T _ -> false)
+               pr.Cfg.rhs
+        then begin
+          anc.(pr.Cfg.lhs) <- true;
+          changed := true
+        end)
+  done;
+  anc
+
+let prod_first g analysis p =
+  let pr = Cfg.production g p in
+  let acc = ref [] in
+  let n = Array.length pr.Cfg.rhs in
+  let rec go i =
+    if i < n then
+      match pr.Cfg.rhs.(i) with
+      | Cfg.T t -> acc := t :: !acc
+      | Cfg.N nt ->
+          acc := Bitset.elements (Analysis.first analysis nt) @ !acc;
+          if Analysis.nullable analysis nt then go (i + 1)
+  in
+  go 0;
+  List.sort_uniq compare !acc
+
+(* [remote_rr tbl ps ~fires] — outcome of a cross-nonterminal (or
+   otherwise unpackable) reduce/reduce conflict: [Inapplicable] when no
+   candidate ancestor top-production pair can make the filter fire,
+   [Undecidable] otherwise. *)
+let remote_rr tbl ps ~fires =
+  let g = Table.grammar tbl in
+  let analysis = Table.analysis tbl in
+  let arms =
+    List.map (fun p -> ancestors g (Cfg.production g p).Cfg.lhs) ps
+  in
+  let mentions anc pr =
+    Array.exists
+      (function Cfg.N n -> anc.(n) | Cfg.T _ -> false)
+      pr.Cfg.rhs
+  in
+  let tops anc_i anc_j =
+    (* candidate tops of arm i when converging with arm j *)
+    Cfg.fold_productions g
+      (fun acc pr ->
+        if anc_i.(pr.Cfg.lhs) && anc_j.(pr.Cfg.lhs) && mentions anc_i pr then
+          pr.Cfg.p_id :: acc
+        else acc)
+      []
+  in
+  let compatible pa pb =
+    pa <> pb
+    && (let fa = prod_first g analysis pa and fb = prod_first g analysis pb in
+        List.exists (fun t -> List.mem t fb) fa)
+  in
+  let firing = ref None in
+  List.iteri
+    (fun i anc_i ->
+      List.iteri
+        (fun j anc_j ->
+          if i < j && !firing = None then
+            let ti = tops anc_i anc_j and tj = tops anc_j anc_i in
+            List.iter
+              (fun pa ->
+                List.iter
+                  (fun pb ->
+                    if !firing = None
+                       && (Cfg.production g pa).Cfg.lhs
+                          = (Cfg.production g pb).Cfg.lhs
+                       && compatible pa pb && fires pa pb
+                    then firing := Some (pa, pb))
+                  tj)
+              ti)
+        arms)
+    arms;
+  match !firing with
+  | None ->
+      Inapplicable
+  | Some (pa, pb) ->
+      Undecidable
+        (Printf.sprintf
+           "filter may fire where the arms pack under an ancestor (%s vs %s)"
+           (Format.asprintf "%a" (Cfg.pp_production g) pa)
+           (Format.asprintf "%a" (Cfg.pp_production g) pb))
+
+let eval_operator_priority tbl prios (c : Table.conflict) =
+  let g = Table.grammar tbl in
+  let prio_of_term t = List.assoc_opt (Cfg.terminal_name g t) prios in
+  let prio_of_prod p =
+    match Cfg.operator_terminal g p with
+    | None -> None
+    | Some t -> prio_of_term t
+  in
+  let shift, reduces, accept = split c.Table.c_actions in
+  if accept then Undecidable "accept participates in the conflict"
+  else
+    match shift, reduces with
+    | Some shift_action, [ p ] -> (
+        match sr_shape tbl ~state:c.Table.c_state ~term:c.Table.c_term p with
+        | Error why -> Undecidable why
+        | Ok () -> (
+            let reduce_prio = prio_of_term c.Table.c_term in
+            let shift_prio = prio_of_prod p in
+            let why side a b =
+              Printf.sprintf "%s: priority %d beats %d" side a b
+            in
+            match shift_prio, reduce_prio with
+            | None, None -> Inapplicable
+            | Some _, None ->
+                Decided (shift_action, "shift arm is the only ranked operator")
+            | None, Some _ ->
+                Decided (Table.Reduce p, "reduce arm is the only ranked operator")
+            | Some sp, Some rp ->
+                if sp > rp then Decided (shift_action, why "shift" sp rp)
+                else if rp > sp then Decided (Table.Reduce p, why "reduce" rp sp)
+                else No_op "equal operator priorities: filter never resolves"))
+    | Some _, _ -> Undecidable "shift conflicts with several reductions"
+    | None, ps -> (
+        match rr_shape tbl ps with
+        | Error _ ->
+            remote_rr tbl ps ~fires:(fun pa pb ->
+                match prio_of_prod pa, prio_of_prod pb with
+                | None, None -> false
+                | Some x, Some y -> x <> y
+                | Some _, None | None, Some _ -> true)
+        | Ok () -> (
+            let ranked =
+              List.filter_map
+                (fun p ->
+                  match prio_of_prod p with Some pr -> Some (p, pr) | None -> None)
+                ps
+            in
+            match
+              List.sort (fun (_, a) (_, b) -> compare b a) ranked
+            with
+            | [] -> Inapplicable
+            | [ (p, pr) ] ->
+                Decided
+                  (Table.Reduce p,
+                   Printf.sprintf "only ranked production (priority %d)" pr)
+            | (p, pr) :: (_, qr) :: _ when pr > qr ->
+                Decided
+                  (Table.Reduce p,
+                   Printf.sprintf "priority %d beats %d" pr qr)
+            | _ :: _ -> No_op "tied top priorities: filter never resolves"))
+
+let eval_prefer_first tbl name (c : Table.conflict) =
+  let g = Table.grammar tbl in
+  let first_nt p =
+    let rhs = (Cfg.production g p).Cfg.rhs in
+    if Array.length rhs = 0 then None
+    else match rhs.(0) with
+      | Cfg.N n -> Some (Cfg.nonterminal_name g n)
+      | Cfg.T _ -> None
+  in
+  let shift, reduces, accept = split c.Table.c_actions in
+  if accept then Undecidable "accept participates in the conflict"
+  else
+    match shift, reduces with
+    | Some shift_action, [ p ] -> (
+        match sr_shape tbl ~state:c.Table.c_state ~term:c.Table.c_term p with
+        | Error why -> Undecidable why
+        | Ok () ->
+            (* Reduce-arm top is the shift item's production, whose first
+               symbol is [p]'s left-hand side; shift-arm top is [p]. *)
+            let reduce_name =
+              Some (Cfg.nonterminal_name g (Cfg.production g p).Cfg.lhs)
+            in
+            let shift_name = first_nt p in
+            let m_shift = shift_name = Some name
+            and m_reduce = reduce_name = Some name in
+            if m_shift && not m_reduce then
+              Decided (shift_action, "shift arm starts with preferred nonterminal")
+            else if m_reduce && not m_shift then
+              Decided (Table.Reduce p, "reduce arm starts with preferred nonterminal")
+            else if m_shift (* && m_reduce *) then
+              No_op "both arms start with the preferred nonterminal"
+            else Inapplicable)
+    | Some _, _ -> Undecidable "shift conflicts with several reductions"
+    | None, ps -> (
+        match rr_shape tbl ps with
+        | Error _ ->
+            let matches p =
+              let rhs = (Cfg.production g p).Cfg.rhs in
+              Array.length rhs > 0
+              &&
+              match rhs.(0) with
+              | Cfg.N n -> Cfg.nonterminal_name g n = name
+              | Cfg.T _ -> false
+            in
+            remote_rr tbl ps ~fires:(fun pa pb -> matches pa <> matches pb)
+        | Ok () -> (
+            match List.filter (fun p -> first_nt p = Some name) ps with
+            | [ p ] ->
+                Decided (Table.Reduce p, "unique arm starts with preferred nonterminal")
+            | [] -> Inapplicable
+            | _ :: _ -> No_op "several arms start with the preferred nonterminal"))
+
+let eval tbl spec c =
+  match spec with
+  | Operator_priority prios -> eval_operator_priority tbl prios c
+  | Prefer_first name -> eval_prefer_first tbl name c
+  | Opaque name ->
+      Undecidable (Printf.sprintf "rule %s is not statically analyzable" name)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-table compilation                                             *)
+
+let compile tbl specs =
+  let specs = Array.of_list specs in
+  let nspecs = Array.length specs in
+  let conflicts = Table.conflicts tbl in
+  (* Every (conflict, spec) outcome, evaluated independently. *)
+  let outcomes =
+    List.map (fun c -> (c, Array.map (fun s -> eval tbl s c) specs)) conflicts
+  in
+  (* Resolve each conflict by the first spec that decides it, mirroring
+     the dynamic first-answer-wins rule chain; an undecidable spec blocks
+     everything after it for that conflict. *)
+  let decisions = ref [] in
+  let overridden = Hashtbl.create 16 in
+  List.iter
+    (fun ((c : Table.conflict), out) ->
+      let rec walk k =
+        if k < nspecs then
+          match out.(k) with
+          | Inapplicable | No_op _ -> walk (k + 1)
+          | Undecidable _ -> ()
+          | Decided (a, why) ->
+              Hashtbl.replace overridden (c.Table.c_state, c.Table.c_term) ();
+              decisions :=
+                { d_state = c.Table.c_state; d_term = c.Table.c_term;
+                  d_spec = k; d_action = a;
+                  d_dropped =
+                    List.filter (fun x -> not (Table.equal_action x a))
+                      c.Table.c_actions;
+                  d_why = why }
+                :: !decisions
+      in
+      walk 0)
+    outcomes;
+  let decisions = List.rev !decisions in
+  (* A spec stays dynamic iff some *surviving* conflict's choice nodes
+     could still consult it with a context-dependent or effective answer:
+     removing it would then change behavior.  A spec whose every possible
+     firing site is overridden — or that deterministically declines
+     everywhere — is safe to drop. *)
+  let surviving_out =
+    List.filter
+      (fun ((c : Table.conflict), _) ->
+        not (Hashtbl.mem overridden (c.Table.c_state, c.Table.c_term)))
+      outcomes
+  in
+  let reports =
+    Array.to_list
+      (Array.mapi
+         (fun k spec ->
+           let decided =
+             List.length (List.filter (fun d -> d.d_spec = k) decisions)
+           in
+           let live =
+             List.filter_map
+               (fun ((c : Table.conflict), out) ->
+                 match out.(k) with
+                 | Decided (_, _) | Undecidable _ -> Some c
+                 | Inapplicable | No_op _ -> None)
+               surviving_out
+           in
+           let verdict, why =
+             match live with
+             | (c : Table.conflict) :: _ ->
+                 ( Residual,
+                   Printf.sprintf
+                     "may still fire at state %d on %s" c.Table.c_state
+                     (Cfg.terminal_name (Table.grammar tbl) c.Table.c_term) )
+             | [] ->
+                 let fires_somewhere =
+                   List.exists
+                     (fun (_, out) ->
+                       match out.(k) with
+                       | Decided _ -> true
+                       | No_op _ | Inapplicable | Undecidable _ -> false)
+                     outcomes
+                 in
+                 if fires_somewhere then
+                   (Compiled, "every firing site compiled into the table")
+                 else if conflicts = [] then
+                   (Dead, "the table has no conflicts")
+                 else
+                   (Dead, "declines deterministically at every conflict")
+           in
+           { s_spec = k; s_name = spec_name spec; s_verdict = verdict;
+             s_why = why; s_decided = decided })
+         specs)
+  in
+  let residual =
+    List.filter_map
+      (fun r -> if r.s_verdict = Residual then Some r.s_spec else None)
+      reports
+  in
+  let table =
+    Table.with_overrides tbl
+      (List.map (fun d -> ((d.d_state, d.d_term), d.d_action)) decisions)
+  in
+  { table; decisions; reports; residual;
+    surviving = Table.conflicts table }
+
+let pp_decision tbl ppf d =
+  let g = Table.grammar tbl in
+  Format.fprintf ppf "state %d on %s: %a (%s)" d.d_state
+    (Cfg.terminal_name g d.d_term)
+    Table.pp_action d.d_action d.d_why
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %s (%s; %d decision%s)" r.s_name
+    (verdict_name r.s_verdict) r.s_why r.s_decided
+    (if r.s_decided = 1 then "" else "s")

@@ -1,0 +1,74 @@
+(** Static compilation of disambiguation filters into the parse table.
+
+    The dynamic syntactic filters of §4.1 rank the alternatives of a dag
+    choice node after every reparse.  For many conflicts that ranking is a
+    pure function of the LR context — (state, lookahead, production) — so
+    the losing action can be deleted from the table at construction time
+    and the hot loop never consults the filter at all (the deep
+    priority-conflict compilation of PAPERS.md).
+
+    This module is deliberately declarative: filter rules are described by
+    {!spec} values (the [languages] layer translates its
+    [Syn_filter.rule]s), the analysis classifies each spec per conflict
+    against the LR item contexts, and {!compile} rewrites the table with
+    {!Table.with_overrides}.  The analysis is {e conservative}: whenever a
+    conflict's choice-node shape escapes the item-context model the spec
+    is kept dynamic ([Residual]).  End-to-end soundness of the compiled
+    decisions is certified separately ([Analyze.Filtcomp]) against the
+    Earley derivation oracle and a differential corpus. *)
+
+type spec =
+  | Operator_priority of (string * int) list
+      (** Rank choice alternatives by the terminal in the top production's
+          second right-hand position (its {e operator}); highest priority
+          wins.  Mirrors [Syn_filter.Production_priority]. *)
+  | Prefer_first of string
+      (** Keep the unique alternative whose top production starts with the
+          named nonterminal.  Mirrors [Syn_filter.Prefer_production]. *)
+  | Opaque of string
+      (** A dynamic rule the analysis cannot model (e.g. fewest-nodes or
+          custom code); always residual, and blocks compilation of any
+          later rule at every conflict it might touch. *)
+
+type verdict =
+  | Compiled  (** every firing site rewritten into the table; safe to drop *)
+  | Residual  (** may still fire at a surviving conflict; keep dynamic *)
+  | Dead      (** can never resolve anything on this grammar *)
+
+val verdict_name : verdict -> string
+val spec_name : spec -> string
+
+type decision = {
+  d_state : int;
+  d_term : int;
+  d_spec : int;  (** index into the spec list *)
+  d_action : Table.action;  (** the action kept *)
+  d_dropped : Table.action list;  (** the actions deleted *)
+  d_why : string;
+}
+
+type spec_report = {
+  s_spec : int;
+  s_name : string;
+  s_verdict : verdict;
+  s_why : string;
+  s_decided : int;  (** conflicts this spec resolved statically *)
+}
+
+type result = {
+  table : Table.t;  (** the rewritten table *)
+  decisions : decision list;
+  reports : spec_report list;  (** one per spec, in order *)
+  residual : int list;  (** indices of specs that must stay dynamic *)
+  surviving : Table.conflict list;  (** conflicts left after the rewrite *)
+}
+
+val compile : Table.t -> spec list -> result
+(** [compile tbl specs] classifies every (conflict, spec) pair, resolves
+    each conflict by the first spec whose answer is statically determined
+    (mirroring the dynamic first-answer-wins rule chain; an unanalyzable
+    spec blocks later specs for that conflict), and returns the rewritten
+    table together with the per-spec verdicts. *)
+
+val pp_decision : Table.t -> Format.formatter -> decision -> unit
+val pp_report : Format.formatter -> spec_report -> unit

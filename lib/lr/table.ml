@@ -60,6 +60,50 @@ let resolve_sr g ~term ~prod =
         | Cfg.Nonassoc -> `Neither)
   | None, _ | _, None -> `Keep_both
 
+(* Conflict collection and the precomputed nonterminal reductions
+   (§3.2) are shared by [build] and [with_overrides]: any rewrite of the
+   action matrix must leave both derived structures consistent. *)
+let collect_conflicts actions =
+  let conflicts = ref [] in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun term entry ->
+          if List.length entry > 1 then
+            conflicts :=
+              { c_state = s; c_term = term; c_actions = entry } :: !conflicts)
+        row)
+    actions;
+  List.rev !conflicts
+
+let compute_nt_actions analysis actions ~num_states:ns ~num_nts:nn =
+  let nt_actions = Array.init ns (fun _ -> Array.make nn None) in
+  for s = 0 to ns - 1 do
+    for n = 0 to nn - 1 do
+      if not (Grammar.Analysis.nullable analysis n) then begin
+        let first = Grammar.Analysis.first analysis n in
+        if not (Bitset.is_empty first) then begin
+          let terms = Bitset.elements first in
+          match terms with
+          | [] -> ()
+          | t0 :: rest ->
+              let base = actions.(s).(t0) in
+              let uniform =
+                base <> []
+                && List.for_all (function Reduce _ -> true | _ -> false) base
+                && List.for_all
+                     (fun t ->
+                       List.length actions.(s).(t) = List.length base
+                       && List.for_all2 equal_action actions.(s).(t) base)
+                     rest
+              in
+              if uniform then nt_actions.(s).(n) <- Some base
+        end
+      end
+    done
+  done;
+  nt_actions
+
 let build ?(algo = LALR) ?(resolve_prec = true) g =
   let aug = Augment.augment g in
   let auto = Automaton.build aug in
@@ -126,8 +170,7 @@ let build ?(algo = LALR) ?(resolve_prec = true) g =
         (ns, Automaton.start_state auto, actions, goto_nt)
   in
   (* Static precedence filtering, then order entries (shift first, then
-     reductions by production id) and collect remaining conflicts. *)
-  let conflicts = ref [] in
+     reductions by production id). *)
   for s = 0 to ns - 1 do
     for term = 0 to nt - 1 do
       let entry = actions.(s).(term) in
@@ -175,40 +218,36 @@ let build ?(algo = LALR) ?(resolve_prec = true) g =
             | c -> c)
           entry
       in
-      actions.(s).(term) <- entry;
-      if List.length entry > 1 then
-        conflicts :=
-          { c_state = s; c_term = term; c_actions = entry } :: !conflicts
+      actions.(s).(term) <- entry
     done
   done;
-  (* Precomputed nonterminal reductions (§3.2). *)
-  let nt_actions = Array.init ns (fun _ -> Array.make nn None) in
-  for s = 0 to ns - 1 do
-    for n = 0 to nn - 1 do
-      if not (Grammar.Analysis.nullable analysis n) then begin
-        let first = Grammar.Analysis.first analysis n in
-        if not (Bitset.is_empty first) then begin
-          let terms = Bitset.elements first in
-          match terms with
-          | [] -> ()
-          | t0 :: rest ->
-              let base = actions.(s).(t0) in
-              let uniform =
-                base <> []
-                && List.for_all (function Reduce _ -> true | _ -> false) base
-                && List.for_all
-                     (fun t ->
-                       List.length actions.(s).(t) = List.length base
-                       && List.for_all2 equal_action actions.(s).(t) base)
-                     rest
-              in
-              if uniform then nt_actions.(s).(n) <- Some base
-        end
-      end
-    done
-  done;
+  let conflicts = collect_conflicts actions in
+  let nt_actions =
+    compute_nt_actions analysis actions ~num_states:ns ~num_nts:nn
+  in
   { grammar = g; algo; auto; analysis; num_states = ns; start; actions;
-    goto_nt; nt_actions; conflicts = List.rev !conflicts }
+    goto_nt; nt_actions; conflicts }
+
+let with_overrides t overrides =
+  let actions = Array.map Array.copy t.actions in
+  List.iter
+    (fun ((state, term), action) ->
+      let entry = actions.(state).(term) in
+      if not (List.exists (equal_action action) entry) then
+        invalid_arg
+          (Printf.sprintf
+             "Table.with_overrides: state %d on %s: chosen action absent \
+              from entry"
+             state
+             (Cfg.terminal_name t.grammar term));
+      actions.(state).(term) <- [ action ])
+    overrides;
+  let conflicts = collect_conflicts actions in
+  let nt_actions =
+    compute_nt_actions t.analysis actions ~num_states:t.num_states
+      ~num_nts:(Cfg.num_nonterminals t.grammar)
+  in
+  { t with actions; nt_actions; conflicts }
 
 let conflict_items t c =
   match t.algo with

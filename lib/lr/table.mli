@@ -35,6 +35,18 @@ type t
     precedence/associativity filters to shift/reduce conflicts. *)
 val build : ?algo:algo -> ?resolve_prec:bool -> Grammar.Cfg.t -> t
 
+val with_overrides : t -> ((int * int) * action) list -> t
+(** [with_overrides t ov] returns a copy of [t] in which each
+    [((state, term), action)] pair replaces the multi-action entry at
+    [(state, term)] with the single chosen [action] — the table-rewrite
+    step of static filter compilation (the caller is responsible for
+    having proved the choice sound).  The conflict list and the
+    precomputed nonterminal reductions are recomputed, so entries made
+    deterministic here also become eligible for subtree-lookahead
+    reduction and sentential-form parsing.
+    @raise Invalid_argument if a chosen action is not a member of the
+    existing entry. *)
+
 val grammar : t -> Grammar.Cfg.t
 (** The original (un-augmented) grammar. *)
 

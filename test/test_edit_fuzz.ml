@@ -193,6 +193,63 @@ let fault_replay lang base (seed, count) =
       QCheck.Test.fail_report "failed to converge after full rewrite");
   true
 
+(* Compiled-table differential mode: the same random edit scripts replay
+   through a session running on the filter-compiled table with only the
+   residual rules left dynamic; after every edit the committed tree must
+   be sexp-identical to a from-scratch parse on the conflict-retaining
+   table with the full declared filter set applied.  This is the
+   filter-compilation observational-equivalence invariant exercised
+   under incremental editing (reuse, damage tracking, recovery), which
+   the static certificate's batch corpus cannot reach. *)
+let batch_dynamic lang text =
+  let table = Language.table lang in
+  let tokens, trailing = Lexgen.Scanner.all (Language.lexer lang) text in
+  match Glr.parse_tokens table tokens ~trailing with
+  | root, _ ->
+      Analyze.Check.assert_dag table root;
+      let filters = lang.Language.ambig.Language.syn_filters in
+      if filters <> [] then
+        ignore (Iglr.Syn_filter.apply lang.Language.grammar filters root);
+      Some (Parsedag.Pp.to_sexp lang.Language.grammar root)
+  | exception Glr.Parse_error _ -> None
+
+let compiled_replay lang base (seed, count) =
+  let table = Language.compiled_table lang in
+  let script = Edit_gen.random_script ~seed ~count base in
+  let s, outcome0 =
+    Session.create ~table
+      ~syn_filters:(Language.residual_filters lang)
+      ~lexer:(Language.lexer lang) base
+  in
+  (match outcome0 with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> QCheck.Test.fail_report "base program rejected");
+  let text = ref base in
+  List.for_all
+    (fun (e : Edit_gen.edit) ->
+      text := Edit_gen.apply e !text;
+      Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+        ~insert:e.Edit_gen.e_insert;
+      match (batch_dynamic lang !text, Session.reparse s) with
+      | Some expected, Session.Parsed _ ->
+          Analyze.Check.assert_dag table (Session.root s);
+          let got =
+            Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s)
+          in
+          if not (String.equal got expected) then
+            QCheck.Test.fail_reportf
+              "compiled-table tree diverged from dynamic pipeline\n text: %S"
+              !text;
+          true
+      | Some _, Session.Recovered _ ->
+          QCheck.Test.fail_reportf
+            "compiled table recovered on dynamically-parseable text %S" !text
+      | None, Session.Recovered _ -> true
+      | None, Session.Parsed _ ->
+          QCheck.Test.fail_reportf
+            "compiled table accepted dynamically-rejected text %S" !text)
+    script
+
 let arb_script =
   QCheck.(pair (int_bound 1_000_000) (int_range 1 8))
 
@@ -205,6 +262,16 @@ let prop_c =
   QCheck.Test.make ~count:60 ~name:"edit fuzz: C incremental = batch"
     arb_script
     (replay Languages.C_subset.language base_c)
+
+let prop_compiled_calc =
+  QCheck.Test.make ~count:40
+    ~name:"edit fuzz: calc compiled table = dynamic pipeline" arb_script
+    (compiled_replay Languages.Calc.language base_calc)
+
+let prop_compiled_c =
+  QCheck.Test.make ~count:40
+    ~name:"edit fuzz: C compiled table = dynamic pipeline" arb_script
+    (compiled_replay Languages.C_subset.language base_c)
 
 let prop_fault_calc =
   QCheck.Test.make ~count:40
@@ -255,6 +322,8 @@ let suite =
   [
     Test_seed.to_alcotest prop_calc;
     Test_seed.to_alcotest prop_c;
+    Test_seed.to_alcotest prop_compiled_calc;
+    Test_seed.to_alcotest prop_compiled_c;
     Test_seed.to_alcotest prop_fault_calc;
     Test_seed.to_alcotest prop_fault_c;
     Alcotest.test_case "reuse invariant: single-token edit >= 90%" `Quick

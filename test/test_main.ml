@@ -26,6 +26,7 @@ let () =
       ("trace-events", Test_trace_events.suite);
       ("analyze", Test_analyze.suite);
       ("ambig", Test_ambig.suite);
+      ("filtcomp", Test_filtcomp.suite);
       ("metrics", Test_metrics.suite);
       ("recovery", Test_recovery.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);
