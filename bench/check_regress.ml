@@ -220,6 +220,7 @@ let () =
   check "recovery" check_reuse "BENCH_recovery.json";
   check "ambig" check_ambig "BENCH_ambig.json";
   check "filter" check_ambig "BENCH_filter.json";
+  check "server" check_ambig "BENCH_server.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

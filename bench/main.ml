@@ -173,6 +173,25 @@ let record_filter ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !filter_entries
 
+(* Parse-service entries live in their own document (BENCH_server.json)
+   and mix the two shapes: a p99 reparse latency under concurrent load
+   (latency rule, noise-floored) and deterministic percentages — oracle
+   agreement and parallel-document coverage — that gate the daemon's
+   correctness-under-parallelism claim (reuse rule). *)
+let server_entries : Json.t list ref = ref []
+
+let record_server ?(gate = true) ~experiment ~language ~case fields =
+  server_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !server_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -191,14 +210,16 @@ let write_json () =
       let recovery = Filename.concat dir "BENCH_recovery.json" in
       let ambig = Filename.concat dir "BENCH_ambig.json" in
       let filter = Filename.concat dir "BENCH_filter.json" in
+      let server = Filename.concat dir "BENCH_server.json" in
       Json.to_file latency (doc "latency" !latency_entries);
       Json.to_file reuse (doc "reuse" !reuse_entries);
       Json.to_file recovery (doc "recovery" !recovery_entries);
       Json.to_file ambig (doc "ambig" !ambig_entries);
       Json.to_file filter (doc "filter" !filter_entries);
+      Json.to_file server (doc "server" !server_entries);
       Printf.printf
         "\nwrote %s (%d entries), %s (%d entries), %s (%d entries), %s (%d \
-         entries), %s (%d entries)\n"
+         entries), %s (%d entries), %s (%d entries)\n"
         latency
         (List.length !latency_entries)
         reuse
@@ -209,6 +230,8 @@ let write_json () =
         (List.length !ambig_entries)
         filter
         (List.length !filter_entries)
+        server
+        (List.length !server_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -1455,6 +1478,160 @@ let filter_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Parse-service daemon: sustained concurrent edits across independent
+   documents on the iglrd engine.  8 sessions share one compiled table;
+   every round sends each document a one-token edit plus a timed parse,
+   so up to 8 reparses are in flight across the worker domains at once.
+   Reported: sustained edits/sec, p99 reparse latency under load
+   (gated, noise-floored), and two deterministic gates — every document
+   must agree with a single-threaded oracle replay (oracle_agree_pct)
+   and all 8 documents must still be live in the pool at the end
+   (parallel_docs_pct). *)
+let server_bench () =
+  header "Parse-service daemon: concurrent edit streams (iglrd engine)";
+  let n_docs = 8 in
+  let lines = max 8 (int_of_float (200. *. !scale)) in
+  let rounds = max 5 (int_of_float (100. *. !scale)) in
+  let base i =
+    String.concat "\n"
+      (List.init lines (fun k -> Printf.sprintf "a%d = 1 + %d;" k ((i + k) mod 9)))
+  in
+  (* Every document's first line is "a0 = 1 + d;": the round's one-token
+     edit replaces the RHS "1" at byte 5, so positions are stable and
+     the program stays grammatical for the whole stream. *)
+  let round_edit r = (5, 1, string_of_int (1 + (r mod 9))) in
+  let m = Mutex.create () in
+  let responses = ref [] in
+  let emit l =
+    Mutex.lock m;
+    responses := l :: !responses;
+    Mutex.unlock m
+  in
+  let engine = Server.Engine.create ~emit () in
+  Fun.protect ~finally:(fun () -> Server.Engine.shutdown engine) @@ fun () ->
+  let send fields =
+    Server.Engine.handle_line engine (Json.to_line (Json.Obj fields))
+  in
+  let doc i = Printf.sprintf "doc%d" i in
+  for i = 0 to n_docs - 1 do
+    send
+      [
+        ("id", Json.Int i);
+        ("method", Json.String "open");
+        ( "params",
+          Json.Obj
+            [
+              ("doc", Json.String (doc i));
+              ("lang", Json.String "calc");
+              ("text", Json.String (base i));
+            ] );
+      ]
+  done;
+  Server.Engine.drain engine;
+  let t0 = now () in
+  for r = 0 to rounds - 1 do
+    for i = 0 to n_docs - 1 do
+      let pos, del, insert = round_edit r in
+      send
+        [
+          ("id", Json.Int ((r * n_docs) + i));
+          ("method", Json.String "edit");
+          ( "params",
+            Json.Obj
+              [
+                ("doc", Json.String (doc i));
+                ( "edits",
+                  Json.List
+                    [
+                      Json.Obj
+                        [
+                          ("pos", Json.Int pos);
+                          ("del", Json.Int del);
+                          ("insert", Json.String insert);
+                        ];
+                    ] );
+              ] );
+        ];
+      send
+        [
+          ("id", Json.Int (-((r * n_docs) + i)));
+          ("method", Json.String "parse");
+          ( "params",
+            Json.Obj [ ("doc", Json.String (doc i)); ("timing", Json.Bool true) ]
+          );
+        ]
+    done
+  done;
+  Server.Engine.drain engine;
+  let wall = now () -. t0 in
+  (* Per-request reparse latencies, read back off the wire. *)
+  let samples =
+    List.filter_map
+      (fun line ->
+        Option.bind (Json.member "result" (Json.of_string line)) (fun res ->
+            Option.bind (Json.member "ms" res) Json.to_float))
+      !responses
+  in
+  let n_samples = List.length samples in
+  if n_samples <> n_docs * rounds then
+    failwith
+      (Printf.sprintf "server bench: expected %d timed parses, got %d"
+         (n_docs * rounds) n_samples);
+  let p99 =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(max 0 (min (Array.length a - 1)
+                (int_of_float (ceil (0.99 *. float_of_int (Array.length a))) - 1)))
+  in
+  (* Oracle: a single-threaded Session replaying each document's stream
+     must land on the same dag as the concurrent engine. *)
+  let lang = Languages.Calc.language in
+  let agree = ref 0 in
+  for i = 0 to n_docs - 1 do
+    let oracle = session_of lang (base i) in
+    for r = 0 to rounds - 1 do
+      let pos, del, insert = round_edit r in
+      Session.edit oracle ~pos ~del ~insert;
+      ignore (reparse_exn oracle)
+    done;
+    match Server.Pool.find (Server.Engine.pool engine) (doc i) with
+    | None -> ()
+    | Some e ->
+        let sexp s =
+          Parsedag.Pp.to_sexp lang.Language.grammar (Session.root s)
+        in
+        if String.equal (sexp oracle) (sexp e.Server.Pool.session) then
+          incr agree
+  done;
+  let live = Server.Pool.size (Server.Engine.pool engine) in
+  let edits_per_sec = float_of_int (n_docs * rounds) /. wall in
+  let agree_pct = 100. *. float_of_int !agree /. float_of_int n_docs in
+  let docs_pct = 100. *. float_of_int live /. float_of_int n_docs in
+  Printf.printf
+    "%d docs x %d rounds on %d worker domain(s): %.0f edits/sec sustained, \
+     p99 reparse %.3f ms, oracle agreement %.0f%%\n"
+    n_docs rounds
+    (Server.Engine.jobs engine)
+    edits_per_sec (p99 *. 1.) agree_pct;
+  record_server ~experiment:"server" ~language:"calc" ~case:"p99-reparse"
+    [
+      ("median", Json.Float p99);
+      ("docs", Json.Int n_docs);
+      ("rounds", Json.Int rounds);
+    ];
+  record_server ~gate:false ~experiment:"server" ~language:"calc"
+    ~case:"throughput"
+    [
+      ("edits_per_sec", Json.Float edits_per_sec);
+      ("wall_ms", Json.Float (wall *. 1e3));
+    ];
+  record_server ~experiment:"server" ~language:"calc" ~case:"oracle"
+    [
+      ("oracle_agree_pct", Json.Float agree_pct);
+      ("parallel_docs_pct", Json.Float docs_pct);
+    ]
+
 let experiments =
   [
     ("table1", table1);
@@ -1473,6 +1650,7 @@ let experiments =
     ("ambig", ambig);
     ("filter", filter_bench);
     ("earley", earley);
+    ("server", server_bench);
     ("bechamel", bechamel);
   ]
 

@@ -17,17 +17,10 @@
 
 open Cmdliner
 
-let languages =
-  [
-    ("calc", Languages.Calc.language);
-    ("tiny", Languages.Tiny.language);
-    ("c", Languages.C_subset.language);
-    ("cpp", Languages.Cpp_subset.language);
-    ("lr2", Languages.Lr2.language);
-    ("modula2", Languages.Modula2.language);
-    ("lisp", Languages.Lisp.language);
-    ("java", Languages.Java_subset.language);
-  ]
+(* One construction entry point for every tool: the shared registry's
+   per-language lazies mean a table is built at most once per process,
+   whether it is iglrc subcommands or the iglrd daemon asking. *)
+let languages = Languages.Registry.all
 
 let lang_arg =
   let lang_conv = Arg.enum languages in

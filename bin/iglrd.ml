@@ -1,0 +1,113 @@
+(* iglrd — the incremental-analysis parse-service daemon.
+
+   Speaks newline-delimited JSON-RPC (iglr-analysis/1 envelopes) over
+   stdio by default, or over a Unix-domain socket with [--socket].
+   Methods: open, edit, parse, errors, ambig, stats, close — see
+   README.md "Running the daemon".
+
+   One engine per process: the session pool, the shared language tables
+   and the worker domains are common to every connection, so a socket
+   server's clients share compiled tables exactly like documents on one
+   stdio session do.  Socket connections are served one at a time (the
+   protocol is stateful per connection only in its document ids; the
+   pool persists across connections). *)
+
+open Cmdliner
+
+let serve_channel engine ic oc =
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  Server.Engine.set_emit engine emit;
+  (try
+     while true do
+       let line = input_line ic in
+       Server.Engine.handle_line engine line
+     done
+   with End_of_file -> ());
+  Server.Engine.drain engine
+
+let serve_stdio engine = serve_channel engine stdin stdout
+
+let serve_socket engine path =
+  (* A stale socket file from a previous run would make [bind] fail. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close sock;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try serve_channel engine ic oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+      in
+      loop ())
+
+let run serial jobs socket max_payload =
+  let jobs = if serial then Some 0 else jobs in
+  let engine =
+    Server.Engine.create ?jobs ?max_payload ~emit:(fun _ -> ()) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Engine.shutdown engine)
+    (fun () ->
+      match socket with
+      | None -> serve_stdio engine
+      | Some path -> serve_socket engine path)
+
+let serial_arg =
+  Arg.(
+    value & flag
+    & info [ "serial" ]
+        ~doc:
+          "Run without worker domains: requests execute inline on the \
+           dispatcher thread, in order.  Deterministic; used by the smoke \
+           tests.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel reparses (default: recommended \
+           domain count minus one).  Requests for one document always \
+           execute in submission order regardless of $(docv).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at $(docv) instead of serving \
+           stdio.  Connections are accepted one at a time; the session \
+           pool persists across connections.")
+
+let max_payload_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-payload" ] ~docv:"BYTES"
+        ~doc:
+          "Reject request lines longer than $(docv) bytes with a \
+           structured error (default 8 MiB).")
+
+let () =
+  let info =
+    Cmd.info "iglrd"
+      ~doc:"Incremental GLR parse-service daemon (newline-delimited JSON-RPC)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const run $ serial_arg $ jobs_arg $ socket_arg $ max_payload_arg)))

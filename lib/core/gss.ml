@@ -1,15 +1,17 @@
 type node = { gid : int; state : int; mutable links : link list }
 and link = { head : node; mutable label : Parsedag.Node.t }
 
-let counter = ref 0
+(* Atomic for the same reason as [Parsedag.Node.counter]: GSS nodes are
+   created concurrently by the daemon's worker domains, and validation
+   deduplicates by [gid]. *)
+let counter = Atomic.make 0
 
 let make_node ~state links =
-  incr counter;
-  { gid = !counter; state; links }
+  { gid = Atomic.fetch_and_add counter 1 + 1; state; links }
 
 let add_link n l = n.links <- l :: n.links
 let make_link ~head ~label = { head; label }
-let allocated () = !counter
+let allocated () = Atomic.get counter
 
 let paths node ~arity =
   let acc = ref [] in

@@ -17,7 +17,7 @@ let m_degraded = Metrics.counter "session.degraded"
 type t = {
   table : Lrtab.Table.t;
   config : Glr.config;
-  budget : Glr.budget;
+  mutable budget : Glr.budget;
   syn_filters : Syn_filter.rule list;
   doc : Document.t;
   baseline : Metrics.snapshot;
@@ -25,7 +25,22 @@ type t = {
          activity attributable to this session's lifetime *)
   mutable errors : bool;
   mutable on_parse : (Node.t -> unit) option;
+  owner : Mutex.t;
+      (* ownership token: a session's document and dag are single-owner
+         mutable state, so [edit]/[reparse] refuse concurrent entry
+         ([Busy]) instead of corrupting them — the daemon's per-document
+         ordering makes [Busy] a scheduler bug, not a user error *)
 }
+
+exception Busy
+
+(* Mutating entry points hold the ownership token for their whole
+   duration.  [Mutex.try_lock] rather than [lock]: overlapping entry is a
+   caller bug (two domains driving one session), and blocking would just
+   hide the interleaving instead of reporting it. *)
+let owned t f =
+  if not (Mutex.try_lock t.owner) then raise Busy;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.owner) f
 
 type location = {
   offset_tokens : int;
@@ -406,7 +421,7 @@ let recover t ~t0 ~deadline ~degraded (error : Glr.error) =
           ];
       Recovered { flagged = !flagged; isolated = 0; degraded; error; location }
 
-let reparse t =
+let reparse_owned t =
   (* The per-edit root span: every glr/gss/reuse/commit event of this
      reparse nests inside it. *)
   Trace.span Trace.Session "reparse" @@ fun () ->
@@ -449,6 +464,8 @@ let reparse t =
       in
       recover t ~t0 ~deadline ~degraded:true error
 
+let reparse t = owned t (fun () -> reparse_owned t)
+
 let create ?(config = Glr.default_config) ?(budget = Glr.no_budget)
     ?(syn_filters = []) ?on_parse ~table ~lexer text =
   let baseline = Metrics.snapshot () in
@@ -463,13 +480,15 @@ let create ?(config = Glr.default_config) ?(budget = Glr.no_budget)
       baseline;
       errors = false;
       on_parse;
+      owner = Mutex.create ();
     }
   in
   (t, reparse t)
 
 let set_on_parse t hook = t.on_parse <- Some hook
+let set_budget t budget = t.budget <- budget
 
-let edit t ~pos ~del ~insert =
+let edit_owned t ~pos ~del ~insert =
   if Trace.enabled () then
     Trace.begin_span Trace.Session "edit"
       [
@@ -482,6 +501,8 @@ let edit t ~pos ~del ~insert =
   | exception e ->
       Trace.end_span Trace.Session "edit" [ ("exception", Trace.Bool true) ];
       raise e
+
+let edit t ~pos ~del ~insert = owned t (fun () -> edit_owned t ~pos ~del ~insert)
 
 (* ------------------------------------------------------------------ *)
 (* Error-region reporting.                                             *)

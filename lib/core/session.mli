@@ -87,6 +87,20 @@ val create :
 (** [set_on_parse t hook] — install or replace the post-parse hook. *)
 val set_on_parse : t -> (Parsedag.Node.t -> unit) -> unit
 
+(** [set_budget t b] — replace the budget applied to subsequent
+    reparses.  The parse-service daemon uses this to honour per-request
+    budgets on a long-lived session. *)
+val set_budget : t -> Glr.budget -> unit
+
+(** A session's document and parse dag are single-owner mutable state:
+    {!edit} and {!reparse} take an internal ownership token for their
+    whole duration and raise [Busy] when entered concurrently (or
+    re-entrantly, e.g. from an [on_parse] hook).  Callers that multiplex
+    sessions across domains must serialise requests per session — the
+    daemon's scheduler guarantees per-document ordering, so [Busy]
+    indicates a scheduling bug rather than a recoverable condition. *)
+exception Busy
+
 val metrics : t -> Metrics.snapshot
 (** Observability delta attributable to this session: the global
     {!Metrics} registry diffed against its state when the session was

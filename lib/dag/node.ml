@@ -31,8 +31,13 @@ type t = {
 }
 
 let nostate = -1
-let counter = ref 0
-let allocated () = !counter
+
+(* Node ids are allocated from a process-global atomic so dags built
+   concurrently on several domains (the parse-service daemon) never share
+   an id: traversals deduplicate by [nid], and a torn counter could hand
+   the same id to two nodes of one dag. *)
+let counter = Atomic.make 0
+let allocated () = Atomic.get counter
 
 (* Dag-maintenance observability: node allocations, choice packing, and
    the size of the region [commit] actually walks (the rebuilt part of
@@ -46,7 +51,7 @@ let sum_tcount kids =
   Array.fold_left (fun acc (k : t) -> acc + k.tcount) 0 kids
 
 let fresh kind state kids =
-  incr counter;
+  let nid = Atomic.fetch_and_add counter 1 + 1 in
   Metrics.incr m_nodes;
   let tcount =
     match kind with
@@ -56,7 +61,7 @@ let fresh kind state kids =
     | Prod _ | Error _ | Root -> sum_tcount kids
   in
   {
-    nid = !counter;
+    nid;
     kind;
     state;
     kids;

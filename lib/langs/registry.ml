@@ -1,0 +1,23 @@
+let all =
+  [
+    ("calc", Calc.language);
+    ("tiny", Tiny.language);
+    ("c", C_subset.language);
+    ("cpp", Cpp_subset.language);
+    ("lr2", Lr2.language);
+    ("modula2", Modula2.language);
+    ("lisp", Lisp.language);
+    ("java", Java_subset.language);
+  ]
+
+let names = List.map fst all
+let find name = List.assoc_opt name all
+
+let name_of lang =
+  match List.find_opt (fun (_, l) -> l == lang) all with
+  | Some (n, _) -> n
+  | None -> lang.Language.name
+
+let force lang =
+  ignore (Language.table lang : Lrtab.Table.t);
+  ignore (Language.lexer lang : Lexgen.Spec.t)

@@ -104,7 +104,14 @@ let compute_nt_actions analysis actions ~num_states:ns ~num_nts:nn =
   done;
   nt_actions
 
+(* LR-table constructions are expensive and meant to be shared (one lazy
+   per [Languages.Language.t], forced once per process): this counter
+   lets tooling assert that opening a second document of an
+   already-loaded language performs zero table builds. *)
+let m_builds = Metrics.counter "lrtab.table_builds"
+
 let build ?(algo = LALR) ?(resolve_prec = true) g =
+  Metrics.incr m_builds;
   let aug = Augment.augment g in
   let auto = Automaton.build aug in
   let analysis = Grammar.Analysis.compute aug.grammar in

@@ -80,6 +80,39 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Compact single-line rendering, no trailing newline: the framing unit
+   of the daemon's newline-delimited protocol (one JSON value per line,
+   so an embedded pretty-printer newline would split a message). *)
+let rec emit_line buf v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> emit buf 0 v
+  | List [] -> Buffer.add_string buf "[]"
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_line buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_line buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_line v =
+  let buf = Buffer.create 256 in
+  emit_line buf v;
+  Buffer.contents buf
+
 let to_file path v = Out_channel.with_open_bin path (fun oc ->
     Out_channel.output_string oc (to_string v))
 

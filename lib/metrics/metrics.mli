@@ -24,6 +24,11 @@ module Json : sig
   val to_string : t -> string
   val to_file : string -> t -> unit
 
+  val to_line : t -> string
+  (** Compact single-line rendering without a trailing newline — the
+      framing unit of newline-delimited protocols (the [iglrd]
+      daemon). *)
+
   exception Parse of string
 
   val of_string : string -> t

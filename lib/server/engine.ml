@@ -1,0 +1,371 @@
+module Json = Metrics.Json
+module Glr = Iglr.Glr
+module Session = Iglr.Session
+module Language = Languages.Language
+module Registry = Languages.Registry
+module P = Protocol
+
+(* Server-side observability: request traffic and scheduling shape. *)
+let m_requests = Metrics.counter "server.requests"
+let m_errors = Metrics.counter "server.rpc_errors"
+let m_opens = Metrics.counter "server.opens"
+let m_parses = Metrics.counter "server.parses"
+
+(* ------------------------------------------------------------------ *)
+(* Ordered response writer: completions arrive from any worker domain
+   in any order; [emit] sees them strictly in request order.           *)
+
+module Writer = struct
+  type t = {
+    m : Mutex.t;
+    mutable next : int;
+    buffered : (int, string) Hashtbl.t;
+    mutable emit : string -> unit;
+  }
+
+  let create emit = { m = Mutex.create (); next = 0; buffered = Hashtbl.create 16; emit }
+
+  let complete t seq line =
+    Mutex.lock t.m;
+    Hashtbl.replace t.buffered seq line;
+    while Hashtbl.mem t.buffered t.next do
+      t.emit (Hashtbl.find t.buffered t.next);
+      Hashtbl.remove t.buffered t.next;
+      t.next <- t.next + 1
+    done;
+    Mutex.unlock t.m
+end
+
+(* Dispatcher-side view of which documents are open, shared with the
+   open job (which must roll its id back if session creation fails):
+   mutations are rare, a single mutex suffices. *)
+module Live = struct
+  type t = { m : Mutex.t; tbl : (string, unit) Hashtbl.t }
+
+  let create () = { m = Mutex.create (); tbl = Hashtbl.create 16 }
+
+  let mem t k =
+    Mutex.lock t.m;
+    let r = Hashtbl.mem t.tbl k in
+    Mutex.unlock t.m;
+    r
+
+  let add t k =
+    Mutex.lock t.m;
+    Hashtbl.replace t.tbl k ();
+    Mutex.unlock t.m
+
+  let remove t k =
+    Mutex.lock t.m;
+    Hashtbl.remove t.tbl k;
+    Mutex.unlock t.m
+end
+
+type t = {
+  pool : Pool.t;
+  sched : Scheduler.t;
+  writer : Writer.t;
+  live : Live.t;
+  max_payload : int;
+  mutable seq : int;  (* dispatcher-only *)
+  mutable served : int;  (* dispatcher-only: requests accepted *)
+  mutable loaded : string list;  (* dispatcher-only: languages forced *)
+  ambig_m : Mutex.t;
+  ambig_cache : (string * int, Json.t) Hashtbl.t;
+}
+
+let pool t = t.pool
+let requests t = t.served
+let jobs t = Scheduler.jobs t.sched
+
+let create ?jobs ?(max_payload = 8 * 1024 * 1024) ~emit () =
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  {
+    pool = Pool.create ();
+    sched = Scheduler.create ~jobs;
+    writer = Writer.create emit;
+    live = Live.create ();
+    max_payload;
+    seq = 0;
+    served = 0;
+    loaded = [];
+    ambig_m = Mutex.create ();
+    ambig_cache = Hashtbl.create 8;
+  }
+
+let drain t = Scheduler.drain t.sched
+let shutdown t = Scheduler.shutdown t.sched
+
+let set_emit t emit =
+  Mutex.lock t.writer.Writer.m;
+  t.writer.Writer.emit <- emit;
+  Mutex.unlock t.writer.Writer.m
+
+let respond t seq line = Writer.complete t.writer seq line
+
+let respond_err t seq ~id e =
+  Metrics.incr m_errors;
+  respond t seq (P.err ~id e)
+
+(* ------------------------------------------------------------------ *)
+(* Document handlers — run on worker domains under per-doc ordering.   *)
+
+let with_entry t ~id doc f =
+  match Pool.find t.pool doc with
+  | None -> P.err ~id { P.code = P.e_unknown_doc; message = "unknown doc " ^ doc }
+  | Some e -> f e
+
+let do_open t ~id ~doc ~lang_name lang ~text ~budget () =
+  match
+    Session.create ?budget ~table:(Language.table lang)
+      ~lexer:(Language.lexer lang) text
+  with
+  | session, outcome ->
+      Pool.add t.pool { Pool.doc; lang_name; lang; session };
+      Metrics.incr m_opens;
+      P.ok ~id
+        (Json.Obj
+           [
+             ("doc", Json.String doc);
+             ("lang", Json.String lang_name);
+             ("outcome", P.outcome_to_json outcome);
+           ])
+  | exception Lexgen.Scanner.Lex_error e ->
+      (* The document never existed: roll back the dispatcher's
+         optimistic registration so the id can be reused. *)
+      Live.remove t.live doc;
+      P.err ~id
+        {
+          P.code = P.e_lex;
+          message =
+            Printf.sprintf "text is not scannable at byte %d"
+              e.Lexgen.Scanner.error_pos;
+        }
+
+let do_edit t ~id ~doc edits () =
+  with_entry t ~id doc @@ fun e ->
+  let applied = ref 0 in
+  match
+    List.iter
+      (fun (op : P.edit_op) ->
+        Session.edit e.Pool.session ~pos:op.P.pos ~del:op.P.del
+          ~insert:op.P.insert;
+        incr applied)
+      edits
+  with
+  | () ->
+      P.ok ~id
+        (Json.Obj
+           [ ("doc", Json.String doc); ("applied", Json.Int !applied) ])
+  | exception Lexgen.Scanner.Lex_error le ->
+      (* Edits before the offender stay applied (each is atomic); the
+         offender itself was rejected with the document unchanged. *)
+      P.err ~id
+        {
+          P.code = P.e_lex;
+          message =
+            Printf.sprintf
+              "edit %d of %d rejected: unscannable at byte %d (%d edit(s) \
+               remain applied)"
+              (!applied + 1) (List.length edits)
+              le.Lexgen.Scanner.error_pos !applied;
+        }
+  | exception Invalid_argument msg ->
+      P.err ~id
+        {
+          P.code = P.e_params;
+          message =
+            Printf.sprintf "edit %d of %d rejected: %s (%d edit(s) remain \
+                            applied)"
+              (!applied + 1) (List.length edits) msg !applied;
+        }
+
+let do_parse ~id ~doc ~budget ~timing t () =
+  with_entry t ~id doc @@ fun e ->
+  Metrics.incr m_parses;
+  let s = e.Pool.session in
+  let saved = Session.budget s in
+  (match budget with Some b -> Session.set_budget s b | None -> ());
+  let t0 = Metrics.now_ms () in
+  let outcome = Session.reparse s in
+  let ms = Metrics.now_ms () -. t0 in
+  (match budget with Some _ -> Session.set_budget s saved | None -> ());
+  P.ok ~id
+    (Json.Obj
+       ([
+          ("doc", Json.String doc); ("outcome", P.outcome_to_json outcome);
+        ]
+       @ if timing then [ ("ms", Json.Float ms) ] else []))
+
+let do_errors t ~id ~doc () =
+  with_entry t ~id doc @@ fun e ->
+  P.ok ~id
+    (Json.Obj
+       [
+         ("doc", Json.String doc);
+         ("regions", P.regions_to_json (Session.error_regions e.Pool.session));
+       ])
+
+(* Ambiguity reports are a property of the language, not of the
+   document's current text: computed once per (language, K) and shared
+   by every document of that language. *)
+let ambig_report t lang_name lang max_len =
+  let key = (lang_name, max_len) in
+  Mutex.lock t.ambig_m;
+  let cached = Hashtbl.find_opt t.ambig_cache key in
+  Mutex.unlock t.ambig_m;
+  match cached with
+  | Some j -> j
+  | None ->
+      let spec = lang.Language.ambig in
+      let config =
+        Analyze.Ambig.config ~syn_filters:spec.Language.syn_filters
+          ?sem_policy:spec.Language.sem_policy
+          ~sem_preamble:spec.Language.sem_preamble
+          ~lexemes:spec.Language.lexemes ~max_len (Language.table lang)
+      in
+      let j =
+        Analyze.Ambig.to_json ~language:lang_name
+          (Analyze.Ambig.analyze config)
+      in
+      Mutex.lock t.ambig_m;
+      Hashtbl.replace t.ambig_cache key j;
+      Mutex.unlock t.ambig_m;
+      j
+
+let do_ambig t ~id ~doc ~max_len () =
+  with_entry t ~id doc @@ fun e ->
+  P.ok ~id
+    (Json.Obj
+       [
+         ("doc", Json.String doc);
+         ("report", ambig_report t e.Pool.lang_name e.Pool.lang max_len);
+       ])
+
+let do_doc_stats t ~id ~doc ~metrics () =
+  with_entry t ~id doc @@ fun e ->
+  let s = e.Pool.session in
+  P.ok ~id
+    (Json.Obj
+       ([
+          ("doc", Json.String doc);
+          ("lang", Json.String e.Pool.lang_name);
+          ("tokens", Json.Int (Parsedag.Node.token_count (Session.root s)));
+          ("has_errors", Json.Bool (Session.has_errors s));
+        ]
+       @
+       if metrics then [ ("metrics", Metrics.to_json (Session.metrics s)) ]
+       else []))
+
+let do_close t ~id ~doc () =
+  with_entry t ~id doc @@ fun e ->
+  ignore e;
+  Pool.remove t.pool doc;
+  P.ok ~id (Json.Obj [ ("doc", Json.String doc); ("closed", Json.Bool true) ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+
+(* A handler must ALWAYS complete its sequence slot, or the ordered
+   writer stalls every later response: uncaught exceptions become
+   [e_internal] envelopes. *)
+let submit t ~seq ~key ~id handler =
+  Scheduler.submit t.sched ~key (fun () ->
+      let line =
+        try handler ()
+        with exn ->
+          Metrics.incr m_errors;
+          P.err ~id
+            { P.code = P.e_internal; message = Printexc.to_string exn }
+      in
+      respond t seq line)
+
+let server_stats t ~id ~metrics =
+  P.ok ~id
+    (Json.Obj
+       ([
+          ("docs", Json.List (List.map (fun d -> Json.String d) (Pool.ids t.pool)));
+          ("requests", Json.Int t.served);
+          ( "languages",
+            Json.List
+              (List.map (fun l -> Json.String l) (List.sort compare t.loaded))
+          );
+          ("jobs", Json.Int (jobs t));
+        ]
+       @
+       if metrics then [ ("metrics", Metrics.to_json (Metrics.snapshot ())) ]
+       else []))
+
+let handle_line t line =
+  if String.trim line <> "" then begin
+    let seq = t.seq in
+    t.seq <- t.seq + 1;
+    t.served <- t.served + 1;
+    Metrics.incr m_requests;
+    if String.length line > t.max_payload then
+      respond_err t seq ~id:Json.Null
+        {
+          P.code = P.e_payload;
+          message =
+            Printf.sprintf "request of %d bytes exceeds the %d-byte cap"
+              (String.length line) t.max_payload;
+        }
+    else
+      match P.decode line with
+      | Error (id, e) -> respond_err t seq ~id e
+      | Ok (id, req) -> (
+          let reject code message =
+            respond_err t seq ~id { P.code = code; message }
+          in
+          match req with
+          | P.Stats { doc = None; metrics } ->
+              respond t seq (server_stats t ~id ~metrics)
+          | P.Open { doc; lang; text; budget } -> (
+              if Live.mem t.live doc then
+                reject P.e_doc_exists ("doc already open: " ^ doc)
+              else
+                match Registry.find lang with
+                | None -> reject P.e_unknown_lang ("unknown language " ^ lang)
+                | Some l ->
+                    (* Force the shared lazies HERE, on the single
+                       dispatcher thread: Lazy.force is not safe against
+                       concurrent forcing from worker domains, and this
+                       is also what guarantees one table build per
+                       language per process. *)
+                    Registry.force l;
+                    if not (List.mem lang t.loaded) then
+                      t.loaded <- lang :: t.loaded;
+                    Live.add t.live doc;
+                    submit t ~seq ~key:doc ~id
+                      (do_open t ~id ~doc ~lang_name:lang l ~text ~budget))
+          | _ -> (
+              let doc = Option.get (P.doc_of req) in
+              if not (Live.mem t.live doc) then
+                reject P.e_unknown_doc ("unknown doc " ^ doc)
+              else begin
+                (match req with
+                | P.Close _ ->
+                    (* Unregister synchronously: a request sent after the
+                       close is answered [unknown doc] even though the
+                       session teardown itself runs later, in order. *)
+                    Live.remove t.live doc
+                | _ -> ());
+                match req with
+                | P.Edit { edits; _ } ->
+                    submit t ~seq ~key:doc ~id (do_edit t ~id ~doc edits)
+                | P.Parse { budget; timing; _ } ->
+                    submit t ~seq ~key:doc ~id
+                      (do_parse ~id ~doc ~budget ~timing t)
+                | P.Errors _ -> submit t ~seq ~key:doc ~id (do_errors t ~id ~doc)
+                | P.Ambig { max_len; _ } ->
+                    submit t ~seq ~key:doc ~id (do_ambig t ~id ~doc ~max_len)
+                | P.Stats { metrics; _ } ->
+                    submit t ~seq ~key:doc ~id (do_doc_stats t ~id ~doc ~metrics)
+                | P.Close _ -> submit t ~seq ~key:doc ~id (do_close t ~id ~doc)
+                | P.Open _ -> assert false
+              end))
+  end

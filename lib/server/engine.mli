@@ -1,0 +1,50 @@
+(** The daemon's request engine: decode → dispatch → respond.
+
+    One engine holds the session pool, the domain scheduler and the
+    response writer.  {!handle_line} is the single entry point for a
+    request line and MUST be called from one thread per engine (the
+    dispatcher — [iglrd]'s read loop); it validates the request, answers
+    protocol-level failures immediately, and enqueues document work on
+    the scheduler keyed by document id, so requests for one document
+    execute in submission order while documents parse in parallel.
+
+    Responses are handed to [emit] strictly in request order (a reorder
+    buffer holds out-of-order completions), so a serial client reading
+    line-by-line sees classic RPC behaviour even over a parallel
+    engine.  [emit] is called with the writer lock held, possibly from a
+    worker domain: keep it cheap (write + flush).
+
+    Every request produces exactly one response; handler exceptions are
+    folded into [e_internal] error envelopes.  The engine never raises
+    from {!handle_line}. *)
+
+type t
+
+val create : ?jobs:int -> ?max_payload:int -> emit:(string -> unit) -> unit -> t
+(** [jobs] worker domains (default
+    [Domain.recommended_domain_count () - 1], clamped ≥ 1; [0] = inline
+    deterministic execution).  [max_payload] caps the accepted request
+    line length in bytes (default 8 MiB); longer lines are answered with
+    [e_payload] without being parsed. *)
+
+val set_emit : t -> (string -> unit) -> unit
+(** Replace the response sink.  Call only when the engine is drained (no
+    in-flight jobs) — the socket server swaps sinks between connections,
+    never mid-request. *)
+
+val handle_line : t -> string -> unit
+(** Process one request line (without its terminating newline).
+    Whitespace-only lines are ignored. *)
+
+val drain : t -> unit
+(** Block until every in-flight document job has completed and its
+    response has been emitted. *)
+
+val shutdown : t -> unit
+(** Drain, then stop the worker domains. *)
+
+(** {1 Introspection} — for tests and the bench harness. *)
+
+val pool : t -> Pool.t
+val requests : t -> int
+val jobs : t -> int

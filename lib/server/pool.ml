@@ -1,0 +1,24 @@
+type entry = {
+  doc : string;
+  lang_name : string;
+  lang : Languages.Language.t;
+  session : Iglr.Session.t;
+}
+
+type t = { m : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let create () = { m = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let add t entry = locked t (fun () -> Hashtbl.replace t.tbl entry.doc entry)
+let find t doc = locked t (fun () -> Hashtbl.find_opt t.tbl doc)
+let remove t doc = locked t (fun () -> Hashtbl.remove t.tbl doc)
+
+let ids t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare)
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)

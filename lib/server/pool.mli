@@ -1,0 +1,29 @@
+(** The daemon's session pool: one {!Iglr.Session.t} per open document,
+    keyed by document id.
+
+    Grammar, LR table and lexer DFA are NOT per-entry state: they come
+    from the shared {!Languages.Registry} lazies, constructed once per
+    process and shared immutably across every session of a language.
+
+    The table is thread-safe (a mutex guards the map); the sessions
+    inside are not — callers must respect the scheduler's per-document
+    ordering when touching an entry's session. *)
+
+type entry = {
+  doc : string;
+  lang_name : string;
+  lang : Languages.Language.t;
+  session : Iglr.Session.t;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+val find : t -> string -> entry option
+val remove : t -> string -> unit
+
+val ids : t -> string list
+(** Open document ids, sorted. *)
+
+val size : t -> int

@@ -1,0 +1,98 @@
+(** The [iglrd] wire protocol: newline-delimited JSON-RPC under the
+    [iglr-analysis/1] envelope shared with [iglrc lint]/[ambig]/
+    [filtcomp].
+
+    One request per line, one response per line.  Requests:
+
+    {v
+    {"id": 1, "method": "open",
+     "params": {"doc": "a.c", "lang": "c", "text": "...",
+                "budget": {"deadline_ms": 50}}}
+    v}
+
+    Responses echo the request id inside the envelope:
+
+    {v
+    {"schema": "iglr-analysis/1", "tool": "iglrd", "id": 1,
+     "result": {...}}
+    {"schema": "iglr-analysis/1", "tool": "iglrd", "id": null,
+     "error": {"code": -32700, "message": "..."}}
+    v}
+
+    Every failure — malformed JSON, unknown method or document, a lexer
+    rejecting an edit, an uncaught handler exception — comes back as a
+    structured [error] envelope; the daemon never drops a request or
+    lets an exception cross the wire. *)
+
+module Json = Metrics.Json
+
+type edit_op = { pos : int; del : int; insert : string }
+
+type request =
+  | Open of {
+      doc : string;
+      lang : string;
+      text : string;
+      budget : Iglr.Glr.budget option;
+    }
+  | Edit of { doc : string; edits : edit_op list }
+      (** Textual edits only — no reparse.  Consecutive [Edit] requests
+          coalesce in the document's pending-change bits until the next
+          [Parse] pays for a single incremental reparse. *)
+  | Parse of { doc : string; budget : Iglr.Glr.budget option; timing : bool }
+  | Errors of { doc : string }
+  | Ambig of { doc : string; max_len : int }
+  | Stats of { doc : string option; metrics : bool }
+  | Close of { doc : string }
+
+val doc_of : request -> string option
+(** The document a request addresses; [None] for server-scoped
+    requests (a doc-less [Stats]). *)
+
+type rpc_error = { code : int; message : string }
+
+(** {1 Error codes} — JSON-RPC reserved codes plus application codes. *)
+
+val e_parse : int  (** -32700: line is not valid JSON *)
+
+val e_invalid_request : int  (** -32600: not an object / missing method *)
+
+val e_method : int  (** -32601: unknown method *)
+
+val e_params : int  (** -32602: missing or ill-typed params *)
+
+val e_internal : int  (** -32603: uncaught exception in the handler *)
+
+val e_unknown_doc : int  (** -32001 *)
+
+val e_doc_exists : int  (** -32002 *)
+
+val e_unknown_lang : int  (** -32003 *)
+
+val e_lex : int  (** -32004: an edit produced unscannable text *)
+
+val e_payload : int  (** -32005: request line exceeds the payload cap *)
+
+(** {1 Decoding} *)
+
+val decode : string -> (Json.t * request, Json.t * rpc_error) result
+(** [decode line] — parse one request line.  The [Json.t] component is
+    the request id ([Null] when absent or undecodable), echoed in the
+    response either way. *)
+
+val budget_of_json : Json.t -> Iglr.Glr.budget
+(** Partial budget object ([max_parsers]/[max_nodes]/[deadline_ms]);
+    absent fields keep {!Iglr.Glr.no_budget}'s values. *)
+
+(** {1 Encoding} *)
+
+val ok : id:Json.t -> Json.t -> string
+(** One response line (no trailing newline): result envelope. *)
+
+val err : id:Json.t -> rpc_error -> string
+
+val outcome_to_json : Iglr.Session.outcome -> Json.t
+(** [{"status":"parsed",...stats}] or [{"status":"recovered",...}]. *)
+
+val edit_to_json : edit_op -> Json.t
+val regions_to_json : Iglr.Session.region list -> Json.t

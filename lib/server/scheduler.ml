@@ -1,0 +1,110 @@
+(* Per-key serialisation is carried by a tiny state machine per key:
+
+     Idle    — no pending jobs, not on the ready queue
+     Queued  — pending jobs, waiting on the ready queue
+     Running — a worker is executing this key's next job
+
+   A key is on the ready queue exactly when Queued, and at most one
+   worker runs a given key at a time, so jobs with equal keys execute in
+   submission order without overlap.  Workers take ONE job per
+   dispatch — a key with a long backlog cannot starve its siblings. *)
+
+type dstate = Idle | Queued | Running
+type dq = { pending : (unit -> unit) Queue.t; mutable state : dstate }
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when the ready queue grows *)
+  idle : Condition.t;  (* signalled when in-flight work completes *)
+  keys : (string, dq) Hashtbl.t;
+  ready : string Queue.t;
+  mutable unfinished : int;  (* submitted and not yet completed *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = List.length t.workers
+
+let rec worker t =
+  Mutex.lock t.m;
+  while (not t.stop) && Queue.is_empty t.ready do
+    Condition.wait t.work t.m
+  done;
+  if t.stop && Queue.is_empty t.ready then Mutex.unlock t.m
+  else begin
+    let key = Queue.pop t.ready in
+    let dq = Hashtbl.find t.keys key in
+    dq.state <- Running;
+    let job = Queue.pop dq.pending in
+    Mutex.unlock t.m;
+    (try job () with _ -> ());
+    Mutex.lock t.m;
+    t.unfinished <- t.unfinished - 1;
+    if Queue.is_empty dq.pending then dq.state <- Idle
+    else begin
+      dq.state <- Queued;
+      Queue.push key t.ready;
+      Condition.signal t.work
+    end;
+    if t.unfinished = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.m;
+    worker t
+  end
+
+let create ~jobs =
+  let jobs = max 0 (min jobs (max 1 (Domain.recommended_domain_count () - 1))) in
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      keys = Hashtbl.create 16;
+      ready = Queue.create ();
+      unfinished = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ~key job =
+  if t.workers = [] then ( (* inline mode: deterministic, single-threaded *)
+    try job () with _ -> ())
+  else begin
+    Mutex.lock t.m;
+    let dq =
+      match Hashtbl.find_opt t.keys key with
+      | Some dq -> dq
+      | None ->
+          let dq = { pending = Queue.create (); state = Idle } in
+          Hashtbl.replace t.keys key dq;
+          dq
+    in
+    Queue.push job dq.pending;
+    t.unfinished <- t.unfinished + 1;
+    if dq.state = Idle then begin
+      dq.state <- Queued;
+      Queue.push key t.ready;
+      Condition.signal t.work
+    end;
+    Mutex.unlock t.m
+  end
+
+let drain t =
+  if t.workers <> [] then begin
+    Mutex.lock t.m;
+    while t.unfinished > 0 do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m
+  end
+
+let shutdown t =
+  drain t;
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []

@@ -1,0 +1,32 @@
+(** Work queue over OCaml 5 domains with per-key FIFO ordering.
+
+    Jobs are keyed by document id: jobs sharing a key run strictly in
+    submission order and never overlap (a session is single-owner mutable
+    state), while jobs for different keys run in parallel on the worker
+    domains.  This is the concurrency discipline the daemon's session
+    pool relies on — it is what makes {!Iglr.Session.Busy} unreachable.
+
+    With [jobs = 0] there are no worker domains and [submit] runs the
+    job inline before returning: the deterministic mode used by the
+    stdio golden tests and by [iglrd --serial]. *)
+
+type t
+
+val create : jobs:int -> t
+(** [jobs] worker domains ([0] = inline execution).  Values above
+    [Domain.recommended_domain_count () - 1] are clamped. *)
+
+val jobs : t -> int
+(** Actual worker count after clamping. *)
+
+val submit : t -> key:string -> (unit -> unit) -> unit
+(** Enqueue a job.  Exceptions escaping the job are swallowed (jobs are
+    expected to report their own failures — the engine wraps every
+    handler in a structured-error envelope). *)
+
+val drain : t -> unit
+(** Block until every submitted job has finished. *)
+
+val shutdown : t -> unit
+(** Drain, then stop and join the worker domains.  The scheduler must
+    not be used afterwards. *)

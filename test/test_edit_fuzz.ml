@@ -250,6 +250,107 @@ let compiled_replay lang base (seed, count) =
             "compiled table accepted dynamically-rejected text %S" !text)
     script
 
+(* Daemon-differential mode: the same random edit scripts replay through
+   the full iglrd RPC codec — every edit is serialized to a request line
+   (JSON string escaping and all), decoded by the engine, and applied to
+   the pooled session — and after every edit the daemon-side document
+   must agree byte-for-byte with a directly-edited Session, with the
+   final dags sexp-identical.  This pins the wire codec as a faithful
+   transport: whatever bytes Edit_gen produces (newlines, quotes,
+   comment openers), encode → decode → apply = apply. *)
+let daemon_replay lang base (seed, count) =
+  let module Json = Metrics.Json in
+  let lang_name = Languages.Registry.name_of lang in
+  let script = Edit_gen.random_script ~seed ~count base in
+  let responses = ref [] in
+  let engine =
+    Server.Engine.create ~jobs:0 ~emit:(fun l -> responses := l :: !responses) ()
+  in
+  Fun.protect ~finally:(fun () -> Server.Engine.shutdown engine) @@ fun () ->
+  let rpc fields =
+    let before = List.length !responses in
+    Server.Engine.handle_line engine (Json.to_line (Json.Obj fields));
+    match !responses with
+    | r :: _ when List.length !responses = before + 1 -> (
+        let j = Json.of_string r in
+        match Json.member "error" j with
+        | Some e ->
+            QCheck.Test.fail_reportf "daemon rejected a fuzz request: %s"
+              (Json.to_line e)
+        | None -> j)
+    | _ -> QCheck.Test.fail_report "daemon dropped a response"
+  in
+  ignore
+    (rpc
+       [
+         ("id", Json.Int 0);
+         ("method", Json.String "open");
+         ( "params",
+           Json.Obj
+             [
+               ("doc", Json.String "fuzz");
+               ("lang", Json.String lang_name);
+               ("text", Json.String base);
+             ] );
+       ]);
+  let direct, _ =
+    Session.create ~table:(Language.table lang) ~lexer:(Language.lexer lang)
+      base
+  in
+  let daemon_session () =
+    match Server.Pool.find (Server.Engine.pool engine) "fuzz" with
+    | Some e -> e.Server.Pool.session
+    | None -> QCheck.Test.fail_report "fuzz doc missing from the pool"
+  in
+  List.iteri
+    (fun i (e : Edit_gen.edit) ->
+      ignore
+        (rpc
+           [
+             ("id", Json.Int (i + 1));
+             ("method", Json.String "edit");
+             ( "params",
+               Json.Obj
+                 [
+                   ("doc", Json.String "fuzz");
+                   ( "edits",
+                     Json.List
+                       [
+                         Json.Obj
+                           [
+                             ("pos", Json.Int e.Edit_gen.e_pos);
+                             ("del", Json.Int e.Edit_gen.e_del);
+                             ("insert", Json.String e.Edit_gen.e_insert);
+                           ];
+                       ] );
+                 ] );
+           ]);
+      Session.edit direct ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+        ~insert:e.Edit_gen.e_insert;
+      if not (String.equal (Session.text (daemon_session ())) (Session.text direct))
+      then
+        QCheck.Test.fail_reportf
+          "RPC-transported edit %d diverged from direct application" i;
+      ignore
+        (rpc
+           [
+             ("id", Json.Int (-(i + 1)));
+             ("method", Json.String "parse");
+             ("params", Json.Obj [ ("doc", Json.String "fuzz") ]);
+           ]);
+      ignore (Session.reparse direct))
+    script;
+  let got =
+    Parsedag.Pp.to_sexp lang.Language.grammar
+      (Session.root (daemon_session ()))
+  in
+  let expected =
+    Parsedag.Pp.to_sexp lang.Language.grammar (Session.root direct)
+  in
+  if not (String.equal got expected) then
+    QCheck.Test.fail_report "daemon-side dag diverged from direct session";
+  true
+
 let arb_script =
   QCheck.(pair (int_bound 1_000_000) (int_range 1 8))
 
@@ -272,6 +373,16 @@ let prop_compiled_c =
   QCheck.Test.make ~count:40
     ~name:"edit fuzz: C compiled table = dynamic pipeline" arb_script
     (compiled_replay Languages.C_subset.language base_c)
+
+let prop_daemon_calc =
+  QCheck.Test.make ~count:30
+    ~name:"edit fuzz: calc via RPC codec = direct session" arb_script
+    (daemon_replay Languages.Calc.language base_calc)
+
+let prop_daemon_c =
+  QCheck.Test.make ~count:30
+    ~name:"edit fuzz: C via RPC codec = direct session" arb_script
+    (daemon_replay Languages.C_subset.language base_c)
 
 let prop_fault_calc =
   QCheck.Test.make ~count:40
@@ -324,6 +435,8 @@ let suite =
     Test_seed.to_alcotest prop_c;
     Test_seed.to_alcotest prop_compiled_calc;
     Test_seed.to_alcotest prop_compiled_c;
+    Test_seed.to_alcotest prop_daemon_calc;
+    Test_seed.to_alcotest prop_daemon_c;
     Test_seed.to_alcotest prop_fault_calc;
     Test_seed.to_alcotest prop_fault_c;
     Alcotest.test_case "reuse invariant: single-token edit >= 90%" `Quick

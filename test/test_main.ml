@@ -30,4 +30,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("recovery", Test_recovery.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);
+      ("server-protocol", Test_server_protocol.suite);
+      ("server-concurrency", Test_server_concurrency.suite);
     ]
