@@ -92,6 +92,28 @@ let print_recovered ~flagged ~isolated ~degraded ~(error : Iglr.Glr.error)
     (if isolated = 0 then " (flag-only recovery)" else "")
     (if degraded then " [degraded: budget exhausted]" else "")
 
+(* One emission point for the iglr-analysis/1 JSON envelope shared by
+   parse --stats=json/lint/ambig/filtcomp (and, over the wire, by the
+   iglrd daemon's response encoder): a single language prints its own
+   document, --all wraps the per-language documents in one aggregate.
+   Keeping every JSON surface on this helper (or on
+   [Metrics.Json.to_line] server-side) is what stops the schema
+   drifting between the tools. *)
+let analysis_schema = "iglr-analysis/1"
+
+let envelope_doc ~tool fields =
+  Metrics.Json.Obj
+    (("schema", Metrics.Json.String analysis_schema)
+    :: ("tool", Metrics.Json.String tool)
+    :: fields)
+
+let print_envelope ~tool docs =
+  print_endline
+    (Metrics.Json.to_string
+       (match docs with
+       | [ d ] -> d
+       | ds -> envelope_doc ~tool [ ("languages", Metrics.Json.List ds) ]))
+
 let print_stats (st : Iglr.Glr.stats) =
   Printf.printf
     "parse: terminals=%d subtrees=%d reductions=%d breakdowns=%d \
@@ -152,8 +174,19 @@ let parse_cmd =
     | None -> ()
     | Some `Text -> Format.printf "%a" Metrics.pp (Iglr.Session.metrics s)
     | Some `Json ->
-        print_string
-          (Metrics.Json.to_string (Metrics.to_json (Iglr.Session.metrics s))));
+        let name =
+          match List.find_opt (fun (_, l) -> l == lang) languages with
+          | Some (n, _) -> n
+          | None -> "?"
+        in
+        print_envelope ~tool:"parse"
+          [
+            envelope_doc ~tool:"parse"
+              [
+                ("language", Metrics.Json.String name);
+                ("metrics", Metrics.to_json (Iglr.Session.metrics s));
+              ];
+          ]);
     (* Scripting: exit 2 on a syntax error (0 = clean parse). *)
     if errors then exit 2
   in
@@ -171,22 +204,6 @@ let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Show parse-table statistics and conflicts")
     Term.(const run $ lang_arg)
-
-(* One emission point for the iglr-analysis/1 JSON envelope shared by
-   lint/ambig/filtcomp: a single language prints its own document, --all
-   wraps the per-language documents in one aggregate. *)
-let print_envelope ~tool docs =
-  print_endline
-    (Metrics.Json.to_string
-       (match docs with
-       | [ d ] -> d
-       | ds ->
-           Metrics.Json.Obj
-             [
-               ("schema", Metrics.Json.String "iglr-analysis/1");
-               ("tool", Metrics.Json.String tool);
-               ("languages", Metrics.Json.List ds);
-             ]))
 
 (* The declared dynamic filters of a language, as (rules, compilation
    specs) — what both the dead-filter lint and filtcomp analyze. *)

@@ -2,8 +2,10 @@
 
    Speaks newline-delimited JSON-RPC (iglr-analysis/1 envelopes) over
    stdio by default, or over a Unix-domain socket with [--socket].
-   Methods: open, edit, parse, errors, ambig, stats, close — see
-   README.md "Running the daemon".
+   Methods: open, edit, parse, errors, ambig, stats, telemetry, close —
+   see README.md "Running the daemon".  [--log FILE] appends a
+   structured JSON access log; SIGUSR1 dumps the health snapshot and
+   slow-request flight recorder to stderr.
 
    One engine per process: the session pool, the shared language tables
    and the worker domains are common to every connection, so a socket
@@ -29,8 +31,6 @@ let serve_channel engine ic oc =
    with End_of_file -> ());
   Server.Engine.drain engine
 
-let serve_stdio engine = serve_channel engine stdin stdout
-
 let serve_socket engine path =
   (* A stale socket file from a previous run would make [bind] fail. *)
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -52,16 +52,70 @@ let serve_socket engine path =
       in
       loop ())
 
-let run serial jobs socket max_payload =
-  let jobs = if serial then Some 0 else jobs in
-  let engine =
-    Server.Engine.create ?jobs ?max_payload ~emit:(fun _ -> ()) ()
+(* SIGUSR1 dumps the health snapshot and the slow-request flight
+   recorder to stderr without disturbing the protocol stream.  The
+   handler only sets a flag; the dump itself runs on the dispatcher
+   thread between requests (engine introspection is not async-safe). *)
+let dump_requested = ref false
+
+let dump_telemetry engine =
+  dump_requested := false;
+  let j =
+    Metrics.Json.Obj
+      [
+        ("health", Server.Engine.health engine);
+        ("flight", Server.Engine.flight engine);
+      ]
   in
+  prerr_endline (Metrics.Json.to_line j)
+
+let serve_channel_with_dump engine ic oc =
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  Server.Engine.set_emit engine emit;
+  (try
+     while true do
+       let line = input_line ic in
+       Server.Engine.handle_line engine line;
+       if !dump_requested then dump_telemetry engine
+     done
+   with End_of_file -> ());
+  Server.Engine.drain engine;
+  if !dump_requested then dump_telemetry engine
+
+let run serial jobs socket max_payload log_file =
+  let jobs = if serial then Some 0 else jobs in
+  let log_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      log_file
+  in
+  let log =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      log_oc
+  in
+  let engine =
+    Server.Engine.create ?jobs ?max_payload ?log ~emit:(fun _ -> ()) ()
+  in
+  (try
+     ignore
+       (Sys.signal Sys.sigusr1
+          (Sys.Signal_handle (fun _ -> dump_requested := true)))
+   with Invalid_argument _ | Sys_error _ -> ());
   Fun.protect
-    ~finally:(fun () -> Server.Engine.shutdown engine)
+    ~finally:(fun () ->
+      Server.Engine.shutdown engine;
+      Option.iter close_out log_oc)
     (fun () ->
       match socket with
-      | None -> serve_stdio engine
+      | None -> serve_channel_with_dump engine stdin stdout
       | Some path -> serve_socket engine path)
 
 let serial_arg =
@@ -102,6 +156,16 @@ let max_payload_arg =
           "Reject request lines longer than $(docv) bytes with a \
            structured error (default 8 MiB).")
 
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append one structured JSON access-log line per response to \
+           $(docv): request id, client id, method, doc, ok/error status \
+           and end-to-end latency, in response order.")
+
 let () =
   let info =
     Cmd.info "iglrd"
@@ -110,4 +174,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(const run $ serial_arg $ jobs_arg $ socket_arg $ max_payload_arg)))
+          Term.(
+            const run $ serial_arg $ jobs_arg $ socket_arg $ max_payload_arg
+            $ log_arg)))

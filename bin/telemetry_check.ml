@@ -1,0 +1,112 @@
+(* telemetry_check — validator behind `dune build @telemetry-smoke`.
+
+   Takes the transcript of a scripted --serial daemon conversation and
+   the access log the same run produced, and checks the observability
+   contract end to end:
+
+   - every response line carries the iglr-analysis/1 envelope and a
+     dense, in-order [req] correlation id;
+   - the [telemetry view:"metrics"] payload parses under the strict
+     OpenMetrics reader and contains a live request counter;
+   - the health and flight views have their expected shapes, and the
+     flight recorder saw the scripted parse;
+   - every access-log line is valid JSON with a [req] field.
+
+   Finally the access log is re-emitted on stdout with its latency
+   field dropped, so the caller can golden-diff the deterministic rest
+   (req, id, method, doc, status). *)
+
+module J = Metrics.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("telemetry_check: " ^ m);
+      exit 1)
+    fmt
+
+let read_lines path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some l -> go (if String.trim l = "" then acc else l :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+let has name j = J.member name j <> None
+
+let () =
+  let transcript, access =
+    match Sys.argv with
+    | [| _; t; a |] -> (t, a)
+    | _ -> fail "usage: telemetry_check TRANSCRIPT ACCESS_LOG"
+  in
+  let responses = read_lines transcript in
+  if responses = [] then fail "empty transcript";
+  (* 1. Envelope + dense request-id sequence. *)
+  List.iteri
+    (fun i line ->
+      let j =
+        try J.of_string line
+        with J.Parse m -> fail "response %d: malformed JSON: %s" i m
+      in
+      (match J.member "schema" j with
+      | Some (J.String "iglr-analysis/1") -> ()
+      | _ -> fail "response %d: missing iglr-analysis/1 schema" i);
+      match Option.bind (J.member "req" j) J.to_int with
+      | Some r when r = i -> ()
+      | Some r -> fail "response %d: req=%d out of order" i r
+      | None -> fail "response %d: missing req correlation id" i)
+    responses;
+  let results = List.filter_map (fun l -> J.member "result" (J.of_string l)) responses in
+  (* 2. The OpenMetrics payload round-trips through the strict parser. *)
+  (match
+     List.filter_map
+       (fun r -> Option.bind (J.member "openmetrics" r) J.to_str)
+       results
+   with
+  | [ text ] -> (
+      match Metrics.Openmetrics.parse text with
+      | Error m -> fail "openmetrics rejected: %s" m
+      | Ok samples -> (
+          match
+            Metrics.Openmetrics.sample_value samples
+              "iglr_server_requests_total"
+          with
+          | Some v when v > 0.0 -> ()
+          | Some _ -> fail "iglr_server_requests_total is zero"
+          | None -> fail "iglr_server_requests_total missing"))
+  | l -> fail "expected exactly one openmetrics payload, got %d" (List.length l));
+  (* 3. Health and flight shapes. *)
+  (match
+     List.filter (fun r -> has "reorder_depth" r && has "queues" r) results
+   with
+  | [ h ] -> (
+      match Option.bind (J.member "jobs" h) J.to_int with
+      | Some _ -> ()
+      | None -> fail "health view: missing jobs")
+  | l -> fail "expected exactly one health view, got %d" (List.length l));
+  (match List.filter (fun r -> has "slowest" r && has "recent" r) results with
+  | [ f ] -> (
+      match Option.bind (J.member "recorded" f) J.to_int with
+      | Some n when n >= 1 -> ()
+      | _ -> fail "flight recorder saw no parses")
+  | l -> fail "expected exactly one flight view, got %d" (List.length l));
+  (* 4. Normalised access log on stdout (latency dropped). *)
+  List.iteri
+    (fun i line ->
+      let j =
+        try J.of_string line
+        with J.Parse m -> fail "access log line %d: %s" i m
+      in
+      match j with
+      | J.Obj fields ->
+          if not (List.mem_assoc "req" fields) then
+            fail "access log line %d: missing req" i;
+          if not (List.mem_assoc "status" fields) then
+            fail "access log line %d: missing status" i;
+          print_endline
+            (J.to_line (J.Obj (List.filter (fun (k, _) -> k <> "ms") fields)))
+      | _ -> fail "access log line %d: not an object" i)
+    (read_lines access)

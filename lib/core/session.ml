@@ -74,6 +74,17 @@ let budget t = t.budget
 let has_errors t = t.errors
 let metrics t = Metrics.diff (Metrics.snapshot ()) t.baseline
 
+(* Domain-local request bracket: the registry is sharded per domain, so
+   two local snapshots around one request on its executing domain diff
+   to exactly that request's activity — other sessions reparsing on
+   other domains never leak in.  This is the measurement the parse
+   service attaches to request-correlated responses, and the oracle the
+   correlation tests replay single-threaded. *)
+let measure f =
+  let before = Metrics.local_snapshot () in
+  let r = f () in
+  (r, Metrics.diff (Metrics.local_snapshot ()) before)
+
 (* ------------------------------------------------------------------ *)
 (* Locations.                                                          *)
 

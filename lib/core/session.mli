@@ -109,7 +109,16 @@ val metrics : t -> Metrics.snapshot
     [session.degraded]) and reparse latency ([session.*]).  Note the
     registry is process-global: concurrent sessions fold into the same
     counters, so per-session readings assume one active session (the
-    tooling case). *)
+    tooling case).  For exact per-request readings under concurrency,
+    see {!measure}. *)
+
+val measure : (unit -> 'a) -> 'a * Metrics.snapshot
+(** [measure f] runs [f] and returns its result with the domain-local
+    metric activity it caused ({!Metrics.local_snapshot} diffed around
+    the call).  Because the registry is sharded per domain and a
+    scheduled request runs entirely on one domain, the delta is exact
+    even while other domains parse concurrently — the substrate of the
+    daemon's request-correlated metric diffs. *)
 
 val document : t -> Vdoc.Document.t
 val root : t -> Parsedag.Node.t

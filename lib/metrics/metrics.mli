@@ -7,7 +7,13 @@
 
     Handles register under a unique name in a process-global registry.
     {!snapshot} captures all of it; {!diff} between two snapshots yields
-    the activity of one session, parse, or experiment. *)
+    the activity of one session, parse, or experiment.
+
+    Every handle is sharded per domain: updates from concurrent worker
+    domains land in disjoint cache-line-strided cells (no locks, no lost
+    increments), {!snapshot} merges the shards, and {!local_snapshot}
+    reads only the calling domain's shard — the exact per-request view
+    the parse service uses for request-correlated metric deltas. *)
 
 (** Minimal JSON (writer + parser) used by the machine-readable bench
     output and the regression gate; no external dependency. *)
@@ -106,6 +112,13 @@ type snapshot = (string * value) list
 (** Sorted by metric name. *)
 
 val snapshot : unit -> snapshot
+(** Merged across every domain shard: counters, timer accumulations and
+    histogram buckets sum; peaks take the maximum. *)
+
+val local_snapshot : unit -> snapshot
+(** The calling domain's shard only.  Two [local_snapshot]s taken around
+    a request on its worker domain {!diff} to exactly that request's
+    activity, regardless of what the other domains are doing. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] — counters, spans and histogram buckets
@@ -128,3 +141,36 @@ val pp : Format.formatter -> snapshot -> unit
 (** Human-readable listing; zero-valued metrics are omitted. *)
 
 val to_json : snapshot -> Json.t
+
+(** {1 Domain shards} — shared with [lib/trace], which keys its
+    per-domain rings on the same slot assignment. *)
+
+val domain_slots : int
+(** Number of shard slots.  Slots are recycled when domains exit, so
+    this bounds *concurrent* domains, not total spawns. *)
+
+val domain_slot : unit -> int
+(** The calling domain's slot, in [0, domain_slots). *)
+
+(** OpenMetrics / Prometheus text exposition of a snapshot, plus the
+    minimal validating parser the smoke tests scrape it back with.
+    Counters render as [_total] samples, peaks as gauges, timers as a
+    [_seconds]/[_events] counter pair, histograms as cumulative
+    [_bucket{le="..."}] series with [_count]; the document ends with
+    [# EOF]. *)
+module Openmetrics : sig
+  val render : snapshot -> string
+
+  type sample = {
+    s_name : string;
+    s_labels : (string * string) list;
+    s_value : float;
+  }
+
+  val parse : string -> (sample list, string) result
+  (** Validates structure (declared families, numeric values, terminal
+      [# EOF]) and returns the samples. *)
+
+  val sample_value : sample list -> string -> float option
+  (** First sample with the given series name. *)
+end

@@ -13,23 +13,34 @@ let m_parses = Metrics.counter "server.parses"
 
 (* ------------------------------------------------------------------ *)
 (* Ordered response writer: completions arrive from any worker domain
-   in any order; [emit] sees them strictly in request order.           *)
+   in any order; [emit] sees them strictly in request order.  Each
+   completion may carry an [after] thunk (the access-log emission) that
+   runs right after its line is emitted — so the log shares the
+   response stream's ordering guarantee.                               *)
 
 module Writer = struct
   type t = {
     m : Mutex.t;
     mutable next : int;
-    buffered : (int, string) Hashtbl.t;
+    buffered : (int, string * (unit -> unit) option) Hashtbl.t;
     mutable emit : string -> unit;
   }
 
   let create emit = { m = Mutex.create (); next = 0; buffered = Hashtbl.create 16; emit }
 
-  let complete t seq line =
+  let depth t =
     Mutex.lock t.m;
-    Hashtbl.replace t.buffered seq line;
+    let d = Hashtbl.length t.buffered in
+    Mutex.unlock t.m;
+    d
+
+  let complete ?after t seq line =
+    Mutex.lock t.m;
+    Hashtbl.replace t.buffered seq (line, after);
     while Hashtbl.mem t.buffered t.next do
-      t.emit (Hashtbl.find t.buffered t.next);
+      let line, after = Hashtbl.find t.buffered t.next in
+      t.emit line;
+      (match after with Some f -> ( try f () with _ -> ()) | None -> ());
       Hashtbl.remove t.buffered t.next;
       t.next <- t.next + 1
     done;
@@ -61,11 +72,106 @@ module Live = struct
     Mutex.unlock t.m
 end
 
+(* ------------------------------------------------------------------ *)
+(* Slow-request flight recorder: the last [cap] parses plus the [cap]
+   slowest since startup, each with its end-to-end latency and reuse
+   shape.  Written by worker domains at parse completion, read by the
+   dispatcher's telemetry handler and the SIGUSR1 dump — one mutex.    *)
+
+module Flight = struct
+  type entry = {
+    f_req : int;
+    f_doc : string;
+    f_ms : float;  (* end-to-end: accept → response built *)
+    f_reuse_pct : float;
+    f_degraded : bool;
+    f_rejects : (string * int) list;  (* reuse-reject counts by reason *)
+  }
+
+  type t = {
+    m : Mutex.t;
+    cap : int;
+    recent : entry Queue.t;
+    mutable slowest : entry list;  (* sorted by f_ms descending *)
+    mutable seen : int;
+  }
+
+  let create cap =
+    { m = Mutex.create (); cap = max 1 cap; recent = Queue.create ();
+      slowest = []; seen = 0 }
+
+  let record t e =
+    Mutex.lock t.m;
+    t.seen <- t.seen + 1;
+    Queue.push e t.recent;
+    if Queue.length t.recent > t.cap then ignore (Queue.pop t.recent);
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: _ as l when e.f_ms >= x.f_ms -> e :: l
+      | x :: rest -> x :: insert rest
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.slowest <- take t.cap (insert t.slowest);
+    Mutex.unlock t.m
+
+  let depth t =
+    Mutex.lock t.m;
+    let d = Queue.length t.recent in
+    Mutex.unlock t.m;
+    d
+
+  let entry_to_json e =
+    Json.Obj
+      [
+        ("req", Json.Int e.f_req);
+        ("doc", Json.String e.f_doc);
+        ("ms", Json.Float e.f_ms);
+        ("reuse_pct", Json.Float e.f_reuse_pct);
+        ("degraded", Json.Bool e.f_degraded);
+        ( "rejects",
+          Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) e.f_rejects) );
+      ]
+
+  let to_json t =
+    Mutex.lock t.m;
+    let recent = List.of_seq (Queue.to_seq t.recent) in
+    let slowest = t.slowest in
+    let seen = t.seen in
+    Mutex.unlock t.m;
+    Json.Obj
+      [
+        ("capacity", Json.Int t.cap);
+        ("recorded", Json.Int seen);
+        ("recent", Json.List (List.map entry_to_json recent));
+        ("slowest", Json.List (List.map entry_to_json slowest));
+      ]
+end
+
+(* Per-request bookkeeping for correlation: method, doc and accept
+   timestamp, keyed by the dispatcher-assigned sequence number.  The
+   dispatcher writes it before submitting; the parse handler reads the
+   accept time for end-to-end latency; the access-log thunk consumes
+   (and removes) the record when the response line is emitted. *)
+type meta = {
+  m_meth : string;
+  m_doc : string option;
+  m_id : Json.t;
+  m_t0 : float;
+}
+
 type t = {
   pool : Pool.t;
   sched : Scheduler.t;
   writer : Writer.t;
   live : Live.t;
+  flight : Flight.t;
+  log : (string -> unit) option;
+  meta_m : Mutex.t;
+  meta : (int, meta) Hashtbl.t;
   max_payload : int;
   mutable seq : int;  (* dispatcher-only *)
   mutable served : int;  (* dispatcher-only: requests accepted *)
@@ -78,7 +184,8 @@ let pool t = t.pool
 let requests t = t.served
 let jobs t = Scheduler.jobs t.sched
 
-let create ?jobs ?(max_payload = 8 * 1024 * 1024) ~emit () =
+let create ?jobs ?(max_payload = 8 * 1024 * 1024) ?(flight_cap = 32) ?log
+    ~emit () =
   let jobs =
     match jobs with
     | Some j -> j
@@ -89,6 +196,10 @@ let create ?jobs ?(max_payload = 8 * 1024 * 1024) ~emit () =
     sched = Scheduler.create ~jobs;
     writer = Writer.create emit;
     live = Live.create ();
+    flight = Flight.create flight_cap;
+    log;
+    meta_m = Mutex.create ();
+    meta = Hashtbl.create 64;
     max_payload;
     seq = 0;
     served = 0;
@@ -105,21 +216,85 @@ let set_emit t emit =
   t.writer.Writer.emit <- emit;
   Mutex.unlock t.writer.Writer.m
 
-let respond t seq line = Writer.complete t.writer seq line
+let put_meta t seq m =
+  Mutex.lock t.meta_m;
+  Hashtbl.replace t.meta seq m;
+  Mutex.unlock t.meta_m
+
+let find_meta t seq =
+  Mutex.lock t.meta_m;
+  let m = Hashtbl.find_opt t.meta seq in
+  Mutex.unlock t.meta_m;
+  m
+
+let take_meta t seq =
+  Mutex.lock t.meta_m;
+  let m = Hashtbl.find_opt t.meta seq in
+  Hashtbl.remove t.meta seq;
+  Mutex.unlock t.meta_m;
+  m
+
+let inflight t =
+  Mutex.lock t.meta_m;
+  let n = Hashtbl.length t.meta in
+  Mutex.unlock t.meta_m;
+  n
+
+(* One structured access-log line per response, emitted in response
+   order by the writer's [after] hook.  The line re-parses the response
+   envelope to classify ok/error — cheap, and only when logging. *)
+let log_line seq line meta =
+  let status =
+    match Json.of_string line with
+    | Json.Obj _ as j -> (
+        match Json.member "error" j with Some _ -> "error" | None -> "ok")
+    | _ | (exception _) -> "ok"
+  in
+  let base =
+    match meta with
+    | Some m ->
+        [
+          ("req", Json.Int seq);
+          ("id", m.m_id);
+          ("method", Json.String m.m_meth);
+        ]
+        @ (match m.m_doc with
+          | Some d -> [ ("doc", Json.String d) ]
+          | None -> [])
+        @ [
+            ("status", Json.String status);
+            ("ms", Json.Float (Metrics.now_ms () -. m.m_t0));
+          ]
+    | None -> [ ("req", Json.Int seq); ("status", Json.String status) ]
+  in
+  Json.to_line (Json.Obj base)
+
+let respond t seq line =
+  match t.log with
+  | None ->
+      ignore (take_meta t seq);
+      Writer.complete t.writer seq line
+  | Some log ->
+      let after () =
+        let meta = take_meta t seq in
+        log (log_line seq line meta)
+      in
+      Writer.complete ~after t.writer seq line
 
 let respond_err t seq ~id e =
   Metrics.incr m_errors;
-  respond t seq (P.err ~id e)
+  respond t seq (P.err ~req:seq ~id e)
 
 (* ------------------------------------------------------------------ *)
 (* Document handlers — run on worker domains under per-doc ordering.   *)
 
-let with_entry t ~id doc f =
+let with_entry t ~req ~id doc f =
   match Pool.find t.pool doc with
-  | None -> P.err ~id { P.code = P.e_unknown_doc; message = "unknown doc " ^ doc }
+  | None ->
+      P.err ~req ~id { P.code = P.e_unknown_doc; message = "unknown doc " ^ doc }
   | Some e -> f e
 
-let do_open t ~id ~doc ~lang_name lang ~text ~budget () =
+let do_open t ~req ~id ~doc ~lang_name lang ~text ~budget () =
   match
     Session.create ?budget ~table:(Language.table lang)
       ~lexer:(Language.lexer lang) text
@@ -127,7 +302,7 @@ let do_open t ~id ~doc ~lang_name lang ~text ~budget () =
   | session, outcome ->
       Pool.add t.pool { Pool.doc; lang_name; lang; session };
       Metrics.incr m_opens;
-      P.ok ~id
+      P.ok ~req ~id
         (Json.Obj
            [
              ("doc", Json.String doc);
@@ -138,7 +313,7 @@ let do_open t ~id ~doc ~lang_name lang ~text ~budget () =
       (* The document never existed: roll back the dispatcher's
          optimistic registration so the id can be reused. *)
       Live.remove t.live doc;
-      P.err ~id
+      P.err ~req ~id
         {
           P.code = P.e_lex;
           message =
@@ -146,8 +321,8 @@ let do_open t ~id ~doc ~lang_name lang ~text ~budget () =
               e.Lexgen.Scanner.error_pos;
         }
 
-let do_edit t ~id ~doc edits () =
-  with_entry t ~id doc @@ fun e ->
+let do_edit t ~req ~id ~doc edits () =
+  with_entry t ~req ~id doc @@ fun e ->
   let applied = ref 0 in
   match
     List.iter
@@ -158,13 +333,13 @@ let do_edit t ~id ~doc edits () =
       edits
   with
   | () ->
-      P.ok ~id
+      P.ok ~req ~id
         (Json.Obj
            [ ("doc", Json.String doc); ("applied", Json.Int !applied) ])
   | exception Lexgen.Scanner.Lex_error le ->
       (* Edits before the offender stay applied (each is atomic); the
          offender itself was rejected with the document unchanged. *)
-      P.err ~id
+      P.err ~req ~id
         {
           P.code = P.e_lex;
           message =
@@ -175,7 +350,7 @@ let do_edit t ~id ~doc edits () =
               le.Lexgen.Scanner.error_pos !applied;
         }
   | exception Invalid_argument msg ->
-      P.err ~id
+      P.err ~req ~id
         {
           P.code = P.e_params;
           message =
@@ -184,26 +359,53 @@ let do_edit t ~id ~doc edits () =
               (!applied + 1) (List.length edits) msg !applied;
         }
 
-let do_parse ~id ~doc ~budget ~timing t () =
-  with_entry t ~id doc @@ fun e ->
+let do_parse ~req ~id ~doc ~budget ~timing ~metrics t () =
+  with_entry t ~req ~id doc @@ fun e ->
   Metrics.incr m_parses;
   let s = e.Pool.session in
   let saved = Session.budget s in
   (match budget with Some b -> Session.set_budget s b | None -> ());
   let t0 = Metrics.now_ms () in
-  let outcome = Session.reparse s in
+  (* [Session.measure] reads only this domain's metric shard, so [d] is
+     exactly this request's activity even while sibling domains parse. *)
+  let outcome, d = Session.measure (fun () -> Session.reparse s) in
   let ms = Metrics.now_ms () -. t0 in
   (match budget with Some _ -> Session.set_budget s saved | None -> ());
-  P.ok ~id
+  let degraded =
+    match outcome with
+    | Session.Parsed st -> st.Glr.degraded
+    | Session.Recovered { degraded; _ } -> degraded
+  in
+  let end_to_end =
+    match find_meta t req with
+    | Some m -> Metrics.now_ms () -. m.m_t0
+    | None -> ms
+  in
+  Flight.record t.flight
+    {
+      Flight.f_req = req;
+      f_doc = doc;
+      f_ms = end_to_end;
+      f_reuse_pct = Metrics.share d "glr.nodes_reused" "glr.nodes_created";
+      f_degraded = degraded;
+      f_rejects =
+        [
+          ("state-mismatch", Metrics.count d "glr.lookahead_state_miss");
+          ("no-state", Metrics.count d "glr.lookahead_nostate");
+          ("breakdown", Metrics.count d "glr.breakdowns");
+        ];
+    };
+  P.ok ~req ~id
     (Json.Obj
        ([
           ("doc", Json.String doc); ("outcome", P.outcome_to_json outcome);
         ]
-       @ if timing then [ ("ms", Json.Float ms) ] else []))
+       @ (if timing then [ ("ms", Json.Float ms) ] else [])
+       @ if metrics then [ ("metrics", Metrics.to_json d) ] else []))
 
-let do_errors t ~id ~doc () =
-  with_entry t ~id doc @@ fun e ->
-  P.ok ~id
+let do_errors t ~req ~id ~doc () =
+  with_entry t ~req ~id doc @@ fun e ->
+  P.ok ~req ~id
     (Json.Obj
        [
          ("doc", Json.String doc);
@@ -237,19 +439,19 @@ let ambig_report t lang_name lang max_len =
       Mutex.unlock t.ambig_m;
       j
 
-let do_ambig t ~id ~doc ~max_len () =
-  with_entry t ~id doc @@ fun e ->
-  P.ok ~id
+let do_ambig t ~req ~id ~doc ~max_len () =
+  with_entry t ~req ~id doc @@ fun e ->
+  P.ok ~req ~id
     (Json.Obj
        [
          ("doc", Json.String doc);
          ("report", ambig_report t e.Pool.lang_name e.Pool.lang max_len);
        ])
 
-let do_doc_stats t ~id ~doc ~metrics () =
-  with_entry t ~id doc @@ fun e ->
+let do_doc_stats t ~req ~id ~doc ~metrics () =
+  with_entry t ~req ~id doc @@ fun e ->
   let s = e.Pool.session in
-  P.ok ~id
+  P.ok ~req ~id
     (Json.Obj
        ([
           ("doc", Json.String doc);
@@ -261,31 +463,60 @@ let do_doc_stats t ~id ~doc ~metrics () =
        if metrics then [ ("metrics", Metrics.to_json (Session.metrics s)) ]
        else []))
 
-let do_close t ~id ~doc () =
-  with_entry t ~id doc @@ fun e ->
+let do_close t ~req ~id ~doc () =
+  with_entry t ~req ~id doc @@ fun e ->
   ignore e;
   Pool.remove t.pool doc;
-  P.ok ~id (Json.Obj [ ("doc", Json.String doc); ("closed", Json.Bool true) ])
+  P.ok ~req ~id
+    (Json.Obj [ ("doc", Json.String doc); ("closed", Json.Bool true) ])
 
 (* ------------------------------------------------------------------ *)
-(* Dispatch.                                                           *)
+(* Server-scoped introspection — runs inline on the dispatcher.        *)
 
-(* A handler must ALWAYS complete its sequence slot, or the ordered
-   writer stalls every later response: uncaught exceptions become
-   [e_internal] envelopes. *)
-let submit t ~seq ~key ~id handler =
-  Scheduler.submit t.sched ~key (fun () ->
-      let line =
-        try handler ()
-        with exn ->
-          Metrics.incr m_errors;
-          P.err ~id
-            { P.code = P.e_internal; message = Printexc.to_string exn }
-      in
-      respond t seq line)
+let health t =
+  Json.Obj
+    [
+      ("docs", Json.List (List.map (fun d -> Json.String d) (Pool.ids t.pool)));
+      ("requests", Json.Int t.served);
+      ("jobs", Json.Int (jobs t));
+      ("busy", Json.Int (Scheduler.busy t.sched));
+      ("executed", Json.Int (Scheduler.executed t.sched));
+      ( "queues",
+        Json.Obj
+          (List.map
+             (fun (k, n) -> (k, Json.Int n))
+             (Scheduler.depths t.sched)) );
+      ("reorder_depth", Json.Int (Writer.depth t.writer));
+      ("inflight", Json.Int (inflight t));
+      ("flight_depth", Json.Int (Flight.depth t.flight));
+      ( "trace",
+        Json.Obj
+          [
+            ("enabled", Json.Bool (Trace.enabled ()));
+            ("recorded", Json.Int (Trace.recorded ()));
+            ("dropped", Json.Int (Trace.dropped ()));
+          ] );
+    ]
 
-let server_stats t ~id ~metrics =
-  P.ok ~id
+let flight t = Flight.to_json t.flight
+
+let telemetry t ~req ~id ~view =
+  let body =
+    match view with
+    | "metrics" ->
+        Json.Obj
+          [
+            ( "openmetrics",
+              Json.String
+                (Metrics.Openmetrics.render (Metrics.snapshot ())) );
+          ]
+    | "flight" -> flight t
+    | _ -> health t
+  in
+  P.ok ~req ~id body
+
+let server_stats t ~req ~id ~metrics =
+  P.ok ~req ~id
     (Json.Obj
        ([
           ("docs", Json.List (List.map (fun d -> Json.String d) (Pool.ids t.pool)));
@@ -300,12 +531,43 @@ let server_stats t ~id ~metrics =
        if metrics then [ ("metrics", Metrics.to_json (Metrics.snapshot ())) ]
        else []))
 
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+
+(* A handler must ALWAYS complete its sequence slot, or the ordered
+   writer stalls every later response: uncaught exceptions become
+   [e_internal] envelopes.  The scheduled job runs under the request's
+   correlation id, so every trace event it emits carries [rid]. *)
+let submit t ~seq ~key ~id handler =
+  Scheduler.submit t.sched ~key (fun () ->
+      let line =
+        Trace.with_request (string_of_int seq) (fun () ->
+            try handler ()
+            with exn ->
+              Metrics.incr m_errors;
+              P.err ~req:seq ~id
+                { P.code = P.e_internal; message = Printexc.to_string exn })
+      in
+      respond t seq line)
+
+let meth_name = function
+  | P.Open _ -> "open"
+  | P.Edit _ -> "edit"
+  | P.Parse _ -> "parse"
+  | P.Errors _ -> "errors"
+  | P.Ambig _ -> "ambig"
+  | P.Stats _ -> "stats"
+  | P.Telemetry _ -> "telemetry"
+  | P.Close _ -> "close"
+
 let handle_line t line =
   if String.trim line <> "" then begin
     let seq = t.seq in
     t.seq <- t.seq + 1;
     t.served <- t.served + 1;
     Metrics.incr m_requests;
+    let accept_ms = Metrics.now_ms () in
+    put_meta t seq { m_meth = "?"; m_doc = None; m_id = Json.Null; m_t0 = accept_ms };
     if String.length line > t.max_payload then
       respond_err t seq ~id:Json.Null
         {
@@ -316,14 +578,25 @@ let handle_line t line =
         }
     else
       match P.decode line with
-      | Error (id, e) -> respond_err t seq ~id e
+      | Error (id, e) ->
+          put_meta t seq
+            { m_meth = "?"; m_doc = None; m_id = id; m_t0 = accept_ms };
+          respond_err t seq ~id e
       | Ok (id, req) -> (
+          put_meta t seq
+            {
+              m_meth = meth_name req;
+              m_doc = P.doc_of req;
+              m_id = id;
+              m_t0 = accept_ms;
+            };
           let reject code message =
             respond_err t seq ~id { P.code = code; message }
           in
           match req with
           | P.Stats { doc = None; metrics } ->
-              respond t seq (server_stats t ~id ~metrics)
+              respond t seq (server_stats t ~req:seq ~id ~metrics)
+          | P.Telemetry { view } -> respond t seq (telemetry t ~req:seq ~id ~view)
           | P.Open { doc; lang; text; budget } -> (
               if Live.mem t.live doc then
                 reject P.e_doc_exists ("doc already open: " ^ doc)
@@ -336,12 +609,14 @@ let handle_line t line =
                        concurrent forcing from worker domains, and this
                        is also what guarantees one table build per
                        language per process. *)
-                    Registry.force l;
+                    Trace.with_request (string_of_int seq) (fun () ->
+                        Registry.force l);
                     if not (List.mem lang t.loaded) then
                       t.loaded <- lang :: t.loaded;
                     Live.add t.live doc;
                     submit t ~seq ~key:doc ~id
-                      (do_open t ~id ~doc ~lang_name:lang l ~text ~budget))
+                      (do_open t ~req:seq ~id ~doc ~lang_name:lang l ~text
+                         ~budget))
           | _ -> (
               let doc = Option.get (P.doc_of req) in
               if not (Live.mem t.live doc) then
@@ -356,16 +631,20 @@ let handle_line t line =
                 | _ -> ());
                 match req with
                 | P.Edit { edits; _ } ->
-                    submit t ~seq ~key:doc ~id (do_edit t ~id ~doc edits)
-                | P.Parse { budget; timing; _ } ->
+                    submit t ~seq ~key:doc ~id (do_edit t ~req:seq ~id ~doc edits)
+                | P.Parse { budget; timing; metrics; _ } ->
                     submit t ~seq ~key:doc ~id
-                      (do_parse ~id ~doc ~budget ~timing t)
-                | P.Errors _ -> submit t ~seq ~key:doc ~id (do_errors t ~id ~doc)
+                      (do_parse ~req:seq ~id ~doc ~budget ~timing ~metrics t)
+                | P.Errors _ ->
+                    submit t ~seq ~key:doc ~id (do_errors t ~req:seq ~id ~doc)
                 | P.Ambig { max_len; _ } ->
-                    submit t ~seq ~key:doc ~id (do_ambig t ~id ~doc ~max_len)
+                    submit t ~seq ~key:doc ~id
+                      (do_ambig t ~req:seq ~id ~doc ~max_len)
                 | P.Stats { metrics; _ } ->
-                    submit t ~seq ~key:doc ~id (do_doc_stats t ~id ~doc ~metrics)
-                | P.Close _ -> submit t ~seq ~key:doc ~id (do_close t ~id ~doc)
-                | P.Open _ -> assert false
+                    submit t ~seq ~key:doc ~id
+                      (do_doc_stats t ~req:seq ~id ~doc ~metrics)
+                | P.Close _ ->
+                    submit t ~seq ~key:doc ~id (do_close t ~req:seq ~id ~doc)
+                | P.Open _ | P.Telemetry _ -> assert false
               end))
   end

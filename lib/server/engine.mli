@@ -20,12 +20,30 @@
 
 type t
 
-val create : ?jobs:int -> ?max_payload:int -> emit:(string -> unit) -> unit -> t
+val create :
+  ?jobs:int ->
+  ?max_payload:int ->
+  ?flight_cap:int ->
+  ?log:(string -> unit) ->
+  emit:(string -> unit) ->
+  unit ->
+  t
 (** [jobs] worker domains (default
     [Domain.recommended_domain_count () - 1], clamped ≥ 1; [0] = inline
     deterministic execution).  [max_payload] caps the accepted request
     line length in bytes (default 8 MiB); longer lines are answered with
-    [e_payload] without being parsed. *)
+    [e_payload] without being parsed.
+
+    [flight_cap] (default 32) bounds the slow-request flight recorder:
+    the engine keeps the [flight_cap] most recent and [flight_cap]
+    slowest parses with latency, subtree-reuse percentage, degraded bit
+    and reuse-reject counts ([telemetry view:"flight"], or the
+    daemon's SIGUSR1 dump).
+
+    [log] receives one structured JSON access-log line per response —
+    request id, client id, method, doc, ok/error status and end-to-end
+    latency — in response (= request) order.  Called under the writer
+    lock, possibly from a worker domain: keep it cheap, like [emit]. *)
 
 val set_emit : t -> (string -> unit) -> unit
 (** Replace the response sink.  Call only when the engine is drained (no
@@ -43,8 +61,21 @@ val drain : t -> unit
 val shutdown : t -> unit
 (** Drain, then stop the worker domains. *)
 
-(** {1 Introspection} — for tests and the bench harness. *)
+(** {1 Introspection} — for tests, the bench harness and the daemon's
+    health surface. *)
 
 val pool : t -> Pool.t
 val requests : t -> int
 val jobs : t -> int
+
+val health : t -> Metrics.Json.t
+(** Live-service snapshot: open docs, worker/busy counts, per-doc queue
+    depths, reorder-buffer depth, in-flight requests, flight-recorder
+    depth and trace ring counters.  The same object the [telemetry]
+    method's ["health"] view returns; also the daemon's SIGUSR1 dump.
+    Call from the dispatcher thread. *)
+
+val flight : t -> Metrics.Json.t
+(** The flight recorder as JSON ([telemetry view:"flight"]): capacity,
+    total parses recorded, the most recent entries and the slowest
+    entries since startup. *)

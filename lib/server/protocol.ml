@@ -12,10 +12,16 @@ type request =
       budget : Glr.budget option;
     }
   | Edit of { doc : string; edits : edit_op list }
-  | Parse of { doc : string; budget : Glr.budget option; timing : bool }
+  | Parse of {
+      doc : string;
+      budget : Glr.budget option;
+      timing : bool;
+      metrics : bool;
+    }
   | Errors of { doc : string }
   | Ambig of { doc : string; max_len : int }
   | Stats of { doc : string option; metrics : bool }
+  | Telemetry of { view : string }
   | Close of { doc : string }
 
 let doc_of = function
@@ -27,6 +33,7 @@ let doc_of = function
   | Close { doc } ->
       Some doc
   | Stats { doc; _ } -> doc
+  | Telemetry _ -> None
 
 type rpc_error = { code : int; message : string }
 
@@ -130,6 +137,7 @@ let request_of ~meth ~params =
           doc = str_field "doc" params;
           budget = budget_field params;
           timing = bool_field ~default:false "timing" params;
+          metrics = bool_field ~default:false "metrics" params;
         }
   | "errors" -> Errors { doc = str_field "doc" params }
   | "ambig" ->
@@ -144,6 +152,21 @@ let request_of ~meth ~params =
           doc = Option.bind (Json.member "doc" params) Json.to_str;
           metrics = bool_field ~default:false "metrics" params;
         }
+  | "telemetry" -> (
+      let view =
+        match Json.member "view" params with
+        | None -> "health"
+        | Some j -> (
+            match Json.to_str j with
+            | Some s -> s
+            | None -> bad e_params "param %S must be a string" "view")
+      in
+      match view with
+      | "health" | "metrics" | "flight" -> Telemetry { view }
+      | other ->
+          bad e_params
+            "unknown telemetry view %S (expected health, metrics or flight)"
+            other)
   | "close" -> Close { doc = str_field "doc" params }
   | other -> bad e_method "unknown method %S" other
 
@@ -178,7 +201,10 @@ let decode line =
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                           *)
 
-let envelope ~id body =
+(* [req] is the server-assigned request sequence number — the
+   correlation id every response, trace span and access-log line of one
+   RPC shares.  The client-chosen [id] still echoes alongside it. *)
+let envelope ?req ~id body =
   Json.to_line
     (Json.Obj
        ([
@@ -186,12 +212,13 @@ let envelope ~id body =
           ("tool", Json.String "iglrd");
           ("id", id);
         ]
+       @ (match req with None -> [] | Some r -> [ ("req", Json.Int r) ])
        @ body))
 
-let ok ~id result = envelope ~id [ ("result", result) ]
+let ok ?req ~id result = envelope ?req ~id [ ("result", result) ]
 
-let err ~id { code; message } =
-  envelope ~id
+let err ?req ~id { code; message } =
+  envelope ?req ~id
     [
       ( "error",
         Json.Obj [ ("code", Json.Int code); ("message", Json.String message) ]

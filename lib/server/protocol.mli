@@ -39,15 +39,27 @@ type request =
       (** Textual edits only — no reparse.  Consecutive [Edit] requests
           coalesce in the document's pending-change bits until the next
           [Parse] pays for a single incremental reparse. *)
-  | Parse of { doc : string; budget : Iglr.Glr.budget option; timing : bool }
+  | Parse of {
+      doc : string;
+      budget : Iglr.Glr.budget option;
+      timing : bool;
+      metrics : bool;
+          (** attach the request's exact domain-local metric delta
+              ({!Iglr.Session.measure}) to the response *)
+    }
   | Errors of { doc : string }
   | Ambig of { doc : string; max_len : int }
   | Stats of { doc : string option; metrics : bool }
+  | Telemetry of { view : string }
+      (** Server-scoped observability: [view] is ["health"] (live docs,
+          queue depths, reorder-buffer depth, domain utilisation, trace
+          drops), ["metrics"] (OpenMetrics text of the merged registry)
+          or ["flight"] (the slow-request flight recorder). *)
   | Close of { doc : string }
 
 val doc_of : request -> string option
 (** The document a request addresses; [None] for server-scoped
-    requests (a doc-less [Stats]). *)
+    requests (a doc-less [Stats], [Telemetry]). *)
 
 type rpc_error = { code : int; message : string }
 
@@ -86,10 +98,14 @@ val budget_of_json : Json.t -> Iglr.Glr.budget
 
 (** {1 Encoding} *)
 
-val ok : id:Json.t -> Json.t -> string
-(** One response line (no trailing newline): result envelope. *)
+val ok : ?req:int -> id:Json.t -> Json.t -> string
+(** One response line (no trailing newline): result envelope.  [req] is
+    the server-assigned request sequence number — the correlation id the
+    response shares with every trace span and access-log line of the
+    same RPC; it rides in the envelope as a ["req"] field next to the
+    client-chosen [id]. *)
 
-val err : id:Json.t -> rpc_error -> string
+val err : ?req:int -> id:Json.t -> rpc_error -> string
 
 val outcome_to_json : Iglr.Session.outcome -> Json.t
 (** [{"status":"parsed",...stats}] or [{"status":"recovered",...}]. *)

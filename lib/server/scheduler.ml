@@ -19,6 +19,8 @@ type t = {
   keys : (string, dq) Hashtbl.t;
   ready : string Queue.t;
   mutable unfinished : int;  (* submitted and not yet completed *)
+  mutable busy : int;  (* workers currently executing a job *)
+  mutable executed : int;  (* jobs completed since creation *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
@@ -36,9 +38,12 @@ let rec worker t =
     let dq = Hashtbl.find t.keys key in
     dq.state <- Running;
     let job = Queue.pop dq.pending in
+    t.busy <- t.busy + 1;
     Mutex.unlock t.m;
     (try job () with _ -> ());
     Mutex.lock t.m;
+    t.busy <- t.busy - 1;
+    t.executed <- t.executed + 1;
     t.unfinished <- t.unfinished - 1;
     if Queue.is_empty dq.pending then dq.state <- Idle
     else begin
@@ -61,6 +66,8 @@ let create ~jobs =
       keys = Hashtbl.create 16;
       ready = Queue.create ();
       unfinished = 0;
+      busy = 0;
+      executed = 0;
       stop = false;
       workers = [];
     }
@@ -69,8 +76,11 @@ let create ~jobs =
   t
 
 let submit t ~key job =
-  if t.workers = [] then ( (* inline mode: deterministic, single-threaded *)
-    try job () with _ -> ())
+  if t.workers = [] then begin
+    (* inline mode: deterministic, single-threaded *)
+    (try job () with _ -> ());
+    t.executed <- t.executed + 1
+  end
   else begin
     Mutex.lock t.m;
     let dq =
@@ -90,6 +100,30 @@ let submit t ~key job =
     end;
     Mutex.unlock t.m
   end
+
+let busy t =
+  Mutex.lock t.m;
+  let b = t.busy in
+  Mutex.unlock t.m;
+  b
+
+let executed t =
+  Mutex.lock t.m;
+  let e = t.executed in
+  Mutex.unlock t.m;
+  e
+
+let depths t =
+  Mutex.lock t.m;
+  let ds =
+    Hashtbl.fold
+      (fun key dq acc ->
+        let n = Queue.length dq.pending in
+        if n > 0 || dq.state <> Idle then (key, n) :: acc else acc)
+      t.keys []
+  in
+  Mutex.unlock t.m;
+  List.sort compare ds
 
 let drain t =
   if t.workers <> [] then begin

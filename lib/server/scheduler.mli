@@ -27,6 +27,21 @@ val submit : t -> key:string -> (unit -> unit) -> unit
 val drain : t -> unit
 (** Block until every submitted job has finished. *)
 
+(** {1 Introspection} — snapshots for the daemon's health surface.
+    Each takes the scheduler lock briefly; values are instantaneous and
+    may be stale by the time the caller reads them. *)
+
+val busy : t -> int
+(** Workers currently executing a job. *)
+
+val executed : t -> int
+(** Jobs completed since creation (inline-mode runs included). *)
+
+val depths : t -> (string * int) list
+(** Per-key pending queue depths, sorted by key.  Keys that are idle
+    with an empty queue are omitted; a key that is [Running] with an
+    empty backlog reports [0]. *)
+
 val shutdown : t -> unit
 (** Drain, then stop and join the worker domains.  The scheduler must
     not be used afterwards. *)

@@ -2,15 +2,19 @@
 
    Complements lib/metrics (aggregate counters) with a *narrative* view:
    typed begin/end/instant events with monotone timestamps, recorded into
-   a preallocated ring buffer behind a process-global sink.  When the
+   preallocated ring buffers behind a process-global sink.  When the
    sink is disabled every emission is a single branch; hot paths that
    would have to allocate an argument list guard on [enabled ()] first,
    mirroring the [tracing] pattern the old string-callback hook used.
 
-   The ring stores mutable slots allocated once at [set_enabled true]:
-   recording overwrites a slot in place (a timestamp read plus six
-   stores), and on overflow the oldest events are dropped, never the
-   parse. *)
+   Domain safety: each domain records into its own ring (keyed by the
+   same slot assignment lib/metrics shards its handles on), stamping the
+   domain id on every event, so worker domains never contend on a slot
+   or tear each other's writes.  [events] merges the rings time-ordered;
+   the Chrome export maps the domain id to [tid], one Perfetto lane per
+   domain.  Recording overwrites a slot in place (a timestamp read plus
+   seven stores), and on overflow the oldest events of that domain are
+   dropped, never the parse. *)
 
 module Json = Metrics.Json
 
@@ -33,6 +37,7 @@ type phase = Begin | End | Instant
 type event = {
   seq : int;
   ts : float;
+  did : int;
   phase : phase;
   cat : cat;
   name : string;
@@ -40,73 +45,127 @@ type event = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* The ring.                                                           *)
+(* Per-domain rings.                                                   *)
 
 type slot = {
   mutable s_seq : int;
   mutable s_ts : float;
+  mutable s_did : int;
   mutable s_phase : phase;
   mutable s_cat : cat;
   mutable s_name : string;
   mutable s_args : (string * arg) list;
 }
 
+(* One shard per domain slot, created lazily the first time that domain
+   records.  [sh_last_ts] clamps the shard's clock monotone; [sh_ctx] is
+   the current request id, stamped onto every event recorded while a
+   [with_request] bracket is open on that domain. *)
+type shard = {
+  mutable sh_ring : slot array;
+  mutable sh_next : int;
+  mutable sh_last_ts : float;
+  mutable sh_ctx : string;
+}
+
 let on = ref false
 let capacity = ref 65536
-let ring : slot array ref = ref [||]
-let next = ref 0
-let last_ts = ref 0.
+
+let shards : shard option array = Array.make Metrics.domain_slots None
+
+(* Guards shard creation and capacity changes; readers ([events],
+   [recorded], ...) take it too, so a freshly published shard is always
+   seen fully initialised. *)
+let shard_mutex = Mutex.create ()
+
+let new_ring n =
+  Array.init n (fun _ ->
+      { s_seq = 0; s_ts = 0.; s_did = 0; s_phase = Instant; s_cat = Session;
+        s_name = ""; s_args = [] })
+
+let my_shard () =
+  let i = Metrics.domain_slot () in
+  match shards.(i) with
+  | Some sh -> sh
+  | None ->
+      Mutex.lock shard_mutex;
+      let sh =
+        match shards.(i) with
+        | Some sh -> sh
+        | None ->
+            let sh =
+              { sh_ring = new_ring !capacity; sh_next = 0; sh_last_ts = 0.;
+                sh_ctx = "" }
+            in
+            shards.(i) <- Some sh;
+            sh
+      in
+      Mutex.unlock shard_mutex;
+      sh
+
+let iter_shards f =
+  Mutex.lock shard_mutex;
+  Array.iter (function Some sh -> f sh | None -> ()) shards;
+  Mutex.unlock shard_mutex
 
 let enabled () = !on
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  Mutex.lock shard_mutex;
   capacity := n;
-  (* Resize lazily: an enabled sink reallocates immediately so capacity
-     changes take effect without a disable/enable cycle. *)
-  if !on && Array.length !ring <> n then begin
-    ring :=
-      Array.init n (fun _ ->
-          { s_seq = 0; s_ts = 0.; s_phase = Instant; s_cat = Session;
-            s_name = ""; s_args = [] });
-    next := 0
-  end
+  Array.iter
+    (function
+      | Some sh when Array.length sh.sh_ring <> n ->
+          sh.sh_ring <- new_ring n;
+          sh.sh_next <- 0
+      | _ -> ())
+    shards;
+  Mutex.unlock shard_mutex
 
 let set_enabled b =
-  if b && Array.length !ring <> !capacity then
-    ring :=
-      Array.init !capacity (fun _ ->
-          { s_seq = 0; s_ts = 0.; s_phase = Instant; s_cat = Session;
-            s_name = ""; s_args = [] });
+  if b then ignore (my_shard ());
   on := b
 
 let clear () =
-  next := 0;
-  last_ts := 0.
+  iter_shards (fun sh ->
+      sh.sh_next <- 0;
+      sh.sh_last_ts <- 0.)
 
-let recorded () = !next
-let dropped () = max 0 (!next - Array.length !ring)
+let recorded () =
+  let n = ref 0 in
+  iter_shards (fun sh -> n := !n + sh.sh_next);
+  !n
 
-(* Monotone clock: wall time clamped to never run backwards, so the
-   stream invariant (non-decreasing timestamps) holds by construction. *)
-let[@inline] now_monotone () =
+let dropped () =
+  let n = ref 0 in
+  iter_shards (fun sh -> n := !n + max 0 (sh.sh_next - Array.length sh.sh_ring));
+  !n
+
+(* Monotone clock per shard: wall time clamped to never run backwards,
+   so each domain's stream is non-decreasing by construction (and the
+   merged stream is, because it is sorted). *)
+let[@inline] now_monotone sh =
   let t = Unix.gettimeofday () in
-  if t > !last_ts then last_ts := t;
-  !last_ts
+  if t > sh.sh_last_ts then sh.sh_last_ts <- t;
+  sh.sh_last_ts
 
 let record phase cat name args =
   if !on then begin
-    let r = !ring in
+    let sh = my_shard () in
+    let r = sh.sh_ring in
     let cap = Array.length r in
     if cap > 0 then begin
-      let s = r.(!next mod cap) in
-      s.s_seq <- !next;
-      s.s_ts <- now_monotone ();
+      let s = r.(sh.sh_next mod cap) in
+      s.s_seq <- sh.sh_next;
+      s.s_ts <- now_monotone sh;
+      s.s_did <- (Domain.self () :> int);
       s.s_phase <- phase;
       s.s_cat <- cat;
       s.s_name <- name;
-      s.s_args <- args;
-      incr next
+      s.s_args <-
+        (if sh.sh_ctx = "" then args else ("rid", Str sh.sh_ctx) :: args);
+      sh.sh_next <- sh.sh_next + 1
     end
   end
 
@@ -127,22 +186,57 @@ let span cat name f =
         raise e
   end
 
-let events () =
-  let r = !ring in
-  let cap = Array.length r in
-  if cap = 0 || !next = 0 then []
+(* Request-id context: one bracket per scheduled request, set on the
+   domain the request executes on.  Every event recorded inside carries
+   an extra ("rid", Str id) argument, which is what lets a merged
+   multi-domain stream be attributed back to individual RPCs. *)
+let with_request rid f =
+  if not !on then f ()
   else begin
-    let first = max 0 (!next - cap) in
+    let sh = my_shard () in
+    let saved = sh.sh_ctx in
+    sh.sh_ctx <- rid;
+    Fun.protect ~finally:(fun () -> sh.sh_ctx <- saved) f
+  end
+
+let request_id () =
+  if not !on then None
+  else
+    match shards.(Metrics.domain_slot ()) with
+    | Some { sh_ctx = ""; _ } | None -> None
+    | Some sh -> Some sh.sh_ctx
+
+let shard_events sh =
+  let r = sh.sh_ring in
+  let cap = Array.length r in
+  if cap = 0 || sh.sh_next = 0 then []
+  else begin
+    let first = max 0 (sh.sh_next - cap) in
     let out = ref [] in
-    for i = !next - 1 downto first do
+    for i = sh.sh_next - 1 downto first do
       let s = r.(i mod cap) in
       out :=
-        { seq = s.s_seq; ts = s.s_ts; phase = s.s_phase; cat = s.s_cat;
-          name = s.s_name; args = s.s_args }
+        { seq = s.s_seq; ts = s.s_ts; did = s.s_did; phase = s.s_phase;
+          cat = s.s_cat; name = s.s_name; args = s.s_args }
         :: !out
     done;
     !out
   end
+
+(* Merged, time-ordered view over every domain's ring.  Ties (clamped
+   clocks produce them) break on (did, seq) so the order is total and
+   each domain's substream stays in emission order. *)
+let events () =
+  let all = ref [] in
+  iter_shards (fun sh -> all := shard_events sh :: !all);
+  List.concat !all
+  |> List.stable_sort (fun a b ->
+         match Float.compare a.ts b.ts with
+         | 0 -> (
+             match Int.compare a.did b.did with
+             | 0 -> Int.compare a.seq b.seq
+             | c -> c)
+         | c -> c)
 
 (* ------------------------------------------------------------------ *)
 (* Argument access.                                                    *)
@@ -222,7 +316,10 @@ module Export = struct
               the numbers stay readable. *)
            ("ts", Json.Float ((e.ts -. t0) *. 1e6));
            ("pid", Json.Int 1);
-           ("tid", Json.Int 1);
+           (* One lane per domain: Perfetto draws each tid as its own
+              track, so a multi-domain reparse storm reads like a
+              per-worker timeline. *)
+           ("tid", Json.Int e.did);
          ]
         @ (match e.phase with
           | Instant -> [ ("s", Json.String "t") ]
@@ -247,13 +344,18 @@ end
 (* Stream well-formedness (the test_trace_events invariants).          *)
 
 module Check = struct
+  (* Span discipline is per domain: a span begins and ends on the domain
+     that executes it, so the merged stream carries one independent
+     stack per [did] (and one shared non-decreasing clock, which the
+     sorted merge guarantees structurally). *)
   let well_formed evs =
     let faults = ref [] in
     let fault fmt =
       Printf.ksprintf (fun m -> faults := m :: !faults) fmt
     in
     let prev_ts = ref neg_infinity in
-    let stack = ref [] in
+    let stacks : (int, (cat * string) list) Hashtbl.t = Hashtbl.create 4 in
+    let stack did = Option.value ~default:[] (Hashtbl.find_opt stacks did) in
     List.iter
       (fun e ->
         if e.ts < !prev_ts then
@@ -261,10 +363,11 @@ module Check = struct
             (cat_name e.cat) e.name;
         prev_ts := e.ts;
         match e.phase with
-        | Begin -> stack := (e.cat, e.name) :: !stack
+        | Begin -> Hashtbl.replace stacks e.did ((e.cat, e.name) :: stack e.did)
         | End -> (
-            match !stack with
-            | (c, n) :: rest when c = e.cat && n = e.name -> stack := rest
+            match stack e.did with
+            | (c, n) :: rest when c = e.cat && n = e.name ->
+                Hashtbl.replace stacks e.did rest
             | (c, n) :: _ ->
                 fault "event %d: end of %s.%s inside open span %s.%s" e.seq
                   (cat_name e.cat) e.name (cat_name c) n
@@ -273,9 +376,11 @@ module Check = struct
                   (cat_name e.cat) e.name)
         | Instant -> ())
       evs;
-    List.iter
-      (fun (c, n) -> fault "span %s.%s never ended" (cat_name c) n)
-      !stack;
+    Hashtbl.iter
+      (fun did ->
+        List.iter (fun (c, n) ->
+            fault "span %s.%s never ended (domain %d)" (cat_name c) n did))
+      stacks;
     List.rev !faults
 end
 

@@ -3,10 +3,19 @@
     Where {!Metrics} answers "how much" in aggregate, this sink answers
     "why did this reparse behave that way": a stream of typed events —
     begin/end spans and instants with monotone timestamps and small
-    key/value payloads — recorded into a preallocated ring buffer behind
-    a process-global enable flag.  Disabled, every emission is a single
-    branch; call sites that would allocate an argument list guard on
-    {!enabled} first (the same pattern as [lib/metrics]).
+    key/value payloads — recorded into preallocated per-domain ring
+    buffers behind a process-global enable flag.  Disabled, every
+    emission is a single branch; call sites that would allocate an
+    argument list guard on {!enabled} first (the same pattern as
+    [lib/metrics]).
+
+    Each domain owns its ring (keyed on the {!Metrics.domain_slot}
+    assignment), every event is stamped with the recording domain's id,
+    and {!events} merges the rings time-ordered — so concurrent worker
+    domains never contend, and the Chrome export shows one Perfetto
+    lane per domain.  {!with_request} brackets stamp a request id onto
+    every event recorded inside, attributing the merged stream back to
+    individual RPCs.
 
     Consumers: {!Export.to_chrome} (Perfetto / [chrome://tracing] JSON),
     {!to_legacy_string} (the Appendix B action-trace strings the retired
@@ -26,8 +35,9 @@ type arg = Int of int | Str of string | Float of float | Bool of bool
 type phase = Begin | End | Instant
 
 type event = {
-  seq : int;  (** global emission index (dense, increasing) *)
+  seq : int;  (** per-domain emission index (dense, increasing) *)
   ts : float;  (** seconds; monotone non-decreasing across the stream *)
+  did : int;  (** id of the domain that recorded the event *)
   phase : phase;
   cat : cat;
   name : string;
@@ -43,8 +53,9 @@ val set_enabled : bool -> unit
     keeps recorded events readable. *)
 
 val set_capacity : int -> unit
-(** Ring capacity in events (default 65536).  On overflow the oldest
-    events are overwritten and counted by {!dropped}. *)
+(** Per-domain ring capacity in events (default 65536).  On overflow the
+    oldest events of that domain are overwritten and counted by
+    {!dropped}. *)
 
 val clear : unit -> unit
 (** Drop all recorded events (per-edit isolation in tests and [iglrc
@@ -66,10 +77,22 @@ val span : cat -> string -> (unit -> 'a) -> 'a
 (** Exception-safe begin/end bracket; an escaping exception is recorded
     on the end event as [exception=true]. *)
 
+(** {1 Request correlation} *)
+
+val with_request : string -> (unit -> 'a) -> 'a
+(** [with_request rid f] — every event recorded by [f] on this domain
+    carries an extra [("rid", Str rid)] argument.  Brackets nest
+    (restores the previous id); a no-op (one branch) when disabled. *)
+
+val request_id : unit -> string option
+(** The request id currently set on this domain, if any. *)
+
 (** {1 Reading the stream} *)
 
 val events : unit -> event list
-(** Retained events, oldest first. *)
+(** Retained events across every domain's ring, merged and
+    time-ordered (ties break on domain id, then per-domain sequence,
+    so each domain's substream keeps its emission order). *)
 
 val str_arg : string -> event -> string option
 val int_arg : string -> event -> int option
@@ -86,16 +109,18 @@ val to_legacy_string : event -> string option
 module Export : sig
   val to_chrome : event list -> Metrics.Json.t
   (** Chrome trace-event JSON ([traceEvents] array with [B]/[E]/[i]
-      phases, microsecond timestamps rebased on the first event);
+      phases, microsecond timestamps rebased on the first event, and
+      [tid] = recording domain id — one Perfetto lane per domain);
       loadable in Perfetto and [chrome://tracing]. *)
 end
 
 module Check : sig
   val well_formed : event list -> string list
-  (** Stream invariants: timestamps non-decreasing, begin/end spans
-      balanced with strict stack discipline.  Returns violation
-      messages; empty = well-formed.  Meaningless after ring overflow —
-      check {!dropped} first. *)
+  (** Stream invariants: timestamps non-decreasing across the merged
+      stream, begin/end spans balanced with strict stack discipline
+      *per domain* (a span begins and ends on the domain that executes
+      it).  Returns violation messages; empty = well-formed.
+      Meaningless after ring overflow — check {!dropped} first. *)
 end
 
 module Explain : sig

@@ -28,8 +28,10 @@ let () =
       ("ambig", Test_ambig.suite);
       ("filtcomp", Test_filtcomp.suite);
       ("metrics", Test_metrics.suite);
+      ("telemetry", Test_telemetry.suite);
       ("recovery", Test_recovery.suite);
       ("edit-fuzz", Test_edit_fuzz.suite);
       ("server-protocol", Test_server_protocol.suite);
       ("server-concurrency", Test_server_concurrency.suite);
+      ("server-correlation", Test_server_correlation.suite);
     ]

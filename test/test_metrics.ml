@@ -15,6 +15,30 @@ let duplicate_registration () =
   | _ -> Alcotest.fail "duplicate metric name accepted"
   | exception Invalid_argument _ -> ()
 
+(* Regression: [register] used to probe for duplicates before taking
+   the registry lock, so two domains racing on one name could both
+   succeed and the registry would keep whichever handle lost the
+   Hashtbl.replace race.  Race N domains at a single name: exactly one
+   must win, the rest must see [Invalid_argument]. *)
+let registration_race () =
+  let n = 8 in
+  let gate = Atomic.make 0 in
+  let outcomes =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr gate;
+            while Atomic.get gate < n do
+              Domain.cpu_relax ()
+            done;
+            match Metrics.counter "test.registration_race" with
+            | _ -> true
+            | exception Invalid_argument _ -> false))
+    |> List.map Domain.join
+  in
+  Alcotest.(check int)
+    "exactly one registration wins" 1
+    (List.length (List.filter Fun.id outcomes))
+
 let counters_and_diff () =
   let before = Metrics.snapshot () in
   Metrics.incr c1;
@@ -112,6 +136,8 @@ let suite =
   [
     Alcotest.test_case "duplicate registration rejected" `Quick
       duplicate_registration;
+    Alcotest.test_case "registration race has one winner" `Quick
+      registration_race;
     Alcotest.test_case "counters and diff" `Quick counters_and_diff;
     Alcotest.test_case "share" `Quick share;
     Alcotest.test_case "peaks survive diff" `Quick peaks_and_gauge_diff;

@@ -1,0 +1,169 @@
+(* Domain-safety of the sharded telemetry substrate: N domains
+   hammering one set of metric handles and one trace sink must lose
+   nothing — the merged snapshot is the arithmetic sum of the per-domain
+   activity, per-domain local diffs add up to the merged diff, the trace
+   rings drop nothing below capacity and the merged stream stays
+   well-formed. *)
+
+let c = Metrics.counter "tel.counter"
+let t = Metrics.timer "tel.timer"
+let p = Metrics.peak "tel.peak"
+let h = Metrics.histogram "tel.hist" ~bounds:[| 1.0; 10.0 |]
+
+let domains = 4
+
+(* Start [domains] workers simultaneously (a gate, so slot assignment is
+   genuinely concurrent) and wait for all results. *)
+let run_domains f =
+  let gate = Atomic.make 0 in
+  List.init domains (fun i ->
+      Domain.spawn (fun () ->
+          Atomic.incr gate;
+          while Atomic.get gate < domains do
+            Domain.cpu_relax ()
+          done;
+          f i))
+  |> List.map Domain.join
+
+let merged_equals_sum () =
+  let iters = 10_000 in
+  let before = Metrics.snapshot () in
+  ignore
+    (run_domains (fun i ->
+         for k = 1 to iters do
+           Metrics.incr c;
+           Metrics.add c 1;
+           Metrics.stop t (Metrics.start ());
+           Metrics.record_peak p ((i * iters) + k);
+           Metrics.observe h (float_of_int (k mod 15))
+         done));
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  Alcotest.(check int)
+    "counter sums across domains"
+    (2 * domains * iters)
+    (Metrics.count d "tel.counter");
+  Alcotest.(check int)
+    "timer events sum across domains" (domains * iters)
+    (Metrics.span_events d "tel.timer");
+  Alcotest.(check int)
+    "peak takes the maximum" (domains * iters)
+    (Metrics.count d "tel.peak");
+  match List.assoc_opt "tel.hist" d with
+  | Some (Metrics.Hist { counts; _ }) ->
+      Alcotest.(check int)
+        "histogram observations sum across domains" (domains * iters)
+        (Array.fold_left ( + ) 0 counts)
+  | _ -> Alcotest.fail "histogram missing from merged snapshot"
+
+let local_diffs_sum_to_merged () =
+  let before = Metrics.snapshot () in
+  let locals =
+    run_domains (fun i ->
+        let b = Metrics.local_snapshot () in
+        for _ = 1 to (i + 1) * 1000 do
+          Metrics.incr c
+        done;
+        Metrics.diff (Metrics.local_snapshot ()) b)
+  in
+  let d = Metrics.diff (Metrics.snapshot ()) before in
+  let total =
+    List.fold_left (fun acc l -> acc + Metrics.count l "tel.counter") 0 locals
+  in
+  (* Each domain observed exactly its own activity... *)
+  List.iteri
+    (fun i l ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d local diff is exact" i)
+        ((i + 1) * 1000)
+        (Metrics.count l "tel.counter"))
+    locals;
+  (* ...and nothing was double-counted or lost in the merge. *)
+  Alcotest.(check int) "local diffs sum to the merged diff" total
+    (Metrics.count d "tel.counter")
+
+let trace_stress () =
+  let spans = 200 in
+  Trace.set_capacity 4096;
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ())
+  @@ fun () ->
+  Trace.clear ();
+  ignore
+    (run_domains (fun i ->
+         Trace.with_request (string_of_int i) (fun () ->
+             for k = 1 to spans do
+               Trace.span Trace.Session "tel.span" (fun () ->
+                   Trace.instant Trace.Glr "tel.tick" [ ("k", Trace.Int k) ])
+             done)));
+  Alcotest.(check int) "no events dropped below capacity" 0 (Trace.dropped ());
+  let evs = Trace.events () in
+  Alcotest.(check int)
+    "every emission retained"
+    (domains * spans * 3)
+    (List.length evs);
+  (match Trace.Check.well_formed evs with
+  | [] -> ()
+  | faults ->
+      Alcotest.fail
+        ("merged stream ill-formed: " ^ String.concat "; " faults));
+  let dids =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.Trace.did) evs)
+  in
+  Alcotest.(check int) "one lane per domain" domains (List.length dids);
+  (* Every event carries its request's correlation id, and the ids
+     partition the stream by recording domain. *)
+  List.iter
+    (fun (e : Trace.event) ->
+      match Trace.str_arg "rid" e with
+      | Some _ -> ()
+      | None -> Alcotest.fail "event without rid inside with_request")
+    evs;
+  let rids =
+    List.sort_uniq compare
+      (List.filter_map (fun e -> Trace.str_arg "rid" e) evs)
+  in
+  Alcotest.(check int) "one rid per worker" domains (List.length rids)
+
+let openmetrics_roundtrip () =
+  Metrics.incr c;
+  Metrics.observe h 5.0;
+  Metrics.stop t (Metrics.start ());
+  let text = Metrics.Openmetrics.render (Metrics.snapshot ()) in
+  match Metrics.Openmetrics.parse text with
+  | Error m -> Alcotest.fail ("self-render rejected: " ^ m)
+  | Ok samples ->
+      (match Metrics.Openmetrics.sample_value samples "iglr_tel_counter_total" with
+      | Some v when v >= 1.0 -> ()
+      | _ -> Alcotest.fail "counter sample missing from exposition");
+      (match Metrics.Openmetrics.sample_value samples "iglr_tel_timer_events_total" with
+      | Some v when v >= 1.0 -> ()
+      | _ -> Alcotest.fail "timer sample missing from exposition");
+      match Metrics.Openmetrics.sample_value samples "iglr_tel_hist_count" with
+      | Some v when v >= 1.0 -> ()
+      | _ -> Alcotest.fail "histogram count missing from exposition"
+
+let openmetrics_rejects_garbage () =
+  (match Metrics.Openmetrics.parse "iglr_x_total 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing # EOF accepted");
+  (match Metrics.Openmetrics.parse "# TYPE iglr_x counter\niglr_x_total nan?\n# EOF\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric value accepted");
+  match Metrics.Openmetrics.parse "# TYPE iglr_x counter\niglr_y_total 1\n# EOF\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sample outside its declared family accepted"
+
+let suite =
+  [
+    Alcotest.test_case "merged snapshot equals per-domain sums" `Quick
+      merged_equals_sum;
+    Alcotest.test_case "local diffs are exact and sum to merged" `Quick
+      local_diffs_sum_to_merged;
+    Alcotest.test_case "trace rings under domain stress" `Quick trace_stress;
+    Alcotest.test_case "openmetrics round-trip" `Quick openmetrics_roundtrip;
+    Alcotest.test_case "openmetrics rejects garbage" `Quick
+      openmetrics_rejects_garbage;
+  ]
