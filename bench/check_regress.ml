@@ -5,8 +5,8 @@
          [--tolerance 0.2] [--reuse-tolerance 0.2] [--floor-ms 5.0]
 
    Both directories must hold BENCH_latency.json, BENCH_reuse.json,
-   BENCH_recovery.json, BENCH_ambig.json and BENCH_filter.json
-   (iglr-bench/1 schema).
+   BENCH_recovery.json, BENCH_ambig.json, BENCH_filter.json,
+   BENCH_server.json and BENCH_chaos.json (iglr-bench/1 schema).
    Entries are keyed by (experiment, language, case); only entries with
    "gate": true are compared.
 
@@ -221,6 +221,7 @@ let () =
   check "ambig" check_ambig "BENCH_ambig.json";
   check "filter" check_ambig "BENCH_filter.json";
   check "server" check_ambig "BENCH_server.json";
+  check "chaos" check_ambig "BENCH_chaos.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

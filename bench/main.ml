@@ -192,6 +192,24 @@ let record_server ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !server_entries
 
+(* Chaos entries live in their own document (BENCH_chaos.json): the
+   availability percentages of a fault-injected run — every accepted
+   request answered, shedding bounded, a killed worker domain replaced
+   — plus the p99 request latency under the injected faults. *)
+let chaos_entries : Json.t list ref = ref []
+
+let record_chaos ?(gate = true) ~experiment ~language ~case fields =
+  chaos_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !chaos_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -217,9 +235,11 @@ let write_json () =
       Json.to_file ambig (doc "ambig" !ambig_entries);
       Json.to_file filter (doc "filter" !filter_entries);
       Json.to_file server (doc "server" !server_entries);
+      let chaos = Filename.concat dir "BENCH_chaos.json" in
+      Json.to_file chaos (doc "chaos" !chaos_entries);
       Printf.printf
         "\nwrote %s (%d entries), %s (%d entries), %s (%d entries), %s (%d \
-         entries), %s (%d entries), %s (%d entries)\n"
+         entries), %s (%d entries), %s (%d entries), %s (%d entries)\n"
         latency
         (List.length !latency_entries)
         reuse
@@ -232,6 +252,8 @@ let write_json () =
         (List.length !filter_entries)
         server
         (List.length !server_entries)
+        chaos
+        (List.length !chaos_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -1796,6 +1818,189 @@ let server_bench () =
       ("zero_dropped_pct", Json.Float zero_dropped_pct);
     ]
 
+(* Fault-injected availability run (BENCH_chaos.json).  Two phases on
+   one supervised engine:
+
+   - supervision: a clean edit+parse round per document with one
+     injected mid-execution domain kill.  The killed parse must answer
+     -32006, its document heals on the next touch, and the scheduler
+     must have spawned exactly one replacement domain.
+   - overload: a stall fault pins the worker for one dispatch cycle
+     while a parse flood exceeds the bounded admission cap, shedding
+     oldest-first.  Shedding must stay bounded (every shed is still a
+     -32007 response, so delivery stays total).
+
+   Gates: responses_delivered_pct (must hold at 100 — also enforced
+   here as a hard failure), served_pct (a rise in shedding fails the
+   reuse rule), worker_replaced_pct, and the p99 request latency under
+   the faults (noise-floored latency rule). *)
+let chaos_bench () =
+  header "Fault-injected chaos: supervision + overload shedding (iglrd engine)";
+  let n_docs = 4 in
+  let flood = max 16 (int_of_float (200. *. !scale)) in
+  let base i =
+    String.concat "\n"
+      (List.init 20 (fun k -> Printf.sprintf "a%d = 1 + %d;" k ((i + k) mod 9)))
+  in
+  let m = Mutex.create () in
+  let responses = ref [] in
+  let emit l =
+    Mutex.lock m;
+    responses := l :: !responses;
+    Mutex.unlock m
+  in
+  let log_m = Mutex.create () in
+  let access_log = ref [] in
+  let log l =
+    Mutex.lock log_m;
+    access_log := l :: !access_log;
+    Mutex.unlock log_m
+  in
+  let engine = Server.Engine.create ~jobs:1 ~max_inflight:8 ~log ~emit () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Server.Engine.shutdown engine)
+  @@ fun () ->
+  let send fields =
+    Server.Engine.handle_line engine (Json.to_line (Json.Obj fields))
+  in
+  let doc i = Printf.sprintf "doc%d" i in
+  let parse ~id i =
+    send
+      [
+        ("id", Json.Int id);
+        ("method", Json.String "parse");
+        ("params", Json.Obj [ ("doc", Json.String (doc i)) ]);
+      ]
+  in
+  for i = 0 to n_docs - 1 do
+    send
+      [
+        ("id", Json.Int i);
+        ("method", Json.String "open");
+        ( "params",
+          Json.Obj
+            [
+              ("doc", Json.String (doc i));
+              ("lang", Json.String "calc");
+              ("text", Json.String (base i));
+            ] );
+      ]
+  done;
+  Server.Engine.drain engine;
+  let install plan =
+    match Fault.plan_of_string plan with
+    | Ok p -> Fault.install p
+    | Error e -> failwith ("chaos bench: bad plan: " ^ e)
+  in
+  (* Phase 1 — supervision: the second executed parse is killed
+     mid-execution. *)
+  install "seed=7;kill.mid@2";
+  for i = 0 to n_docs - 1 do
+    send
+      [
+        ("id", Json.Int (100 + i));
+        ("method", Json.String "edit");
+        ( "params",
+          Json.Obj
+            [
+              ("doc", Json.String (doc i));
+              ( "edits",
+                Json.List
+                  [
+                    Json.Obj
+                      [
+                        ("pos", Json.Int 5);
+                        ("del", Json.Int 1);
+                        ("insert", Json.String (string_of_int (i mod 9)));
+                      ];
+                  ] );
+            ] );
+      ];
+    parse ~id:(200 + i) i
+  done;
+  Server.Engine.drain engine;
+  Fault.clear ();
+  (* Phase 2 — overload: pin the worker for one dispatch cycle and
+     flood parses past the admission cap. *)
+  install "seed=7;stall=80;stall@1";
+  for k = 0 to flood - 1 do
+    parse ~id:(1000 + k) (k mod n_docs)
+  done;
+  Server.Engine.drain engine;
+  Fault.clear ();
+  let accepted = Server.Engine.requests engine in
+  let delivered = List.length !responses in
+  if delivered <> accepted then
+    failwith
+      (Printf.sprintf "chaos bench: %d accepted but %d responses delivered"
+         accepted delivered);
+  let count_code code =
+    List.length
+      (List.filter
+         (fun line ->
+           match Json.member "error" (Json.of_string line) with
+           | Some e -> (
+               match Option.bind (Json.member "code" e) Json.to_int with
+               | Some c -> c = code
+               | None -> false)
+           | None -> false)
+         !responses)
+  in
+  let crashed = count_code Server.Protocol.e_worker in
+  let sheds = count_code Server.Protocol.e_overloaded in
+  if crashed <> 1 then
+    failwith
+      (Printf.sprintf "chaos bench: expected 1 crashed parse, saw %d" crashed);
+  let health = Server.Engine.health engine in
+  let restarts =
+    match
+      Option.bind (Json.member "supervised_restarts" health) Json.to_int
+    with
+    | Some n -> n
+    | None -> failwith "chaos bench: health lacks supervised_restarts"
+  in
+  let parses = n_docs + flood in
+  let delivered_pct = 100. *. float_of_int delivered /. float_of_int accepted in
+  let shed_pct = 100. *. float_of_int sheds /. float_of_int parses in
+  let served_pct = 100. -. shed_pct in
+  let replaced_pct = if restarts >= 1 then 100. else 0. in
+  let p99 =
+    let samples =
+      List.filter_map
+        (fun line ->
+          let j = Json.of_string line in
+          match Option.bind (Json.member "method" j) Json.to_str with
+          | Some "parse" -> Option.bind (Json.member "ms" j) Json.to_float
+          | _ -> None)
+        !access_log
+    in
+    if List.length samples <> parses then
+      failwith
+        (Printf.sprintf "chaos bench: expected %d access-log parses, got %d"
+           parses (List.length samples));
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(max 0 (min (Array.length a - 1)
+                (int_of_float (ceil (0.99 *. float_of_int (Array.length a))) - 1)))
+  in
+  Printf.printf
+    "%d requests accepted, %d delivered (%.0f%%); %d/%d parses shed \
+     (%.1f%%); 1 domain kill, %d replacement(s); p99 %.3f ms under faults\n"
+    accepted delivered delivered_pct sheds parses shed_pct restarts p99;
+  record_chaos ~experiment:"chaos" ~language:"calc" ~case:"delivery"
+    [ ("responses_delivered_pct", Json.Float delivered_pct) ];
+  record_chaos ~experiment:"chaos" ~language:"calc" ~case:"overload"
+    [ ("served_pct", Json.Float served_pct) ];
+  record_chaos ~gate:false ~experiment:"chaos" ~language:"calc"
+    ~case:"shed-share"
+    [ ("shed_pct", Json.Float shed_pct); ("flood", Json.Int flood) ];
+  record_chaos ~experiment:"chaos" ~language:"calc" ~case:"supervision"
+    [ ("worker_replaced_pct", Json.Float replaced_pct) ];
+  record_chaos ~experiment:"chaos" ~language:"calc" ~case:"p99-under-faults"
+    [ ("median", Json.Float p99); ("docs", Json.Int n_docs) ]
+
 let experiments =
   [
     ("table1", table1);
@@ -1815,6 +2020,7 @@ let experiments =
     ("filter", filter_bench);
     ("earley", earley);
     ("server", server_bench);
+    ("chaos", chaos_bench);
     ("bechamel", bechamel);
   ]
 

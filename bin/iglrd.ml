@@ -5,7 +5,17 @@
    Methods: open, edit, parse, errors, ambig, stats, telemetry, close —
    see README.md "Running the daemon".  [--log FILE] appends a
    structured JSON access log; SIGUSR1 dumps the health snapshot and
-   slow-request flight recorder to stderr.
+   slow-request flight recorder to stderr; SIGTERM/SIGINT drain
+   gracefully: admission closes (new requests answer -32008), in-flight
+   work finishes under the [--drain-ms] hard deadline (overdue parses
+   cancel through the degradation ladder and still answer, degraded),
+   the access log is flushed, and the process exits 0.
+
+   All I/O runs through the EINTR-restartable [Server.Rio] loops: a
+   signal landing mid-read never kills the stream, and a request line
+   exceeding [--max-payload] is discarded in chunks (never
+   materialised), answered with -32005, and the stream resynchronises
+   at the next newline.
 
    One engine per process: the session pool, the shared language tables
    and the worker domains are common to every connection, so a socket
@@ -16,47 +26,11 @@
 
 open Cmdliner
 
-let serve_channel engine ic oc =
-  let emit line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
-  in
-  Server.Engine.set_emit engine emit;
-  (try
-     while true do
-       let line = input_line ic in
-       Server.Engine.handle_line engine line
-     done
-   with End_of_file -> ());
-  Server.Engine.drain engine
-
-let serve_socket engine path =
-  (* A stale socket file from a previous run would make [bind] fail. *)
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  Fun.protect
-    ~finally:(fun () ->
-      Unix.close sock;
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () ->
-      let rec loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (try serve_channel engine ic oc with Sys_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        loop ()
-      in
-      loop ())
-
-(* SIGUSR1 dumps the health snapshot and the slow-request flight
-   recorder to stderr without disturbing the protocol stream.  The
-   handler only sets a flag; the dump itself runs on the dispatcher
-   thread between requests (engine introspection is not async-safe). *)
+(* Signal handlers only set flags; everything interesting runs on the
+   dispatcher thread between requests (engine introspection and
+   shutdown are not async-safe). *)
 let dump_requested = ref false
+let shutdown_requested = ref false
 
 let dump_telemetry engine =
   dump_requested := false;
@@ -69,25 +43,72 @@ let dump_telemetry engine =
   in
   prerr_endline (Metrics.Json.to_line j)
 
-let serve_channel_with_dump engine ic oc =
-  let emit line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
+let should_stop () = !shutdown_requested
+
+let serve_fd engine ~max_line fd_in fd_out =
+  Server.Engine.set_emit engine (fun line -> Server.Rio.write_all fd_out (line ^ "\n"));
+  let r = Server.Rio.reader ~max_line fd_in in
+  (* Service SIGUSR1 while blocked in read: without this, a dump
+     requested on an idle daemon would wait for the next request line. *)
+  let on_intr () = if !dump_requested then dump_telemetry engine in
+  let rec loop () =
+    if !shutdown_requested then ()
+    else begin
+      match Server.Rio.read_line ~should_stop ~on_intr r with
+      | `Line line ->
+          Server.Engine.handle_line engine line;
+          if !dump_requested then dump_telemetry engine;
+          loop ()
+      | `Oversized bytes ->
+          Server.Engine.reject_oversized engine ~bytes;
+          loop ()
+      | `Eof -> ()
+      | `Stopped -> ()
+    end
   in
-  Server.Engine.set_emit engine emit;
-  (try
-     while true do
-       let line = input_line ic in
-       Server.Engine.handle_line engine line;
-       if !dump_requested then dump_telemetry engine
-     done
-   with End_of_file -> ());
+  loop ();
   Server.Engine.drain engine;
   if !dump_requested then dump_telemetry engine
 
-let run serial jobs socket max_payload log_file =
+let serve_socket engine ~max_line path =
+  (* A stale socket file from a previous run would make [bind] fail. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close sock;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let on_intr () = if !dump_requested then dump_telemetry engine in
+      let rec loop () =
+        match Server.Rio.accept ~should_stop ~on_intr sock with
+        | None -> ()
+        | Some (fd, _) ->
+            (try serve_fd engine ~max_line fd fd
+             with Unix.Unix_error _ | Sys_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if !shutdown_requested then () else loop ()
+      in
+      loop ())
+
+let install_signal s f =
+  try ignore (Sys.signal s (Sys.Signal_handle f))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let run serial jobs socket max_payload log_file fault_plan drain_ms
+    max_doc_queue max_inflight =
+  (match fault_plan with
+  | None -> ()
+  | Some p -> (
+      match Fault.plan_of_string p with
+      | Ok plan -> Fault.install plan
+      | Error e ->
+          prerr_endline ("iglrd: invalid --fault-plan: " ^ e);
+          exit 2));
   let jobs = if serial then Some 0 else jobs in
+  let max_line = Option.value max_payload ~default:(8 * 1024 * 1024) in
   let log_oc =
     Option.map
       (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
@@ -102,21 +123,25 @@ let run serial jobs socket max_payload log_file =
       log_oc
   in
   let engine =
-    Server.Engine.create ?jobs ?max_payload ?log ~emit:(fun _ -> ()) ()
+    Server.Engine.create ?jobs ?max_payload ?max_doc_queue ?max_inflight ?log
+      ~emit:(fun _ -> ())
+      ()
   in
-  (try
-     ignore
-       (Sys.signal Sys.sigusr1
-          (Sys.Signal_handle (fun _ -> dump_requested := true)))
-   with Invalid_argument _ | Sys_error _ -> ());
+  install_signal Sys.sigusr1 (fun _ -> dump_requested := true);
+  install_signal Sys.sigterm (fun _ -> shutdown_requested := true);
+  install_signal Sys.sigint (fun _ -> shutdown_requested := true);
   Fun.protect
     ~finally:(fun () ->
-      Server.Engine.shutdown engine;
+      (* Graceful drain: close admission, finish in-flight work under
+         the hard deadline, then stop the domains and flush the log.
+         Reached on EOF and on SIGTERM/SIGINT alike; exit code 0. *)
+      Server.Engine.shutdown ~deadline_ms:drain_ms engine;
       Option.iter close_out log_oc)
     (fun () ->
+      if !shutdown_requested then Server.Engine.begin_shutdown engine;
       match socket with
-      | None -> serve_channel_with_dump engine stdin stdout
-      | Some path -> serve_socket engine path)
+      | None -> serve_fd engine ~max_line Unix.stdin Unix.stdout
+      | Some path -> serve_socket engine ~max_line path)
 
 let serial_arg =
   Arg.(
@@ -154,7 +179,9 @@ let max_payload_arg =
     & info [ "max-payload" ] ~docv:"BYTES"
         ~doc:
           "Reject request lines longer than $(docv) bytes with a \
-           structured error (default 8 MiB).")
+           structured error (default 8 MiB).  Oversized lines are \
+           discarded without being read into memory and the stream \
+           resynchronises at the next newline.")
 
 let log_arg =
   Arg.(
@@ -166,6 +193,48 @@ let log_arg =
            $(docv): request id, client id, method, doc, ok/error status \
            and end-to-end latency, in response order.")
 
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Install a deterministic fault-injection plan (chaos testing): \
+           semicolon-separated clauses like \
+           $(b,seed=7;kill.mid@3;stall%0.05).  Sites: worker.raise, \
+           kill.pre, kill.mid, stall, sink.fail, clock.skew.")
+
+let drain_ms_arg =
+  Arg.(
+    value & opt float 2000.
+    & info [ "drain-ms" ] ~docv:"MS"
+        ~doc:
+          "Hard deadline for the graceful drain on SIGTERM/SIGINT or \
+           EOF: in-flight parses still running after $(docv) \
+           milliseconds are cancelled through the degradation ladder \
+           (they answer, degraded) so the process always exits.")
+
+let max_doc_queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-doc-queue" ] ~docv:"N"
+        ~doc:
+          "Shed requests (error -32007) for a document that already has \
+           $(docv) requests queued or running (default: unbounded).  \
+           $(b,close) is always admitted.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Global backpressure: past $(docv) accepted-but-unanswered \
+           requests, shed the oldest queued parse (error -32007) to \
+           make room — or the incoming request when nothing is \
+           sheddable (default: unbounded).")
+
 let () =
   let info =
     Cmd.info "iglrd"
@@ -176,4 +245,5 @@ let () =
        (Cmd.v info
           Term.(
             const run $ serial_arg $ jobs_arg $ socket_arg $ max_payload_arg
-            $ log_arg)))
+            $ log_arg $ fault_plan_arg $ drain_ms_arg $ max_doc_queue_arg
+            $ max_inflight_arg)))

@@ -85,6 +85,7 @@ let m_degraded = Metrics.counter "glr.degraded_parses"
 let m_pruned_parsers = Metrics.counter "glr.pruned_parsers"
 let m_budget_nodes = Metrics.counter "glr.budget_exhausted_nodes"
 let m_budget_deadline = Metrics.counter "glr.budget_exhausted_deadline"
+let m_budget_cancelled = Metrics.counter "glr.budget_cancelled"
 
 type config = {
   reuse_nodes : bool;
@@ -108,6 +109,9 @@ type run = {
   cfgc : config;
   budget : budget;
   deadline : float;  (* absolute wall-clock ms, [infinity] = none *)
+  cancel : (unit -> bool) option;
+      (* cooperative cancellation, polled with the deadline: the parse
+         service folds per-request cancel flags in here *)
   stats : stats;
   cursor : Traverse.cursor;  (* the input stream over the previous tree *)
   mutable red_term : Node.t option;  (* cached reduction lookahead *)
@@ -699,7 +703,14 @@ let check_budget r =
   if r.deadline < infinity && Metrics.now_ms () > r.deadline then begin
     Metrics.incr m_budget_deadline;
     raise (Budget_exhausted { kind = Deadline; offset_tokens = r.pos })
-  end
+  end;
+  match r.cancel with
+  | Some c when c () ->
+      (* Cancellation shares the deadline rung: the caller asked for an
+         answer now, so degrade exactly as an expired deadline would. *)
+      Metrics.incr m_budget_cancelled;
+      raise (Budget_exhausted { kind = Deadline; offset_tokens = r.pos })
+  | _ -> ()
 
 let parse_next_symbol r =
   check_budget r;
@@ -850,13 +861,14 @@ let process_modifications root =
 (* ------------------------------------------------------------------ *)
 (* Entry points.                                                       *)
 
-let make_run config budget deadline table root =
+let make_run config budget deadline cancel table root =
   {
     table;
     g = Table.grammar table;
     cfgc = config;
     budget;
     deadline;
+    cancel;
     stats = fresh_stats ();
     cursor = Traverse.cursor_at root;
     red_term = None;
@@ -890,8 +902,8 @@ let record_run r ~gss0 =
     Metrics.add m_pruned_parsers r.stats.pruned_parsers
   end
 
-let parse ?(config = default_config) ?(budget = no_budget) ?deadline table
-    root =
+let parse ?(config = default_config) ?(budget = no_budget) ?deadline ?cancel
+    table root =
   (match root.Node.kind with
   | Node.Root -> ()
   | _ -> invalid_arg "Glr.parse: not a document root");
@@ -906,7 +918,7 @@ let parse ?(config = default_config) ?(budget = no_budget) ?deadline table
         if budget.deadline_ms = infinity then infinity
         else Metrics.now_ms () +. budget.deadline_ms
   in
-  let r = make_run config budget deadline table root in
+  let r = make_run config budget deadline cancel table root in
   let bos = root.Node.kids.(0) in
   r.active <- [ Gss.make_node ~state:(Table.start_state table) [] ];
   r.stats.max_parsers <- 1;
@@ -934,8 +946,8 @@ let parse ?(config = default_config) ?(budget = no_budget) ?deadline table
   Metrics.stop m_parse_span t0;
   r.stats
 
-let parse_tokens ?(config = default_config) ?budget ?deadline table tokens
-    ~trailing =
+let parse_tokens ?(config = default_config) ?budget ?deadline ?cancel table
+    tokens ~trailing =
   let terms =
     List.map
       (fun (t : Lexgen.Scanner.token) ->
@@ -949,5 +961,5 @@ let parse_tokens ?(config = default_config) ?budget ?deadline table tokens
          ((Node.make_bos () :: terms) @ [ Node.make_eos ~trailing ]))
   in
   Node.commit root;
-  let stats = parse ~config ?budget ?deadline table root in
+  let stats = parse ~config ?budget ?deadline ?cancel table root in
   (root, stats)

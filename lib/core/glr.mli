@@ -91,11 +91,19 @@ val default_config : config
     [budget] bounds the reparse (see {!type:budget}); [deadline] overrides
     the budget's relative deadline with an absolute wall-clock instant in
     {!Metrics.now_ms} milliseconds, so a sequence of recovery attempts can
-    share one overall deadline. *)
+    share one overall deadline.
+
+    [cancel] is polled at every budget check (once per shifted symbol):
+    when it returns [true] the parse aborts exactly as an expired
+    deadline would ({!Budget_exhausted} with kind [Deadline], previous
+    tree intact).  The parse service folds per-request cancellation
+    flags in here so an overdue request degrades through the recovery
+    ladder instead of running long. *)
 val parse :
   ?config:config ->
   ?budget:budget ->
   ?deadline:float ->
+  ?cancel:(unit -> bool) ->
   Lrtab.Table.t ->
   Parsedag.Node.t ->
   stats
@@ -107,6 +115,7 @@ val parse_tokens :
   ?config:config ->
   ?budget:budget ->
   ?deadline:float ->
+  ?cancel:(unit -> bool) ->
   Lrtab.Table.t ->
   Lexgen.Scanner.token list ->
   trailing:string ->

@@ -246,7 +246,7 @@ exception Give_up
    spliced back as error nodes and the new tree is committed; on
    [Give_up]/attempt exhaustion the tree is whole again and the caller
    falls back to flag-only recovery. *)
-let isolate t ~deadline (error : Glr.error) =
+let isolate t ~deadline ~cancel (error : Glr.error) =
   let leaves = Document.leaves t.doc in
   let n = Array.length leaves in
   if n = 0 then None
@@ -292,8 +292,8 @@ let isolate t ~deadline (error : Glr.error) =
              [] rs
          in
          match
-           Glr.parse ~config:t.config ~budget:t.budget ~deadline t.table
-             (Document.root t.doc)
+           Glr.parse ~config:t.config ~budget:t.budget ~deadline ?cancel
+             t.table (Document.root t.doc)
          with
          | stats ->
              List.iter
@@ -373,10 +373,10 @@ let run_hook t =
    parse: try local isolation under the same absolute deadline; fall
    back to the history-based flag-only recovery of §4.3 (previous
    structure retained, pending modifications marked unincorporated). *)
-let recover t ~t0 ~deadline ~degraded (error : Glr.error) =
+let recover t ~t0 ~deadline ~cancel ~degraded (error : Glr.error) =
   Metrics.incr m_recoveries;
   let location = location_of_token t error.Glr.offset_tokens in
-  match isolate t ~deadline error with
+  match isolate t ~deadline ~cancel error with
   | Some (rs, tot, stats) ->
       Metrics.incr m_isolations;
       let degraded = degraded || stats.Glr.degraded in
@@ -432,7 +432,7 @@ let recover t ~t0 ~deadline ~degraded (error : Glr.error) =
           ];
       Recovered { flagged = !flagged; isolated = 0; degraded; error; location }
 
-let reparse_owned t =
+let reparse_owned ?cancel t =
   (* The per-edit root span: every glr/gss/reuse/commit event of this
      reparse nests inside it. *)
   Trace.span Trace.Session "reparse" @@ fun () ->
@@ -447,7 +447,7 @@ let reparse_owned t =
   in
   let had_errors = t.errors in
   match
-    Glr.parse ~config:t.config ~budget:t.budget ~deadline t.table
+    Glr.parse ~config:t.config ~budget:t.budget ~deadline ?cancel t.table
       (Document.root t.doc)
   with
   | stats ->
@@ -465,7 +465,8 @@ let reparse_owned t =
       run_hook t;
       if stats.Glr.degraded then Metrics.incr m_degraded;
       Parsed stats
-  | exception Glr.Parse_error error -> recover t ~t0 ~deadline ~degraded:false error
+  | exception Glr.Parse_error error ->
+      recover t ~t0 ~deadline ~cancel ~degraded:false error
   | exception Glr.Budget_exhausted { kind; offset_tokens } ->
       let error =
         {
@@ -473,9 +474,9 @@ let reparse_owned t =
           message = "budget exhausted: " ^ Glr.budget_kind_name kind;
         }
       in
-      recover t ~t0 ~deadline ~degraded:true error
+      recover t ~t0 ~deadline ~cancel ~degraded:true error
 
-let reparse t = owned t (fun () -> reparse_owned t)
+let reparse ?cancel t = owned t (fun () -> reparse_owned ?cancel t)
 
 let create ?(config = Glr.default_config) ?(budget = Glr.no_budget)
     ?(syn_filters = []) ?on_parse ~table ~lexer text =

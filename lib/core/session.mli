@@ -131,8 +131,14 @@ val edit : t -> pos:int -> del:int -> insert:string -> unit
 
 (** [reparse t] — incremental reparse of all pending edits.  Never raises
     {!Glr.Parse_error} or {!Glr.Budget_exhausted}: failures surface as
-    [Recovered]. *)
-val reparse : t -> outcome
+    [Recovered].
+
+    [cancel] is polled by the parser alongside its deadline budget (full
+    parse and every isolation attempt): when it reports [true] the
+    reparse degrades through the recovery ladder and returns a
+    [Recovered] outcome with [degraded = true] — the parse service's
+    deadline-cancellation hook. *)
+val reparse : ?cancel:(unit -> bool) -> t -> outcome
 
 (** [has_errors t] — true after a [Recovered] outcome until a later clean
     parse. *)

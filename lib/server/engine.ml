@@ -5,18 +5,33 @@ module Language = Languages.Language
 module Registry = Languages.Registry
 module P = Protocol
 
-(* Server-side observability: request traffic and scheduling shape. *)
+(* Server-side observability: request traffic, scheduling shape and the
+   hardening counters (shed / retried / cancelled / sink failures). *)
 let m_requests = Metrics.counter "server.requests"
 let m_errors = Metrics.counter "server.rpc_errors"
 let m_opens = Metrics.counter "server.opens"
 let m_parses = Metrics.counter "server.parses"
+let m_shed = Metrics.counter "server.shed"
+let m_retried = Metrics.counter "server.retried"
+let m_cancelled = Metrics.counter "server.cancelled"
+let m_sink_errors = Metrics.counter "server.sink_errors"
+
+(* The deadline clock: wall time plus whatever skew the fault plan's
+   [clock.skew] site injects.  Only deadline/latency arithmetic reads
+   it — a skewed clock must never corrupt anything but timing. *)
+let now_ms () = Metrics.now_ms () +. Fault.skew_ms ()
 
 (* ------------------------------------------------------------------ *)
 (* Ordered response writer: completions arrive from any worker domain
    in any order; [emit] sees them strictly in request order.  Each
    completion may carry an [after] thunk (the access-log emission) that
    runs right after its line is emitted — so the log shares the
-   response stream's ordering guarantee.                               *)
+   response stream's ordering guarantee.
+
+   A sink that throws (broken pipe, injected [sink.fail]) must not take
+   the writer down with it: the mutex would stay locked and every later
+   response would deadlock behind the corpse.  Failed emissions are
+   counted and dropped; ordering progress continues.                   *)
 
 module Writer = struct
   type t = {
@@ -24,9 +39,12 @@ module Writer = struct
     mutable next : int;
     buffered : (int, string * (unit -> unit) option) Hashtbl.t;
     mutable emit : string -> unit;
+    sink_errors : int Atomic.t;
   }
 
-  let create emit = { m = Mutex.create (); next = 0; buffered = Hashtbl.create 16; emit }
+  let create emit =
+    { m = Mutex.create (); next = 0; buffered = Hashtbl.create 16; emit;
+      sink_errors = Atomic.make 0 }
 
   let depth t =
     Mutex.lock t.m;
@@ -39,7 +57,12 @@ module Writer = struct
     Hashtbl.replace t.buffered seq (line, after);
     while Hashtbl.mem t.buffered t.next do
       let line, after = Hashtbl.find t.buffered t.next in
-      t.emit line;
+      (try
+         Fault.point Fault.Sink_fail;
+         t.emit line
+       with _ ->
+         Atomic.incr t.sink_errors;
+         Metrics.incr m_sink_errors);
       (match after with Some f -> ( try f () with _ -> ()) | None -> ());
       Hashtbl.remove t.buffered t.next;
       t.next <- t.next + 1
@@ -75,7 +98,8 @@ end
 (* ------------------------------------------------------------------ *)
 (* Slow-request flight recorder: the last [cap] parses plus the [cap]
    slowest since startup, each with its end-to-end latency and reuse
-   shape.  Written by worker domains at parse completion, read by the
+   shape.  Quarantine incidents land here too, flagged by an
+   ["incident"] reject entry.  Written by worker domains, read by the
    dispatcher's telemetry handler and the SIGUSR1 dump — one mutex.    *)
 
 module Flight = struct
@@ -151,6 +175,61 @@ module Flight = struct
       ]
 end
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation wheel: one slot per in-flight parse, holding its cancel
+   flag and (when the request carries a deadline) the accept-relative
+   instant after which it is overdue.  The dispatcher [tick]s the wheel
+   on every accepted line; graceful drain [fire_all]s it so in-flight
+   parses fall back to the degradation ladder instead of holding the
+   process open.  The flags are plain [Atomic.t]s — a parse polls its
+   own flag from inside the GLR budget check without taking the wheel
+   mutex.                                                              *)
+
+module Wheel = struct
+  type entry = { w_deadline : float option; w_flag : bool Atomic.t }
+  type t = { m : Mutex.t; tbl : (int, entry) Hashtbl.t }
+
+  let create () = { m = Mutex.create (); tbl = Hashtbl.create 16 }
+
+  let register t seq ~deadline flag =
+    Mutex.lock t.m;
+    Hashtbl.replace t.tbl seq { w_deadline = deadline; w_flag = flag };
+    Mutex.unlock t.m
+
+  let unregister t seq =
+    Mutex.lock t.m;
+    Hashtbl.remove t.tbl seq;
+    Mutex.unlock t.m
+
+  (* Mark overdue entries; returns how many were newly marked. *)
+  let tick t ~now =
+    Mutex.lock t.m;
+    let fired = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        match e.w_deadline with
+        | Some d when d < now && not (Atomic.get e.w_flag) ->
+            Atomic.set e.w_flag true;
+            incr fired
+        | _ -> ())
+      t.tbl;
+    Mutex.unlock t.m;
+    !fired
+
+  let fire_all t =
+    Mutex.lock t.m;
+    let fired = ref 0 in
+    Hashtbl.iter
+      (fun _ e ->
+        if not (Atomic.get e.w_flag) then begin
+          Atomic.set e.w_flag true;
+          incr fired
+        end)
+      t.tbl;
+    Mutex.unlock t.m;
+    !fired
+end
+
 (* Per-request bookkeeping for correlation: method, doc and accept
    timestamp, keyed by the dispatcher-assigned sequence number.  The
    dispatcher writes it before submitting; the parse handler reads the
@@ -163,19 +242,39 @@ type meta = {
   m_t0 : float;
 }
 
+(* Response-slot state for a submitted job: exactly one of the normal
+   path (worker claims Pending→Running, runs, responds), the shed path
+   (dispatcher claims Pending→Shed, responds [-32007]) and the crash
+   path (supervisor claims, responds [-32006]) wins the slot, so every
+   accepted request yields exactly one response no matter which faults
+   fire. *)
+let slot_pending = 0
+let slot_running = 1
+let slot_shed = 2
+
 type t = {
   pool : Pool.t;
   sched : Scheduler.t;
   writer : Writer.t;
   live : Live.t;
   flight : Flight.t;
+  wheel : Wheel.t;
   log : (string -> unit) option;
   meta_m : Mutex.t;
   meta : (int, meta) Hashtbl.t;
   max_payload : int;
+  max_doc_queue : int;  (* 0 = unbounded *)
+  max_inflight : int;  (* 0 = unbounded *)
+  stopping : bool Atomic.t;
+  shed : int Atomic.t;
+  retried : int Atomic.t;
+  cancelled : int Atomic.t;
   mutable seq : int;  (* dispatcher-only *)
   mutable served : int;  (* dispatcher-only: requests accepted *)
   mutable loaded : string list;  (* dispatcher-only: languages forced *)
+  pending : (int * Json.t * int Atomic.t) Queue.t;
+      (* dispatcher-only: queued parse requests in accept order, for
+         oldest-first shedding under global pressure *)
   ambig_m : Mutex.t;
   ambig_cache : (string * int, Json.t) Hashtbl.t;
 }
@@ -183,9 +282,10 @@ type t = {
 let pool t = t.pool
 let requests t = t.served
 let jobs t = Scheduler.jobs t.sched
+let stopping t = Atomic.get t.stopping
 
-let create ?jobs ?(max_payload = 8 * 1024 * 1024) ?(flight_cap = 32) ?log
-    ~emit () =
+let create ?jobs ?(max_payload = 8 * 1024 * 1024) ?(flight_cap = 32)
+    ?(max_doc_queue = 0) ?(max_inflight = 0) ?log ~emit () =
   let jobs =
     match jobs with
     | Some j -> j
@@ -197,19 +297,58 @@ let create ?jobs ?(max_payload = 8 * 1024 * 1024) ?(flight_cap = 32) ?log
     writer = Writer.create emit;
     live = Live.create ();
     flight = Flight.create flight_cap;
+    wheel = Wheel.create ();
     log;
     meta_m = Mutex.create ();
     meta = Hashtbl.create 64;
     max_payload;
+    max_doc_queue;
+    max_inflight;
+    stopping = Atomic.make false;
+    shed = Atomic.make 0;
+    retried = Atomic.make 0;
+    cancelled = Atomic.make 0;
     seq = 0;
     served = 0;
     loaded = [];
+    pending = Queue.create ();
     ambig_m = Mutex.create ();
     ambig_cache = Hashtbl.create 8;
   }
 
-let drain t = Scheduler.drain t.sched
-let shutdown t = Scheduler.shutdown t.sched
+let begin_shutdown t = Atomic.set t.stopping true
+
+let drain ?deadline_ms t =
+  match deadline_ms with
+  | None -> Scheduler.drain t.sched
+  | Some ms ->
+      (* Watchdog: if the drain overruns the hard deadline, fire every
+         in-flight cancel flag — parses abort through the degradation
+         ladder and still produce (degraded) responses, so the drain
+         completes without dropping anything. *)
+      let stop = Atomic.make false in
+      let wd =
+        Domain.spawn (fun () ->
+            let t_end = Unix.gettimeofday () +. (ms /. 1000.) in
+            while (not (Atomic.get stop)) && Unix.gettimeofday () < t_end do
+              Unix.sleepf 0.002
+            done;
+            if not (Atomic.get stop) then begin
+              let n = Wheel.fire_all t.wheel in
+              if n > 0 then begin
+                Atomic.fetch_and_add t.cancelled n |> ignore;
+                for _ = 1 to n do Metrics.incr m_cancelled done
+              end
+            end)
+      in
+      Scheduler.drain t.sched;
+      Atomic.set stop true;
+      Domain.join wd
+
+let shutdown ?deadline_ms t =
+  begin_shutdown t;
+  drain ?deadline_ms t;
+  Scheduler.shutdown t.sched
 
 let set_emit t emit =
   Mutex.lock t.writer.Writer.m;
@@ -285,6 +424,23 @@ let respond_err t seq ~id e =
   Metrics.incr m_errors;
   respond t seq (P.err ~req:seq ~id e)
 
+(* Quarantine: the session let an exception escape a mutating entry
+   point, so the document can no longer be trusted.  Mark it (the next
+   request that touches it rebuilds from the last committed text) and
+   log the incident on the flight recorder. *)
+let quarantine t ~req ~doc =
+  Pool.poison t.pool doc;
+  let t0 = match find_meta t req with Some m -> m.m_t0 | None -> now_ms () in
+  Flight.record t.flight
+    {
+      Flight.f_req = req;
+      f_doc = doc;
+      f_ms = Metrics.now_ms () -. t0;
+      f_reuse_pct = 0.;
+      f_degraded = true;
+      f_rejects = [ ("incident", 1) ];
+    }
+
 (* ------------------------------------------------------------------ *)
 (* Document handlers — run on worker domains under per-doc ordering.   *)
 
@@ -292,7 +448,13 @@ let with_entry t ~req ~id doc f =
   match Pool.find t.pool doc with
   | None ->
       P.err ~req ~id { P.code = P.e_unknown_doc; message = "unknown doc " ^ doc }
-  | Some e -> f e
+  | Some e ->
+      (* Heal-on-touch: a quarantined session is rebuilt from its last
+         committed text before the request runs.  We are under the
+         scheduler's per-document ordering here, so the rebuild cannot
+         race another request for the same document. *)
+      if e.Pool.poisoned then Pool.heal e;
+      f e
 
 let do_open t ~req ~id ~doc ~lang_name lang ~text ~budget () =
   match
@@ -300,7 +462,15 @@ let do_open t ~req ~id ~doc ~lang_name lang ~text ~budget () =
       ~lexer:(Language.lexer lang) text
   with
   | session, outcome ->
-      Pool.add t.pool { Pool.doc; lang_name; lang; session };
+      Pool.add t.pool
+        {
+          Pool.doc;
+          lang_name;
+          lang;
+          session;
+          committed_text = text;
+          poisoned = false;
+        };
       Metrics.incr m_opens;
       P.ok ~req ~id
         (Json.Obj
@@ -333,12 +503,16 @@ let do_edit t ~req ~id ~doc edits () =
       edits
   with
   | () ->
+      (* All edits landed: this text is the new rebuild point. *)
+      Pool.commit_text e (Session.text e.Pool.session);
       P.ok ~req ~id
         (Json.Obj
            [ ("doc", Json.String doc); ("applied", Json.Int !applied) ])
   | exception Lexgen.Scanner.Lex_error le ->
       (* Edits before the offender stay applied (each is atomic); the
-         offender itself was rejected with the document unchanged. *)
+         offender itself was rejected with the document unchanged.  The
+         rebuild point is NOT advanced — a later quarantine rolls the
+         partial batch back too. *)
       P.err ~req ~id
         {
           P.code = P.e_lex;
@@ -362,13 +536,33 @@ let do_edit t ~req ~id ~doc edits () =
 let do_parse ~req ~id ~doc ~budget ~timing ~metrics t () =
   with_entry t ~req ~id doc @@ fun e ->
   Metrics.incr m_parses;
+  Fault.point Fault.Kill_mid;
+  Fault.point Fault.Worker_raise;
   let s = e.Pool.session in
   let saved = Session.budget s in
   (match budget with Some b -> Session.set_budget s b | None -> ());
+  (* Deadline cancellation: the deadline counts from ACCEPT, not parse
+     start — a request that sat in the queue past its deadline aborts
+     (degraded, through the recovery ladder) on its first budget check.
+     The wheel flag covers the same request from the dispatcher side
+     (tick on traffic, fire_all on drain); the local clock comparison
+     makes cancellation work even when the dispatcher is idle. *)
+  let accept_t0 =
+    match find_meta t req with Some m -> m.m_t0 | None -> now_ms ()
+  in
+  let dl = (Option.value budget ~default:saved).Glr.deadline_ms in
+  let flag = Atomic.make false in
+  Wheel.register t.wheel req
+    ~deadline:(if dl < infinity then Some (accept_t0 +. dl) else None)
+    flag;
+  let cancel () =
+    Atomic.get flag || (dl < infinity && now_ms () > accept_t0 +. dl)
+  in
+  Fun.protect ~finally:(fun () -> Wheel.unregister t.wheel req) @@ fun () ->
   let t0 = Metrics.now_ms () in
   (* [Session.measure] reads only this domain's metric shard, so [d] is
      exactly this request's activity even while sibling domains parse. *)
-  let outcome, d = Session.measure (fun () -> Session.reparse s) in
+  let outcome, d = Session.measure (fun () -> Session.reparse ~cancel s) in
   let ms = Metrics.now_ms () -. t0 in
   (match budget with Some _ -> Session.set_budget s saved | None -> ());
   let degraded =
@@ -463,12 +657,16 @@ let do_doc_stats t ~req ~id ~doc ~metrics () =
        if metrics then [ ("metrics", Metrics.to_json (Session.metrics s)) ]
        else []))
 
+(* Close skips heal-on-touch deliberately: rebuilding a session only to
+   discard it would waste a full parse. *)
 let do_close t ~req ~id ~doc () =
-  with_entry t ~req ~id doc @@ fun e ->
-  ignore e;
-  Pool.remove t.pool doc;
-  P.ok ~req ~id
-    (Json.Obj [ ("doc", Json.String doc); ("closed", Json.Bool true) ])
+  match Pool.find t.pool doc with
+  | None ->
+      P.err ~req ~id { P.code = P.e_unknown_doc; message = "unknown doc " ^ doc }
+  | Some _ ->
+      Pool.remove t.pool doc;
+      P.ok ~req ~id
+        (Json.Obj [ ("doc", Json.String doc); ("closed", Json.Bool true) ])
 
 (* ------------------------------------------------------------------ *)
 (* Server-scoped introspection — runs inline on the dispatcher.        *)
@@ -489,6 +687,15 @@ let health t =
       ("reorder_depth", Json.Int (Writer.depth t.writer));
       ("inflight", Json.Int (inflight t));
       ("flight_depth", Json.Int (Flight.depth t.flight));
+      ("stopping", Json.Bool (Atomic.get t.stopping));
+      ("shed", Json.Int (Atomic.get t.shed));
+      ("retried", Json.Int (Atomic.get t.retried));
+      ("cancelled", Json.Int (Atomic.get t.cancelled));
+      ("supervised_restarts", Json.Int (Scheduler.restarts t.sched));
+      ("sink_errors", Json.Int (Atomic.get t.writer.Writer.sink_errors));
+      ( "quarantined",
+        Json.List
+          (List.map (fun d -> Json.String d) (Pool.poisoned t.pool)) );
       ( "trace",
         Json.Obj
           [
@@ -536,19 +743,60 @@ let server_stats t ~req ~id ~metrics =
 
 (* A handler must ALWAYS complete its sequence slot, or the ordered
    writer stalls every later response: uncaught exceptions become
-   [e_internal] envelopes.  The scheduled job runs under the request's
-   correlation id, so every trace event it emits carries [rid]. *)
-let submit t ~seq ~key ~id handler =
-  Scheduler.submit t.sched ~key (fun () ->
-      let line =
-        Trace.with_request (string_of_int seq) (fun () ->
-            try handler ()
-            with exn ->
-              Metrics.incr m_errors;
-              P.err ~req:seq ~id
-                { P.code = P.e_internal; message = Printexc.to_string exn })
+   [e_internal] envelopes (quarantining the document when the handler
+   mutates it), a crashed worker domain becomes [e_worker] through the
+   supervisor's [on_crash], a shed request becomes [e_overloaded] from
+   the dispatcher.  The response slot's CAS discipline guarantees
+   exactly one of those wins.  The scheduled job runs under the
+   request's correlation id, so every trace event it emits carries
+   [rid]. *)
+let submit ?(sheddable = false) ?(mutates = false) t ~seq ~key ~id handler =
+  let slot = Atomic.make slot_pending in
+  if sheddable then Queue.push (seq, id, slot) t.pending;
+  let on_crash ~started ~attempt =
+    if (not started) && attempt = 0 then begin
+      (* The job never began: nothing observable happened, so one
+         retry is safe.  It goes back at the FRONT of its document's
+         queue — per-document response order is preserved. *)
+      Atomic.incr t.retried;
+      Metrics.incr m_retried;
+      `Retry
+    end
+    else begin
+      if started && mutates then quarantine t ~req:seq ~doc:key;
+      let claimed =
+        Atomic.compare_and_set slot slot_pending slot_running
+        || Atomic.get slot = slot_running
       in
-      respond t seq line)
+      if claimed then
+        respond_err t seq ~id
+          {
+            P.code = P.e_worker;
+            message =
+              (if started then
+                 "worker domain crashed while executing the request"
+               else "worker domain crashed twice before the request started");
+          };
+      `Give_up
+    end
+  in
+  Scheduler.submit t.sched ~key ~on_crash (fun () ->
+      if Atomic.compare_and_set slot slot_pending slot_running then begin
+        let line =
+          Trace.with_request (string_of_int seq) (fun () ->
+              try handler () with
+              | Fault.Domain_killed as e ->
+                  (* Not ours to absorb: the scheduler's supervisor
+                     must see the domain die. *)
+                  raise e
+              | exn ->
+                  Metrics.incr m_errors;
+                  if mutates then quarantine t ~req:seq ~doc:key;
+                  P.err ~req:seq ~id
+                    { P.code = P.e_internal; message = Printexc.to_string exn })
+        in
+        respond t seq line
+      end)
 
 let meth_name = function
   | P.Open _ -> "open"
@@ -560,15 +808,111 @@ let meth_name = function
   | P.Telemetry _ -> "telemetry"
   | P.Close _ -> "close"
 
+(* Overload shedding (dispatcher-only).  Under global pressure the
+   OLDEST queued parse is shed first: it has waited longest, is most
+   likely stale (its client may have moved on to a newer revision) and
+   freeing it helps every request behind it in its document's queue. *)
+
+let shed_response t seq ~id message =
+  Atomic.incr t.shed;
+  Metrics.incr m_shed;
+  respond_err t seq ~id { P.code = P.e_overloaded; message }
+
+(* Entries whose slot already settled (ran or shed) are dead weight;
+   dropping them from the front keeps the queue bounded by the number
+   of genuinely pending parses. *)
+let rec prune_pending t =
+  match Queue.peek_opt t.pending with
+  | Some (_, _, slot) when Atomic.get slot <> slot_pending ->
+      ignore (Queue.pop t.pending);
+      prune_pending t
+  | _ -> ()
+
+let try_shed_oldest t =
+  let rec go () =
+    match Queue.take_opt t.pending with
+    | None -> false
+    | Some (seq, id, slot) ->
+        if Atomic.compare_and_set slot slot_pending slot_shed then begin
+          shed_response t seq ~id "shed under overload (oldest queued parse)";
+          true
+        end
+        else go ()  (* already running or settled: stale entry, drop *)
+  in
+  go ()
+
+(* Admission control for a document-keyed request.  [Close] is always
+   admitted — under overload a client must still be able to release
+   documents.  Returns [true] when the request may be enqueued. *)
+let admit t ~seq ~id req ~doc =
+  match req with
+  | P.Close _ -> true
+  | _ ->
+      if
+        t.max_doc_queue > 0
+        && Scheduler.depth t.sched ~key:doc >= t.max_doc_queue
+      then begin
+        shed_response t seq ~id
+          (Printf.sprintf "queue full for doc %s (cap %d)" doc t.max_doc_queue);
+        false
+      end
+      else if
+        t.max_inflight > 0
+        && inflight t > t.max_inflight
+        && not (try_shed_oldest t)
+      then begin
+        shed_response t seq ~id
+          (Printf.sprintf "server overloaded (%d requests in flight)"
+             (inflight t));
+        false
+      end
+      else true
+
+(* Accept one request: assign its sequence slot and meta record.  Every
+   accepted sequence number MUST eventually reach [respond]. *)
+let accept t ?(meth = "?") ?doc ?(id = Json.Null) () =
+  let seq = t.seq in
+  t.seq <- t.seq + 1;
+  t.served <- t.served + 1;
+  Metrics.incr m_requests;
+  put_meta t seq { m_meth = meth; m_doc = doc; m_id = id; m_t0 = now_ms () };
+  seq
+
+(* The daemon's line reader discards oversized lines without
+   materialising them; it reports them here so the client still gets
+   its [-32005] and the access log its entry. *)
+let reject_oversized t ~bytes =
+  let seq = accept t () in
+  respond_err t seq ~id:Json.Null
+    {
+      P.code = P.e_payload;
+      message =
+        Printf.sprintf "request of %d bytes exceeds the %d-byte cap" bytes
+          t.max_payload;
+    }
+
 let handle_line t line =
   if String.trim line <> "" then begin
-    let seq = t.seq in
-    t.seq <- t.seq + 1;
-    t.served <- t.served + 1;
-    Metrics.incr m_requests;
-    let accept_ms = Metrics.now_ms () in
-    put_meta t seq { m_meth = "?"; m_doc = None; m_id = Json.Null; m_t0 = accept_ms };
-    if String.length line > t.max_payload then
+    prune_pending t;
+    let fired = Wheel.tick t.wheel ~now:(now_ms ()) in
+    if fired > 0 then begin
+      Atomic.fetch_and_add t.cancelled fired |> ignore;
+      for _ = 1 to fired do Metrics.incr m_cancelled done
+    end;
+    if Atomic.get t.stopping then begin
+      (* Draining: admission is closed.  Decode just enough to echo the
+         client's id (skipping oversized lines). *)
+      let id =
+        if String.length line > t.max_payload then Json.Null
+        else
+          match P.decode line with Ok (id, _) | Error (id, _) -> id
+      in
+      let seq = accept t ~id () in
+      respond_err t seq ~id
+        { P.code = P.e_shutting_down; message = "server is shutting down" }
+    end
+    else if String.length line > t.max_payload then
+      let seq = accept t () in
       respond_err t seq ~id:Json.Null
         {
           P.code = P.e_payload;
@@ -579,17 +923,10 @@ let handle_line t line =
     else
       match P.decode line with
       | Error (id, e) ->
-          put_meta t seq
-            { m_meth = "?"; m_doc = None; m_id = id; m_t0 = accept_ms };
+          let seq = accept t ~id () in
           respond_err t seq ~id e
       | Ok (id, req) -> (
-          put_meta t seq
-            {
-              m_meth = meth_name req;
-              m_doc = P.doc_of req;
-              m_id = id;
-              m_t0 = accept_ms;
-            };
+          let seq = accept t ~meth:(meth_name req) ?doc:(P.doc_of req) ~id () in
           let reject code message =
             respond_err t seq ~id { P.code = code; message }
           in
@@ -604,24 +941,26 @@ let handle_line t line =
                 match Registry.find lang with
                 | None -> reject P.e_unknown_lang ("unknown language " ^ lang)
                 | Some l ->
-                    (* Force the shared lazies HERE, on the single
-                       dispatcher thread: Lazy.force is not safe against
-                       concurrent forcing from worker domains, and this
-                       is also what guarantees one table build per
-                       language per process. *)
-                    Trace.with_request (string_of_int seq) (fun () ->
-                        Registry.force l);
-                    if not (List.mem lang t.loaded) then
-                      t.loaded <- lang :: t.loaded;
-                    Live.add t.live doc;
-                    submit t ~seq ~key:doc ~id
-                      (do_open t ~req:seq ~id ~doc ~lang_name:lang l ~text
-                         ~budget))
+                    if admit t ~seq ~id req ~doc then begin
+                      (* Force the shared lazies HERE, on the single
+                         dispatcher thread: Lazy.force is not safe
+                         against concurrent forcing from worker domains,
+                         and this is also what guarantees one table
+                         build per language per process. *)
+                      Trace.with_request (string_of_int seq) (fun () ->
+                          Registry.force l);
+                      if not (List.mem lang t.loaded) then
+                        t.loaded <- lang :: t.loaded;
+                      Live.add t.live doc;
+                      submit ~mutates:true t ~seq ~key:doc ~id
+                        (do_open t ~req:seq ~id ~doc ~lang_name:lang l ~text
+                           ~budget)
+                    end)
           | _ -> (
               let doc = Option.get (P.doc_of req) in
               if not (Live.mem t.live doc) then
                 reject P.e_unknown_doc ("unknown doc " ^ doc)
-              else begin
+              else if admit t ~seq ~id req ~doc then begin
                 (match req with
                 | P.Close _ ->
                     (* Unregister synchronously: a request sent after the
@@ -631,9 +970,10 @@ let handle_line t line =
                 | _ -> ());
                 match req with
                 | P.Edit { edits; _ } ->
-                    submit t ~seq ~key:doc ~id (do_edit t ~req:seq ~id ~doc edits)
+                    submit ~mutates:true t ~seq ~key:doc ~id
+                      (do_edit t ~req:seq ~id ~doc edits)
                 | P.Parse { budget; timing; metrics; _ } ->
-                    submit t ~seq ~key:doc ~id
+                    submit ~sheddable:true ~mutates:true t ~seq ~key:doc ~id
                       (do_parse ~req:seq ~id ~doc ~budget ~timing ~metrics t)
                 | P.Errors _ ->
                     submit t ~seq ~key:doc ~id (do_errors t ~req:seq ~id ~doc)

@@ -1,4 +1,4 @@
-(** The daemon's request engine: decode → dispatch → respond.
+(** The daemon's request engine: decode → admit → dispatch → respond.
 
     One engine holds the session pool, the domain scheduler and the
     response writer.  {!handle_line} is the single entry point for a
@@ -12,11 +12,27 @@
     buffer holds out-of-order completions), so a serial client reading
     line-by-line sees classic RPC behaviour even over a parallel
     engine.  [emit] is called with the writer lock held, possibly from a
-    worker domain: keep it cheap (write + flush).
+    worker domain: keep it cheap (write + flush).  An [emit] that throws
+    is counted ([server.sink_errors]) and its line dropped — it never
+    wedges the writer.
 
-    Every request produces exactly one response; handler exceptions are
-    folded into [e_internal] error envelopes.  The engine never raises
-    from {!handle_line}. *)
+    {b Exactly one response per accepted request}, whatever fails:
+    handler exceptions fold into [e_internal] envelopes (quarantining
+    the document when the handler mutates it), a crashed worker domain
+    answers [e_worker] through the scheduler's supervisor (after one
+    silent retry when the job had not started), a request shed by
+    admission control answers [e_overloaded], and requests arriving
+    after {!begin_shutdown} answer [e_shutting_down].  The engine never
+    raises from {!handle_line}.
+
+    {b Deadline cancellation.}  A parse whose request carries
+    [budget.deadline_ms] is cancelled — through the same degradation
+    ladder as an in-parse deadline, answering [degraded:true] — once
+    that many milliseconds have passed since the request was ACCEPTED,
+    queueing time included.  A dispatcher-side wheel marks overdue
+    requests on every accepted line; the parse also compares the clock
+    itself at each budget check, so cancellation needs no concurrent
+    traffic. *)
 
 type t
 
@@ -24,6 +40,8 @@ val create :
   ?jobs:int ->
   ?max_payload:int ->
   ?flight_cap:int ->
+  ?max_doc_queue:int ->
+  ?max_inflight:int ->
   ?log:(string -> unit) ->
   emit:(string -> unit) ->
   unit ->
@@ -34,11 +52,19 @@ val create :
     line length in bytes (default 8 MiB); longer lines are answered with
     [e_payload] without being parsed.
 
+    [max_doc_queue] (default 0 = unbounded) caps one document's queued +
+    running jobs: a request for a document at its cap is shed with
+    [e_overloaded] ([close] is always admitted).  [max_inflight]
+    (default 0 = unbounded) caps globally accepted-but-unanswered
+    requests: past it, the OLDEST queued parse is shed to make room, or
+    the incoming request itself when no parse is sheddable.
+
     [flight_cap] (default 32) bounds the slow-request flight recorder:
     the engine keeps the [flight_cap] most recent and [flight_cap]
     slowest parses with latency, subtree-reuse percentage, degraded bit
     and reuse-reject counts ([telemetry view:"flight"], or the
-    daemon's SIGUSR1 dump).
+    daemon's SIGUSR1 dump).  Quarantine incidents are recorded there
+    too, marked by an ["incident"] reject entry.
 
     [log] receives one structured JSON access-log line per response —
     request id, client id, method, doc, ok/error status and end-to-end
@@ -54,12 +80,28 @@ val handle_line : t -> string -> unit
 (** Process one request line (without its terminating newline).
     Whitespace-only lines are ignored. *)
 
-val drain : t -> unit
-(** Block until every in-flight document job has completed and its
-    response has been emitted. *)
+val reject_oversized : t -> bytes:int -> unit
+(** Answer [e_payload] for a [bytes]-long request line the daemon's
+    reader discarded without materialising.  Dispatcher thread only
+    (assigns a sequence number, like {!handle_line}). *)
 
-val shutdown : t -> unit
-(** Drain, then stop the worker domains. *)
+val begin_shutdown : t -> unit
+(** Close admission: every subsequent {!handle_line} answers
+    [e_shutting_down].  In-flight work is unaffected — follow with
+    {!drain} or {!shutdown}. *)
+
+val stopping : t -> bool
+
+val drain : ?deadline_ms:float -> t -> unit
+(** Block until every in-flight document job has completed and its
+    response has been emitted.  With [deadline_ms], a watchdog fires
+    every in-flight cancel flag once the deadline passes: parses abort
+    through the degradation ladder and still answer (degraded), so the
+    drain completes without dropping a response. *)
+
+val shutdown : ?deadline_ms:float -> t -> unit
+(** {!begin_shutdown}, {!drain} (under [deadline_ms] if given), then
+    stop and join the worker domains.  Idempotent. *)
 
 (** {1 Introspection} — for tests, the bench harness and the daemon's
     health surface. *)
@@ -71,9 +113,11 @@ val jobs : t -> int
 val health : t -> Metrics.Json.t
 (** Live-service snapshot: open docs, worker/busy counts, per-doc queue
     depths, reorder-buffer depth, in-flight requests, flight-recorder
-    depth and trace ring counters.  The same object the [telemetry]
-    method's ["health"] view returns; also the daemon's SIGUSR1 dump.
-    Call from the dispatcher thread. *)
+    depth, trace ring counters, and the hardening counters — [shed],
+    [retried], [cancelled], [supervised_restarts], [sink_errors],
+    [quarantined] (doc list) and [stopping].  The same object the
+    [telemetry] method's ["health"] view returns; also the daemon's
+    SIGUSR1 dump.  Call from the dispatcher thread. *)
 
 val flight : t -> Metrics.Json.t
 (** The flight recorder as JSON ([telemetry view:"flight"]): capacity,

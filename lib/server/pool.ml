@@ -2,10 +2,15 @@ type entry = {
   doc : string;
   lang_name : string;
   lang : Languages.Language.t;
-  session : Iglr.Session.t;
+  mutable session : Iglr.Session.t;
+  mutable committed_text : string;
+  mutable poisoned : bool;
 }
 
 type t = { m : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let m_quarantined = Metrics.counter "server.quarantined"
+let m_rebuilt = Metrics.counter "server.rebuilt"
 
 let create () = { m = Mutex.create (); tbl = Hashtbl.create 16 }
 
@@ -22,3 +27,34 @@ let ids t =
       Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare)
 
 let size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* Quarantine: a session that let an exception escape a mutating entry
+   point may hold a half-updated document, so it can no longer be
+   trusted.  [poison] marks it; [heal] rebuilds a fresh session from the
+   entry's last committed text.  Both are cheap flags/replacements — the
+   expensive rebuild happens lazily, on the next request that touches
+   the document, under the scheduler's per-document ordering. *)
+
+let poison t doc =
+  match find t doc with
+  | None -> ()
+  | Some e ->
+      if not e.poisoned then Metrics.incr m_quarantined;
+      e.poisoned <- true
+
+let poisoned t = locked t (fun () ->
+    Hashtbl.fold (fun k e acc -> if e.poisoned then k :: acc else acc) t.tbl []
+    |> List.sort compare)
+
+let commit_text e text = e.committed_text <- text
+
+let heal e =
+  let session, _ =
+    Iglr.Session.create
+      ~table:(Languages.Language.table e.lang)
+      ~lexer:(Languages.Language.lexer e.lang)
+      e.committed_text
+  in
+  e.session <- session;
+  e.poisoned <- false;
+  Metrics.incr m_rebuilt

@@ -7,13 +7,25 @@
 
     The table is thread-safe (a mutex guards the map); the sessions
     inside are not — callers must respect the scheduler's per-document
-    ordering when touching an entry's session. *)
+    ordering when touching an entry's session.
+
+    {b Quarantine.}  A session that lets an exception escape a mutating
+    entry point (an injected fault, a worker-domain crash mid-parse, an
+    engine bug) may hold a half-updated document.  {!poison} marks the
+    entry; the engine calls {!heal} on the next request that touches the
+    document, replacing the session with a fresh one built from the
+    entry's last committed text — the document survives the incident
+    with at worst the uncommitted edits of the crashed request lost. *)
 
 type entry = {
   doc : string;
   lang_name : string;
   lang : Languages.Language.t;
-  session : Iglr.Session.t;
+  mutable session : Iglr.Session.t;
+  mutable committed_text : string;
+      (** text as of the last request that completed cleanly — the
+          rebuild point after {!poison} *)
+  mutable poisoned : bool;
 }
 
 type t
@@ -27,3 +39,21 @@ val ids : t -> string list
 (** Open document ids, sorted. *)
 
 val size : t -> int
+
+val poison : t -> string -> unit
+(** Mark [doc]'s session as untrustworthy (idempotent; counts
+    [server.quarantined] once per incident).  Unknown docs are
+    ignored. *)
+
+val poisoned : t -> string list
+(** Documents currently quarantined, sorted. *)
+
+val commit_text : entry -> string -> unit
+(** Update the entry's rebuild point after a cleanly-completed
+    mutating request. *)
+
+val heal : entry -> unit
+(** Replace the entry's session with a fresh one parsed from
+    [committed_text] and clear the poison flag.  Must run under the
+    scheduler's per-document ordering (it mutates the entry).  Counts
+    [server.rebuilt]. *)

@@ -47,6 +47,9 @@ let e_doc_exists = -32002
 let e_unknown_lang = -32003
 let e_lex = -32004
 let e_payload = -32005
+let e_worker = -32006
+let e_overloaded = -32007
+let e_shutting_down = -32008
 
 (* ------------------------------------------------------------------ *)
 (* Decoding.                                                           *)

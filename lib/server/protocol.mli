@@ -85,6 +85,18 @@ val e_lex : int  (** -32004: an edit produced unscannable text *)
 
 val e_payload : int  (** -32005: request line exceeds the payload cap *)
 
+val e_worker : int
+(** -32006: the worker domain executing the request crashed; the job
+    was not retried (it had already started, or a retry also crashed) *)
+
+val e_overloaded : int
+(** -32007: request shed by bounded admission — the per-document or
+    global queue limit was reached *)
+
+val e_shutting_down : int
+(** -32008: the engine is draining for shutdown and admits no new
+    requests *)
+
 (** {1 Decoding} *)
 
 val decode : string -> (Json.t * request, Json.t * rpc_error) result

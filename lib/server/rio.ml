@@ -1,0 +1,123 @@
+let no_stop () = false
+let no_intr () = ()
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (* unconsumed window: buf[pos..len) *)
+  mutable len : int;
+  acc : Buffer.t;  (* current partial line *)
+  max_line : int;
+  mutable discarding : bool;  (* current line blew max_line *)
+  mutable discarded : int;  (* bytes of the line being discarded *)
+  mutable eof : bool;
+}
+
+let reader ?(chunk = 64 * 1024) ~max_line fd =
+  {
+    fd;
+    buf = Bytes.create (max 1 chunk);
+    pos = 0;
+    len = 0;
+    acc = Buffer.create 256;
+    max_line = max 0 max_line;
+    discarding = false;
+    discarded = 0;
+    eof = false;
+  }
+
+(* Refill the window.  [`Ok n] with [n = 0] is end of input. *)
+let refill ~should_stop ~on_intr r =
+  let rec go () =
+    match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+    | n -> `Ok n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if should_stop () then `Stopped
+        else begin
+          on_intr ();
+          go ()
+        end
+  in
+  r.pos <- 0;
+  r.len <- 0;
+  match go () with
+  | `Ok n ->
+      r.len <- n;
+      `Ok n
+  | `Stopped -> `Stopped
+
+(* Consume buf[pos..i) into the current line, tipping into discard mode
+   the moment the line exceeds [max_line] — the accumulator never holds
+   more than [max_line] bytes. *)
+let consume r i =
+  let n = i - r.pos in
+  if n > 0 then begin
+    if r.discarding then r.discarded <- r.discarded + n
+    else if Buffer.length r.acc + n > r.max_line then begin
+      r.discarding <- true;
+      r.discarded <- Buffer.length r.acc + n;
+      Buffer.clear r.acc
+    end
+    else Buffer.add_subbytes r.acc r.buf r.pos n
+  end;
+  r.pos <- i
+
+let finish_line r =
+  if r.discarding then begin
+    let n = r.discarded in
+    r.discarding <- false;
+    r.discarded <- 0;
+    `Oversized n
+  end
+  else begin
+    let line = Buffer.contents r.acc in
+    Buffer.clear r.acc;
+    `Line line
+  end
+
+let read_line ?(should_stop = no_stop) ?(on_intr = no_intr) r =
+  let rec go () =
+    if r.pos < r.len then begin
+      match Bytes.index_from_opt r.buf r.pos '\n' with
+      | Some i when i < r.len ->
+          consume r i;
+          r.pos <- i + 1;
+          finish_line r
+      | _ ->
+          consume r r.len;
+          go ()
+    end
+    else if r.eof then
+      if r.discarding || Buffer.length r.acc > 0 then finish_line r else `Eof
+    else
+      match refill ~should_stop ~on_intr r with
+      | `Stopped -> `Stopped
+      | `Ok 0 ->
+          r.eof <- true;
+          go ()
+      | `Ok _ -> go ()
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off remaining =
+    if remaining > 0 then
+      match Unix.write fd b off remaining with
+      | n -> go (off + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+  in
+  go 0 (String.length s)
+
+let accept ?(should_stop = no_stop) ?(on_intr = no_intr) sock =
+  let rec go () =
+    match Unix.accept sock with
+    | conn -> Some conn
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if should_stop () then None
+        else begin
+          on_intr ();
+          go ()
+        end
+  in
+  go ()

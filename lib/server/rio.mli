@@ -1,0 +1,50 @@
+(** Restartable I/O for the daemon's read/accept/write loops.
+
+    [iglrd] installs signal handlers (SIGUSR1 telemetry dump,
+    SIGTERM/SIGINT graceful drain), and OCaml installs them without
+    [SA_RESTART]: any blocking [read]/[write]/[accept] a signal lands on
+    fails with [EINTR].  Stdlib channels surface that as [Sys_error]
+    and lose buffered data; these wrappers retry instead, consulting
+    [should_stop] between attempts so a shutdown signal still breaks
+    the loop deliberately.
+
+    The line reader is also {e bounded}: a line longer than [max_line]
+    is discarded in chunks — never materialised — and reported as
+    [`Oversized] with its byte count, after which the reader is
+    resynchronised at the next newline and keeps serving.  A client
+    that ships one huge request cannot wedge or OOM the daemon. *)
+
+type reader
+
+val reader : ?chunk:int -> max_line:int -> Unix.file_descr -> reader
+(** A buffered line reader over [fd].  [max_line] bounds the bytes
+    retained per line; [chunk] is the read size (default 64 KiB). *)
+
+val read_line :
+  ?should_stop:(unit -> bool) ->
+  ?on_intr:(unit -> unit) ->
+  reader ->
+  [ `Line of string | `Oversized of int | `Eof | `Stopped ]
+(** Next newline-terminated line (newline stripped; a final unterminated
+    line is returned before [`Eof], like [input_line]).  [`Oversized n]
+    reports a discarded [n]-byte line, [reader] already resynchronised
+    past its newline.  [`Stopped] means a signal interrupted the read
+    and [should_stop ()] returned [true]; buffered data stays intact for
+    a later call.  [on_intr] runs after each [EINTR] the read absorbs —
+    a signal that is {e not} a shutdown still gets serviced (e.g. a
+    SIGUSR1 telemetry dump) instead of waiting for the next request
+    line.  Non-[EINTR] errors raise [Unix.Unix_error]. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying partial writes and [EINTR].
+    Non-[EINTR] errors (e.g. [EPIPE]) raise [Unix.Unix_error] — the
+    engine's writer counts and absorbs them. *)
+
+val accept :
+  ?should_stop:(unit -> bool) ->
+  ?on_intr:(unit -> unit) ->
+  Unix.file_descr ->
+  (Unix.file_descr * Unix.sockaddr) option
+(** Accept one connection, retrying [EINTR]; [None] when a signal
+    interrupted the wait and [should_stop ()] returned [true].
+    [on_intr] runs after each absorbed [EINTR], as in {!read_line}. *)

@@ -1,4 +1,5 @@
-(** Work queue over OCaml 5 domains with per-key FIFO ordering.
+(** Work queue over OCaml 5 domains with per-key FIFO ordering and
+    domain supervision.
 
     Jobs are keyed by document id: jobs sharing a key run strictly in
     submission order and never overlap (a session is single-owner mutable
@@ -6,9 +7,24 @@
     domains.  This is the concurrency discipline the daemon's session
     pool relies on — it is what makes {!Iglr.Session.Busy} unreachable.
 
+    {b Supervision.}  A worker domain that dies while holding a job —
+    modelled by {!Fault.Domain_killed} escaping the job, or the
+    [kill.pre] fault firing before it starts — is detected by the
+    scheduler at the moment of death.  The job is settled through the
+    submitter's [on_crash] callback ([`Retry] re-queues it at the front
+    of its key's FIFO, preserving per-document order; [`Give_up]
+    completes it without a result), the key's state machine is restored,
+    and a replacement domain is spawned before the dying one exits, so
+    the worker count is invariant across crashes.  Exceptions other than
+    {!Fault.Domain_killed} are swallowed as before (jobs are expected to
+    report their own failures — the engine wraps every handler in a
+    structured-error envelope).
+
     With [jobs = 0] there are no worker domains and [submit] runs the
     job inline before returning: the deterministic mode used by the
-    stdio golden tests and by [iglrd --serial]. *)
+    stdio golden tests and by [iglrd --serial].  Crash faults settle
+    through the same [on_crash] ladder inline, so a committed chaos plan
+    replays byte-identically under [--serial]. *)
 
 type t
 
@@ -17,12 +33,20 @@ val create : jobs:int -> t
     [Domain.recommended_domain_count () - 1] are clamped. *)
 
 val jobs : t -> int
-(** Actual worker count after clamping. *)
+(** Live worker count after clamping — invariant across crashes (each
+    crashed domain is replaced), [0] after {!shutdown}. *)
 
-val submit : t -> key:string -> (unit -> unit) -> unit
-(** Enqueue a job.  Exceptions escaping the job are swallowed (jobs are
-    expected to report their own failures — the engine wraps every
-    handler in a structured-error envelope). *)
+val submit :
+  t ->
+  key:string ->
+  ?on_crash:(started:bool -> attempt:int -> [ `Retry | `Give_up ]) ->
+  (unit -> unit) ->
+  unit
+(** Enqueue a job.  [on_crash] decides what to do if the worker domain
+    executing the job dies: [started] is [true] when the job body had
+    begun running (side effects may have happened — retrying is unsafe),
+    [attempt] counts prior retries of this job.  Omitting [on_crash]
+    means crashes give up silently. *)
 
 val drain : t -> unit
 (** Block until every submitted job has finished. *)
@@ -35,13 +59,24 @@ val busy : t -> int
 (** Workers currently executing a job. *)
 
 val executed : t -> int
-(** Jobs completed since creation (inline-mode runs included). *)
+(** Jobs completed since creation (inline-mode runs included; a crashed
+    job counts when it is given up). *)
+
+val restarts : t -> int
+(** Replacement worker domains spawned after crashes (inline-mode crash
+    recoveries included).  Also published as the
+    [server.supervised_restarts] metric. *)
 
 val depths : t -> (string * int) list
 (** Per-key pending queue depths, sorted by key.  Keys that are idle
     with an empty queue are omitted; a key that is [Running] with an
     empty backlog reports [0]. *)
 
+val depth : t -> key:string -> int
+(** Jobs queued or running for [key] — the engine's per-document
+    admission gauge. *)
+
 val shutdown : t -> unit
-(** Drain, then stop and join the worker domains.  The scheduler must
-    not be used afterwards. *)
+(** Drain, then stop and join the worker domains (crashed domains'
+    handles included — their bodies have returned, so those joins are
+    immediate).  The scheduler must not be used afterwards. *)

@@ -1,0 +1,202 @@
+(* Restartable-I/O regression tests for the daemon's read loops.
+
+   The daemon installs signal handlers (SIGUSR1 dump, SIGTERM drain),
+   so every blocking read can fail with EINTR at any moment; stdlib
+   channels turn that into a fatal [Sys_error] mid-conversation.  The
+   storm test fires SIGUSR1 at the process continuously while a
+   scripted conversation streams through a pipe: with [Rio] every line
+   must arrive and every request must answer, signals notwithstanding.
+
+   The resync tests pin the bounded reader: an oversized line (9 MiB
+   against a 1 MiB cap) is reported with its exact byte count WITHOUT
+   being materialised, and the very next request on the stream parses
+   normally. *)
+
+module Json = Metrics.Json
+module Engine = Server.Engine
+module Rio = Server.Rio
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+(* Oversized-line resync at the reader level: [`Oversized] carries the
+   exact byte count, the accumulator never holds the line, and the
+   stream continues at the next newline. *)
+let oversized_resync () =
+  with_pipe @@ fun r w ->
+  let big = 9 * 1024 * 1024 in
+  let writer =
+    Domain.spawn (fun () ->
+        let chunk = Bytes.make 65536 'x' in
+        let remaining = ref big in
+        while !remaining > 0 do
+          let n = min !remaining (Bytes.length chunk) in
+          ignore (Unix.write w chunk 0 n);
+          remaining := !remaining - n
+        done;
+        Rio.write_all w "\n";
+        Rio.write_all w "{\"id\":1,\"method\":\"stats\"}\n";
+        Unix.close w)
+  in
+  let reader = Rio.reader ~max_line:(1024 * 1024) r in
+  (match Rio.read_line reader with
+  | `Oversized n -> Alcotest.(check int) "exact byte count" big n
+  | _ -> Alcotest.fail "expected `Oversized");
+  (match Rio.read_line reader with
+  | `Line l ->
+      Alcotest.(check string)
+        "next line survives resync" "{\"id\":1,\"method\":\"stats\"}" l
+  | _ -> Alcotest.fail "expected `Line after resync");
+  (match Rio.read_line reader with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected `Eof");
+  Domain.join writer
+
+(* A line of exactly max_line bytes is kept, one byte more is not. *)
+let boundary () =
+  with_pipe @@ fun r w ->
+  let writer =
+    Domain.spawn (fun () ->
+        Rio.write_all w (String.make 8 'a' ^ "\n");
+        Rio.write_all w (String.make 9 'b' ^ "\n");
+        Rio.write_all w "tail";
+        Unix.close w)
+  in
+  let reader = Rio.reader ~chunk:3 ~max_line:8 r in
+  (match Rio.read_line reader with
+  | `Line l -> Alcotest.(check string) "at the cap" (String.make 8 'a') l
+  | _ -> Alcotest.fail "expected `Line at cap");
+  (match Rio.read_line reader with
+  | `Oversized n -> Alcotest.(check int) "one past the cap" 9 n
+  | _ -> Alcotest.fail "expected `Oversized past cap");
+  (* An unterminated final line is delivered before Eof, like
+     input_line. *)
+  (match Rio.read_line reader with
+  | `Line l -> Alcotest.(check string) "unterminated tail" "tail" l
+  | _ -> Alcotest.fail "expected trailing `Line");
+  (match Rio.read_line reader with
+  | `Eof -> ()
+  | _ -> Alcotest.fail "expected `Eof");
+  Domain.join writer
+
+(* SIGUSR1 storm during a scripted conversation: the read loop must
+   deliver every line and the engine must answer every request while
+   signals land continuously.  (Under the pre-Rio channel loop a signal
+   in a blocking read kills the conversation with Sys_error.) *)
+let eintr_storm () =
+  let hits = ref 0 in
+  let prev =
+    Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> incr hits))
+  in
+  Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigusr1 prev))
+  @@ fun () ->
+  with_pipe @@ fun r w ->
+  let stop_storm = Atomic.make false in
+  let storm =
+    Domain.spawn (fun () ->
+        let self = Unix.getpid () in
+        while not (Atomic.get stop_storm) do
+          (try Unix.kill self Sys.sigusr1 with Unix.Unix_error _ -> ());
+          try Unix.sleepf 0.0005 with Unix.Unix_error _ -> ()
+        done)
+  in
+  let lines =
+    [
+      {|{"id":1,"method":"open","params":{"doc":"a","lang":"calc","text":"x = 1;\n"}}|};
+    ]
+    @ List.concat
+        (List.init 20 (fun i ->
+             [
+               Printf.sprintf
+                 {|{"id":%d,"method":"edit","params":{"doc":"a","edits":[{"pos":4,"del":1,"insert":"%d"}]}}|}
+                 (2 * i + 2) (i mod 10);
+               Printf.sprintf
+                 {|{"id":%d,"method":"parse","params":{"doc":"a"}}|}
+                 (2 * i + 3);
+             ]))
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        List.iter
+          (fun l ->
+            Rio.write_all w (l ^ "\n");
+            try Unix.sleepf 0.002 with Unix.Unix_error _ -> ())
+          lines;
+        Unix.close w)
+  in
+  let responses = ref [] in
+  let engine =
+    Engine.create ~jobs:0 ~emit:(fun l -> responses := l :: !responses) ()
+  in
+  let reader = Rio.reader ~max_line:(1024 * 1024) r in
+  let received = ref 0 in
+  let rec loop () =
+    match Rio.read_line reader with
+    | `Line l ->
+        incr received;
+        Engine.handle_line engine l;
+        loop ()
+    | `Oversized _ | `Stopped -> loop ()
+    | `Eof -> ()
+  in
+  loop ();
+  Atomic.set stop_storm true;
+  Domain.join storm;
+  Domain.join writer;
+  Engine.shutdown engine;
+  Alcotest.(check int) "every line arrived" (List.length lines) !received;
+  Alcotest.(check int)
+    "every request answered" (List.length lines)
+    (List.length !responses);
+  List.iter
+    (fun r ->
+      match Json.member "error" (Json.of_string r) with
+      | None -> ()
+      | Some e -> Alcotest.failf "request failed under storm: %s" (Json.to_line e))
+    !responses
+
+(* write_all completes large writes across pipe-buffer partial writes
+   (a domain drains the other end slowly). *)
+let write_all_partial () =
+  with_pipe @@ fun r w ->
+  let payload = String.init (3 * 1024 * 1024) (fun i -> Char.chr (i mod 26 + 65)) in
+  let drained = Buffer.create (String.length payload) in
+  let reader =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 8192 in
+        let rec go () =
+          match Unix.read r buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes drained buf 0 n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        in
+        go ())
+  in
+  Rio.write_all w payload;
+  Unix.close w;
+  Domain.join reader;
+  Alcotest.(check int)
+    "all bytes delivered" (String.length payload)
+    (Buffer.length drained);
+  Alcotest.(check bool)
+    "delivered intact" true
+    (String.equal payload (Buffer.contents drained))
+
+let suite =
+  [
+    Alcotest.test_case "oversized line: exact count, stream resyncs" `Quick
+      oversized_resync;
+    Alcotest.test_case "max_line boundary and unterminated tail" `Quick
+      boundary;
+    Alcotest.test_case "SIGUSR1 storm never drops a line or a response"
+      `Quick eintr_storm;
+    Alcotest.test_case "write_all survives partial pipe writes" `Quick
+      write_all_partial;
+  ]
