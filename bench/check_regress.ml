@@ -6,7 +6,8 @@
 
    Both directories must hold BENCH_latency.json, BENCH_reuse.json,
    BENCH_recovery.json, BENCH_ambig.json, BENCH_filter.json,
-   BENCH_server.json and BENCH_chaos.json (iglr-bench/1 schema).
+   BENCH_server.json, BENCH_chaos.json and BENCH_semantic.json
+   (iglr-bench/1 schema).
    Entries are keyed by (experiment, language, case); only entries with
    "gate": true are compared.
 
@@ -222,6 +223,7 @@ let () =
   check "filter" check_ambig "BENCH_filter.json";
   check "server" check_ambig "BENCH_server.json";
   check "chaos" check_ambig "BENCH_chaos.json";
+  check "semantic" check_ambig "BENCH_semantic.json";
   Printf.printf "%d compared, %d skipped (noise floor), %d regression%s\n"
     !compared !skipped !failures
     (if !failures = 1 then "" else "s");

@@ -210,6 +210,26 @@ let record_chaos ?(gate = true) ~experiment ~language ~case fields =
       @ fields)
     :: !chaos_entries
 
+(* Semantic-query entries live in their own document
+   (BENCH_semantic.json) and mix the two shapes: per-edit diagnostic
+   latency medians (latency rule, noise-floored at smoke scales) and the
+   deterministic query-layer percentages — cell reuse on single-token
+   edits and agreement with a from-scratch analysis — that gate the
+   incremental semantic engine's early-cutoff claim (reuse rule). *)
+let semantic_entries : Json.t list ref = ref []
+
+let record_semantic ?(gate = true) ~experiment ~language ~case fields =
+  semantic_entries :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("language", Json.String language);
+         ("case", Json.String case);
+         ("gate", Json.Bool gate);
+       ]
+      @ fields)
+    :: !semantic_entries
+
 let write_json () =
   match !json_dir with
   | None -> ()
@@ -237,9 +257,12 @@ let write_json () =
       Json.to_file server (doc "server" !server_entries);
       let chaos = Filename.concat dir "BENCH_chaos.json" in
       Json.to_file chaos (doc "chaos" !chaos_entries);
+      let semantic = Filename.concat dir "BENCH_semantic.json" in
+      Json.to_file semantic (doc "semantic" !semantic_entries);
       Printf.printf
         "\nwrote %s (%d entries), %s (%d entries), %s (%d entries), %s (%d \
-         entries), %s (%d entries), %s (%d entries), %s (%d entries)\n"
+         entries), %s (%d entries), %s (%d entries), %s (%d entries), %s \
+         (%d entries)\n"
         latency
         (List.length !latency_entries)
         reuse
@@ -254,6 +277,8 @@ let write_json () =
         (List.length !server_entries)
         chaos
         (List.length !chaos_entries)
+        semantic
+        (List.length !semantic_entries)
 
 let session_of lang text =
   let s, outcome =
@@ -2001,6 +2026,154 @@ let chaos_bench () =
   record_chaos ~experiment:"chaos" ~language:"calc" ~case:"p99-under-faults"
     [ ("median", Json.Float p99); ("docs", Json.Int n_docs) ]
 
+(* ------------------------------------------------------------------ *)
+(* Semantic queries: per-edit diagnostics on the incremental engine.   *)
+
+(* Deterministic (seeded token-edit stream, deterministic analyses), so
+   the percentages gate exactly against the committed baseline:
+   - cell reuse: a single-token edit must leave >= 90% of the semantic
+     cells validating clean rather than recomputing (early cutoff +
+     keyed-by-retained-node reuse) — the query-layer analogue of the
+     §5 syntactic reuse invariant;
+   - scratch agreement: after every committed reparse the incremental
+     result must render identically to a from-scratch analysis of the
+     same tree (the differential oracle's invariant, 100%);
+   - per-edit diagnostic latency ships under the latency rule
+     (noise-floored at smoke scales). *)
+let semantic_bench () =
+  header "Semantic queries: per-edit diag latency, cell reuse, scratch oracle";
+  let module Diag = Semantics.Diag in
+  let module Typedefs = Semantics.Typedefs in
+  Printf.printf "%-8s %7s %9s %9s %9s %12s %12s\n" "Lang" "cells" "reuse %"
+    "worst %" "agree %" "diag (ms)" "initial (ms)";
+  let c_lines = max 200 (int_of_float (4000. *. !scale)) in
+  let programs =
+    [
+      ( "calc",
+        Languages.Calc.language,
+        String.concat "\n"
+          (List.init 100 (fun i ->
+               Printf.sprintf "w%d = (1%d + 2) * w%d / 3;" i (i mod 10)
+                 (max 0 (i - 1)))) );
+      ("c", Languages.C_subset.language, Spec_gen.plain ~lines:c_lines ~seed:91);
+    ]
+  in
+  List.iter
+    (fun (name, lang, src) ->
+      let g = lang.Language.grammar in
+      let has_typedef =
+        match Grammar.Cfg.find_terminal g "typedef" with
+        | _ -> true
+        | exception Not_found -> false
+      in
+      let make () =
+        let d = Diag.create g in
+        let tds =
+          if has_typedef then begin
+            let tds =
+              Typedefs.create ?policy:lang.Language.ambig.Language.sem_policy g
+            in
+            Typedefs.on_select tds (Diag.touch d);
+            Some tds
+          end
+          else None
+        in
+        (d, tds)
+      in
+      let analyze (d, tds) root =
+        match tds with
+        | None -> Diag.run d root
+        | Some tds ->
+            ignore (Typedefs.analyze tds root);
+            Diag.run d ~typedefs:(Typedefs.global_typedefs tds) root
+      in
+      let s = session_of lang src in
+      let ((d, _) as inc) = make () in
+      Session.on_commit s (fun ~watermark root ->
+          Diag.commit d ~watermark root);
+      let _, t_initial = time_once (fun () -> analyze inc (Session.root s)) in
+      let engine = Diag.engine d in
+      let samples = ref [] in
+      let reuse_pcts = ref [] in
+      let agree = ref 0 in
+      let checks = ref 0 in
+      let step (e : Edit_gen.edit) =
+        Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+          ~insert:e.Edit_gen.e_insert;
+        ignore (reparse_exn s);
+        let c0 = (Query.stats engine).Query.computes in
+        let r, t = time_once (fun () -> analyze inc (Session.root s)) in
+        samples := t :: !samples;
+        let recomputed = (Query.stats engine).Query.computes - c0 in
+        let total = Query.cells engine in
+        reuse_pcts :=
+          (100. *. (1. -. (float_of_int recomputed /. float_of_int total)))
+          :: !reuse_pcts;
+        (* From-scratch oracle: fresh analyzers over the same committed
+           tree must produce an identical rendering (the typedef
+           decisions are deterministic, so re-deciding them on the same
+           dag reselects the same alternatives). *)
+        let r0 = analyze (make ()) (Session.root s) in
+        incr checks;
+        if String.equal (Diag.render r) (Diag.render r0) then incr agree
+      in
+      let count = 12 in
+      let edits = Edit_gen.token_edits ~seed:97 ~count (Session.text s) in
+      List.iter
+        (fun (e : Edit_gen.edit) ->
+          let inv = Edit_gen.inverse e (Session.text s) in
+          step e;
+          step inv)
+        edits;
+      let mean xs =
+        List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+      in
+      let reuse_pct = mean !reuse_pcts in
+      let worst_pct = List.fold_left Float.min 100. !reuse_pcts in
+      let agree_pct = 100. *. float_of_int !agree /. float_of_int !checks in
+      if reuse_pct < 90. then
+        failwith
+          (Printf.sprintf
+             "semantic: %s mean cell reuse %.1f%% on single-token edits \
+              (need >= 90%%)"
+             name reuse_pct);
+      if agree_pct < 100. then
+        failwith
+          (Printf.sprintf
+             "semantic: %s diverged from the scratch oracle (%d/%d agree)"
+             name !agree !checks);
+      let t = timing_of_samples !samples in
+      let cells = Query.cells engine in
+      Printf.printf "%-8s %7d %9.2f %9.2f %9.2f %12.3f %12.3f\n" name cells
+        reuse_pct worst_pct agree_pct (t.tmed *. 1e3) (t_initial *. 1e3);
+      record_semantic ~experiment:"semantic" ~language:name ~case:"cell-reuse"
+        [
+          ("cycles", Json.Int count);
+          ("cells", Json.Int cells);
+          ("cell_reuse_pct", Json.Float reuse_pct);
+          ("worst_reuse_pct", Json.Float worst_pct);
+        ];
+      record_semantic ~experiment:"semantic" ~language:name
+        ~case:"scratch-agreement"
+        [ ("scratch_agree_pct", Json.Float agree_pct) ];
+      record_semantic ~experiment:"semantic" ~language:name ~case:"diag-edit"
+        [
+          ("unit", Json.String "ms");
+          ("min", Json.Float (t.tmin *. 1e3));
+          ("median", Json.Float (t.tmed *. 1e3));
+          ("p90", Json.Float (t.tp90 *. 1e3));
+          ("runs", Json.Int (List.length !samples));
+        ];
+      record_semantic ~gate:false ~experiment:"semantic" ~language:name
+        ~case:"diag-initial"
+        [ ("unit", Json.String "ms"); ("median", Json.Float (t_initial *. 1e3)) ])
+    programs;
+  Printf.printf
+    "(reuse %%: semantic cells validated clean rather than recomputed per \
+     single-token edit;\n agree %%: incremental result renders identically \
+     to a from-scratch analysis of the same\n tree — the bench-side run of \
+     the differential oracle the fuzz suite applies per edit)\n"
+
 let experiments =
   [
     ("table1", table1);
@@ -2021,6 +2194,7 @@ let experiments =
     ("earley", earley);
     ("server", server_bench);
     ("chaos", chaos_bench);
+    ("semantic", semantic_bench);
     ("bechamel", bechamel);
   ]
 

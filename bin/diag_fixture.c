@@ -1,0 +1,6 @@
+typedef int t ;
+t unused_g ;
+char c ;
+int f ( ) { c = 1 ; return later ; }
+int later ;
+int main ( ) { return f ( ) ; }

@@ -7,6 +7,7 @@
      ambig   static ambiguity analysis, witnesses, filter coverage
      check   parse a file and run the parse-dag sanitizer
      sem     parse a C/C++ file and run semantic disambiguation
+     diag    semantic diagnostics: name resolution, unused bindings, types
      gen     emit a synthetic SPEC-like program
      replay  apply an edit script with incremental reparses
      errors  list damaged regions (error nodes, flagged tokens) of a parse
@@ -43,6 +44,12 @@ let file_arg =
 let read_input = function
   | None -> In_channel.input_all stdin
   | Some path -> In_channel.with_open_bin path In_channel.input_all
+
+let make_session ?budget lang text =
+  Iglr.Session.create ?budget
+    ~table:(Languages.Language.table lang)
+    ~lexer:(Languages.Language.lexer lang)
+    text
 
 (* Resource budgets (parse/errors/replay): exhaustion degrades the parse
    deterministically instead of aborting the tool. *)
@@ -655,6 +662,160 @@ let sem_cmd =
     (Cmd.info "sem" ~doc:"Parse and semantically disambiguate a C-like file")
     Term.(const run $ lang_arg $ file_arg $ policy)
 
+let diag_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the diagnostics as machine-readable JSON under the \
+             $(b,iglr-analysis/1) schema (shared with $(b,iglrc lint), \
+             $(b,iglrc ambig) and $(b,iglrc filtcomp)).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("c", Semantics.Typedefs.Namespace_only);
+                    ("cpp", Semantics.Typedefs.Prefer_decl) ])
+          Semantics.Typedefs.Namespace_only
+      & info [ "policy" ]
+          ~doc:"Typedef disambiguation policy for the C subsets: c or cpp.")
+  in
+  let run lang file json policy =
+    let grammar = lang.Languages.Language.grammar in
+    let name =
+      match List.find_opt (fun (_, l) -> l == lang) languages with
+      | Some (n, _) -> n
+      | None -> "?"
+    in
+    (* Usage errors exit 3, leaving 1 for "diagnostics present" and 2 for
+       the parse commands' syntax-error exit. *)
+    if not (Semantics.Diag.supported grammar) then begin
+      Printf.eprintf
+        "diag: language %s has no semantic analysis (supported: languages \
+         with assignment statements or C-like declarations)\n"
+        name;
+      exit 3
+    end;
+    let text = read_input file in
+    let s, outcome = make_session lang text in
+    let syntax_error =
+      match outcome with
+      | Iglr.Session.Parsed _ -> None
+      | Iglr.Session.Recovered { error; location; _ } ->
+          Some (location, error.Iglr.Glr.message)
+    in
+    let d = Semantics.Diag.create grammar in
+    (* The C subsets need typedef disambiguation before name analysis;
+       its choice flips feed the query layer's push invalidation. *)
+    let typedefs =
+      match Grammar.Cfg.find_terminal grammar "typedef" with
+      | _ ->
+          let tds = Semantics.Typedefs.create ~policy grammar in
+          Semantics.Typedefs.on_select tds (Semantics.Diag.touch d);
+          ignore (Semantics.Typedefs.analyze tds (Iglr.Session.root s));
+          Semantics.Typedefs.global_typedefs tds
+      | exception Not_found -> []
+    in
+    let r = Semantics.Diag.run d ~typedefs (Iglr.Session.root s) in
+    let loc tok = Iglr.Session.location_of_token s tok in
+    if json then
+      print_envelope ~tool:"diag"
+        [
+          envelope_doc ~tool:"diag"
+            [
+              ("language", Metrics.Json.String name);
+              ( "syntax_errors",
+                Metrics.Json.Int (match syntax_error with
+                  | Some _ -> 1
+                  | None -> 0) );
+              ( "diagnostics",
+                Metrics.Json.List
+                  (List.map
+                     (fun (dg : Semantics.Diag.diag) ->
+                       let l = loc dg.Semantics.Diag.d_token in
+                       Metrics.Json.Obj
+                         [
+                           ("code", Metrics.Json.String dg.Semantics.Diag.d_code);
+                           ("line", Metrics.Json.Int l.Iglr.Session.line);
+                           ("col", Metrics.Json.Int l.Iglr.Session.col);
+                           ("token", Metrics.Json.Int dg.Semantics.Diag.d_token);
+                           ( "message",
+                             Metrics.Json.String dg.Semantics.Diag.d_message );
+                         ])
+                     r.Semantics.Diag.diags) );
+              ( "bindings",
+                Metrics.Json.List
+                  (List.map
+                     (fun (b : Semantics.Diag.binding) ->
+                       Metrics.Json.Obj
+                         [
+                           ("name", Metrics.Json.String b.Semantics.Diag.b_name);
+                           ( "kind",
+                             Metrics.Json.String
+                               (Semantics.Diag.kind_name
+                                  b.Semantics.Diag.b_kind) );
+                           ( "type",
+                             Metrics.Json.String
+                               (Semantics.Diag.ty_name b.Semantics.Diag.b_ty) );
+                         ])
+                     r.Semantics.Diag.bindings) );
+              ( "typedefs",
+                Metrics.Json.List
+                  (List.map
+                     (fun n -> Metrics.Json.String n)
+                     r.Semantics.Diag.typedefs) );
+            ];
+        ]
+    else begin
+      (match syntax_error with
+      | Some (location, msg) ->
+          Printf.printf "%s: syntax-error: %s (analysing the recovered tree)\n"
+            (pp_location location) msg
+      | None -> ());
+      List.iter
+        (fun (dg : Semantics.Diag.diag) ->
+          let l = loc dg.Semantics.Diag.d_token in
+          Printf.printf "%d:%d: %s: %s\n" l.Iglr.Session.line
+            l.Iglr.Session.col dg.Semantics.Diag.d_code
+            dg.Semantics.Diag.d_message)
+        r.Semantics.Diag.diags;
+      Printf.printf "%d diagnostic(s), %d binding(s), %d typedef(s)\n"
+        (List.length r.Semantics.Diag.diags)
+        (List.length r.Semantics.Diag.bindings)
+        (List.length r.Semantics.Diag.typedefs)
+    end;
+    if r.Semantics.Diag.diags <> [] || syntax_error <> None then exit 1
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses the file, runs typedef disambiguation when the language \
+         has a typedef namespace, and evaluates the incremental semantic \
+         query layers on the committed dag: scope-graph construction and \
+         name resolution, unused-binding and use-before-declaration \
+         analysis, and a simple type checker (int/float/char and typedef'd \
+         names; mismatches are diagnosed, unknown names stay untyped).";
+      `S Manpage.s_exit_status;
+      `P "$(b,0) — the analysis ran and found nothing to report.";
+      `P
+        "$(b,1) — diagnostics are present (including a syntax error \
+         recovered during parsing).";
+      `P
+        "$(b,3) — usage error: the selected language has no semantic \
+         analysis.  Matches the lint tools' warning/usage exit; 2 stays \
+         reserved for the parse commands' syntax-error exit.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "diag" ~man
+       ~doc:
+         "Semantic diagnostics from the incremental query engine: name \
+          resolution, unused bindings, use-before-declaration, and type \
+          mismatches")
+    Term.(const run $ lang_arg $ file_arg $ json $ policy)
+
 let gen_cmd =
   let program =
     Arg.(
@@ -709,12 +870,6 @@ let script_opt_arg =
     value
     & opt (some string) None
     & info [ "edits" ] ~docv:"SCRIPT" ~doc:script_doc)
-
-let make_session ?budget lang text =
-  Iglr.Session.create ?budget
-    ~table:(Languages.Language.table lang)
-    ~lexer:(Languages.Language.lexer lang)
-    text
 
 (* dot/explain render the committed dag, so they refuse to describe a
    corrupt one: run the sanitizer first and fail fast.  Recovery leaves
@@ -1028,7 +1183,7 @@ let () =
        (Cmd.group info
           [
             parse_cmd; table_cmd; lint_cmd; ambig_cmd; filtcomp_cmd;
-            check_cmd; sem_cmd;
+            check_cmd; sem_cmd; diag_cmd;
             gen_cmd;
             replay_cmd; errors_cmd; trace_cmd; dot_cmd; explain_cmd; demo_cmd;
           ]))

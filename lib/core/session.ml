@@ -25,6 +25,18 @@ type t = {
          activity attributable to this session's lifetime *)
   mutable errors : bool;
   mutable on_parse : (Node.t -> unit) option;
+  mutable on_commit : (watermark:int -> Node.t -> unit) list;
+      (* commit subscribers (newest first): invoked after every reparse
+         that commits a tree, with the node-allocation watermark captured
+         before the parse ran — nodes with nid <= watermark are retained,
+         larger nids are fresh.  The query engine's push-invalidation
+         feed. *)
+  mutable pending_watermark : int option;
+      (* allocation watermark carried across flag-only recoveries: a
+         failed parse allocates nodes (relexed terminals) that only make
+         it into a committed tree on a LATER reparse, so the watermark
+         reported to commit subscribers must date back to the last
+         commit, not the last attempt. *)
   owner : Mutex.t;
       (* ownership token: a session's document and dag are single-owner
          mutable state, so [edit]/[reparse] refuse concurrent entry
@@ -364,16 +376,20 @@ let apply_filters t =
   end
   else Metrics.incr m_filter_skip
 
-let run_hook t =
-  match t.on_parse with
+let run_hook t ~watermark =
+  t.pending_watermark <- None;
+  (match t.on_parse with
   | Some hook -> hook (Document.root t.doc)
-  | None -> ()
+  | None -> ());
+  List.iter
+    (fun hook -> hook ~watermark (Document.root t.doc))
+    (List.rev t.on_commit)
 
 (* The degradation ladder after a failed (or budget-exhausted) full
    parse: try local isolation under the same absolute deadline; fall
    back to the history-based flag-only recovery of §4.3 (previous
    structure retained, pending modifications marked unincorporated). *)
-let recover t ~t0 ~deadline ~cancel ~degraded (error : Glr.error) =
+let recover t ~t0 ~deadline ~cancel ~degraded ~watermark (error : Glr.error) =
   Metrics.incr m_recoveries;
   let location = location_of_token t error.Glr.offset_tokens in
   match isolate t ~deadline ~cancel error with
@@ -384,7 +400,7 @@ let recover t ~t0 ~deadline ~cancel ~degraded (error : Glr.error) =
       t.errors <- true;
       apply_filters t;
       Metrics.observe_since m_reparse_ms t0;
-      run_hook t;
+      run_hook t ~watermark;
       if Trace.enabled () then
         Trace.instant Trace.Session "recovered"
           [
@@ -397,6 +413,9 @@ let recover t ~t0 ~deadline ~cancel ~degraded (error : Glr.error) =
         { flagged = tot; isolated = List.length rs; degraded; error; location }
   | None ->
       if degraded then Metrics.incr m_degraded;
+      (* No commit: keep the watermark so the eventual committing
+         reparse dirties everything allocated since the last commit. *)
+      t.pending_watermark <- Some watermark;
       let flagged = ref 0 in
       List.iter
         (fun (l : Node.t) ->
@@ -446,6 +465,16 @@ let reparse_owned ?cancel t =
     else Metrics.now_ms () +. t.budget.Glr.deadline_ms
   in
   let had_errors = t.errors in
+  (* Allocation watermark before the parse: nodes the reparse retains
+     keep their nid <= watermark, freshly built structure sits above it.
+     Commit subscribers use it to dirty exactly the changed subtrees.
+     A flag-only recovery leaves its watermark pending: nodes allocated
+     by the failed attempt surface in the next committed tree. *)
+  let watermark =
+    match t.pending_watermark with
+    | Some w -> w
+    | None -> Node.allocated ()
+  in
   match
     Glr.parse ~config:t.config ~budget:t.budget ~deadline ?cancel t.table
       (Document.root t.doc)
@@ -462,11 +491,11 @@ let reparse_owned ?cancel t =
         Array.iter
           (fun (l : Node.t) -> l.Node.error <- false)
           (Document.leaves t.doc);
-      run_hook t;
+      run_hook t ~watermark;
       if stats.Glr.degraded then Metrics.incr m_degraded;
       Parsed stats
   | exception Glr.Parse_error error ->
-      recover t ~t0 ~deadline ~cancel ~degraded:false error
+      recover t ~t0 ~deadline ~cancel ~degraded:false ~watermark error
   | exception Glr.Budget_exhausted { kind; offset_tokens } ->
       let error =
         {
@@ -474,7 +503,7 @@ let reparse_owned ?cancel t =
           message = "budget exhausted: " ^ Glr.budget_kind_name kind;
         }
       in
-      recover t ~t0 ~deadline ~cancel ~degraded:true error
+      recover t ~t0 ~deadline ~cancel ~degraded:true ~watermark error
 
 let reparse ?cancel t = owned t (fun () -> reparse_owned ?cancel t)
 
@@ -492,12 +521,15 @@ let create ?(config = Glr.default_config) ?(budget = Glr.no_budget)
       baseline;
       errors = false;
       on_parse;
+      on_commit = [];
+      pending_watermark = None;
       owner = Mutex.create ();
     }
   in
   (t, reparse t)
 
 let set_on_parse t hook = t.on_parse <- Some hook
+let on_commit t hook = t.on_commit <- hook :: t.on_commit
 let set_budget t budget = t.budget <- budget
 
 let edit_owned t ~pos ~del ~insert =

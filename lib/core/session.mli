@@ -87,6 +87,18 @@ val create :
 (** [set_on_parse t hook] — install or replace the post-parse hook. *)
 val set_on_parse : t -> (Parsedag.Node.t -> unit) -> unit
 
+(** [on_commit t hook] — subscribe to tree commits.  After every reparse
+    that commits a tree (clean parses and successful isolations), each
+    subscriber runs with the committed root and the node-allocation
+    watermark captured before the parse: retained nodes have
+    [nid <= watermark], freshly built structure sits above it.  This is
+    the push half of the incremental query engine's invalidation —
+    subscribers typically call [Query.commit_tree] to dirty exactly the
+    changed subtrees.  Hooks run in subscription order, inside the
+    session's ownership token (calling {!edit}/{!reparse} from a hook
+    raises {!Busy}). *)
+val on_commit : t -> (watermark:int -> Parsedag.Node.t -> unit) -> unit
+
 (** [set_budget t b] — replace the budget applied to subsequent
     reparses.  The parse-service daemon uses this to honour per-request
     budgets on a long-lived session. *)

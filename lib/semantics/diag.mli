@@ -1,0 +1,102 @@
+(** Incremental semantic diagnostics: three static analyses layered on
+    the {!Query} engine.
+
+    + {e Scope graph construction} — per top-level item (a statement of
+      [calc], an external declaration of the C-like subsets), an
+      environment-independent summary cell records the bindings the item
+      exports, the free names it references, and the diagnostics decidable
+      without looking outside the item (a local variable never read, a
+      local read before its declaration).
+    + {e Name resolution} — a second cell per item resolves the free
+      names against an {e environment restriction} input: only the
+      visible bindings whose names the item actually mentions.  An edit
+      elsewhere that does not change that restricted view leaves the cell
+      untouched (early cutoff at the input).
+    + {e Type checking} — a third cell per item types expressions against
+      the (equally restricted) typing environment, reporting mismatches.
+      [calc] follows the paper's toy arithmetic — [/] is true division
+      and yields [float], mixing [int] and [float] operands is a
+      mismatch; the C subsets type through [typedef]-introduced names
+      nominally for display and structurally for checking.
+
+    Aggregation across items (which diagnostics a free name earns, which
+    exported bindings are never used anywhere) is plain per-run driver
+    code: it is linear in the number of items and never re-walks their
+    subtrees — the tree-walking work all lives in cells keyed by the
+    item's dag node, so a reparse that rebuilds one statement recomputes
+    that statement's cells and validates everything else clean.
+
+    The analyzer is wired to a session from outside this library (the
+    layering keeps [semantics] below the parser runtime): subscribe
+    {!commit} via [Session.on_commit], and bridge semantic
+    disambiguation flips via [Typedefs.on_select] into {!touch}. *)
+
+(** Types of the simple checker.  [Named] is the display type of a
+    variable declared through a typedef (checking is structural, against
+    the resolved underlying type). *)
+type ty = Int | Float | Char | Void | Named of string | Unknown
+
+val ty_name : ty -> string
+
+type def_kind = Var | Func | Type | Param
+
+val kind_name : def_kind -> string
+
+(** An exported (top-level) binding, in source order.  [b_token] is the
+    absolute token offset of the defining occurrence. *)
+type binding = {
+  b_name : string;
+  b_kind : def_kind;
+  b_ty : ty;
+  b_token : int;
+}
+
+(** One diagnostic.  [d_code] is one of ["unbound-name"],
+    ["use-before-decl"], ["unused-binding"], ["type-mismatch"];
+    [d_token] the absolute token offset it is anchored to. *)
+type diag = { d_code : string; d_token : int; d_message : string }
+
+type result = {
+  bindings : binding list;  (** exported bindings, source order *)
+  diags : diag list;  (** sorted by token offset, then code *)
+  types : (int * ty) list;
+      (** computed types of statement expressions and initializers,
+          keyed by the expression's first token offset *)
+  typedefs : string list;  (** typedef names in force, sorted *)
+}
+
+type t
+
+val supported : Grammar.Cfg.t -> bool
+(** The analyses understand the [calc] grammar and the C-like subsets
+    (recognised by their nonterminal vocabulary); other languages are
+    not supported and [create] refuses them. *)
+
+val create : Grammar.Cfg.t -> t
+(** @raise Invalid_argument when the grammar is not {!supported}. *)
+
+val engine : t -> Query.t
+(** The backing query engine (stats, tests, metrics). *)
+
+val commit : t -> watermark:int -> Parsedag.Node.t -> unit
+(** Forward a session commit into the engine: dirty the cells that read
+    freshly built subtrees ([Query.commit_tree]).  Subscribe as
+    [Session.on_commit s (fun ~watermark root -> Diag.commit d ~watermark root)]. *)
+
+val touch : t -> Parsedag.Node.t -> unit
+(** Dirty cells that read [n] (a choice node whose selection a semantic
+    filter flipped in place).  Bridge as
+    [Typedefs.on_select tds (Diag.touch d)]. *)
+
+val run : t -> ?typedefs:string list -> Parsedag.Node.t -> result
+(** Analyze the committed tree rooted at [root] (pass the session
+    root).  Fetches the per-item cells — recomputing only what the
+    edits since the last run invalidated — aggregates, and garbage
+    collects cells for items no longer in the tree.  [typedefs] embeds
+    the semantic-disambiguation layer's view (e.g.
+    [Typedefs.global_typedefs]) in the result. *)
+
+val render : result -> string
+(** Deterministic s-expression rendering: equal results render equal —
+    the differential oracle's comparison key and the CLI's [--sexp]
+    output. *)

@@ -1,3 +1,14 @@
+(* Semantic disambiguation of the C-like subsets (§4.2), reimplemented
+   as the first consumer of the incremental query engine: each choice
+   node's decision is a query cell whose inputs are the namespace
+   status of the region's leading identifier (an input cell, set
+   during the scope walk) — so a distant edit that adds or removes a
+   typedef re-decides exactly the choices whose status actually
+   changed, and everything else validates clean.  The report counters
+   keep their historical meaning: [decided] counts cells the engine
+   recomputed this run, [reinterpreted] the decisions that flipped an
+   earlier selection. *)
+
 module Cfg = Grammar.Cfg
 module Node = Parsedag.Node
 
@@ -19,6 +30,26 @@ type decision = {
   dec_selected : int;
 }
 
+(* The decision cell's input: the facts the walk establishes that the
+   decision depends on.  [x_force] is a nonce the walk bumps to force a
+   re-decision (unresolved choices re-decide every run, §4.3, and an
+   externally flipped selection invalidates the stored decision). *)
+type ctx = { x_name : string option; x_was_type : bool; x_force : int }
+
+type counters = {
+  mutable c_typedefs : int;
+  mutable c_choices : int;
+  mutable c_reinterp : int;
+  mutable c_unresolved : int;
+  mutable c_prefer : int;
+  mutable c_errors : (string * string) list;
+}
+
+type run_state = {
+  rs_c : counters;
+  rs_nodes : (int, Node.t) Hashtbl.t;  (* nid -> choice node, this walk *)
+}
+
 type t = {
   g : Cfg.t;
   policy : policy;
@@ -27,22 +58,17 @@ type t = {
   decl_nt : int;
   expr_nt : int;
   compound_nt : int;
-  memo : (int, decision) Hashtbl.t;
+  engine : Query.t;
+  ctx_in : ctx Query.input;
+  decide_q : decision Query.def;
+  decisions : (int, decision) Hashtbl.t;
+      (* mirror of the cells' current values, for the walk's memo
+         check; the engine owns caching and invalidation *)
+  mutable force_ctr : int;
   mutable globals : string list;
+  mutable cur : run_state option;
+  mutable on_select : (Node.t -> unit) option;
 }
-
-let create ?(policy = Namespace_only) g =
-  {
-    g;
-    policy;
-    id_term = Cfg.find_terminal g "id";
-    typedef_term = Cfg.find_terminal g "typedef";
-    decl_nt = Cfg.find_nonterminal g "decl";
-    expr_nt = Cfg.find_nonterminal g "expr";
-    compound_nt = Cfg.find_nonterminal g "compound";
-    memo = Hashtbl.create 64;
-    globals = [];
-  }
 
 let chosen (n : Node.t) =
   match n.Node.kind with
@@ -52,6 +78,8 @@ let chosen (n : Node.t) =
   | _ -> None
 
 let global_typedefs t = t.globals
+let engine t = t.engine
+let on_select t f = t.on_select <- Some f
 
 (* Environment: a stack of mutable scope tables. *)
 type env = (string, unit) Hashtbl.t list
@@ -101,16 +129,6 @@ let alt_symbol t (alt : Node.t) =
       | `T _ | `Other -> `Other)
   | _ -> `Other
 
-type counters = {
-  mutable c_typedefs : int;
-  mutable c_choices : int;
-  mutable c_decided : int;
-  mutable c_reinterp : int;
-  mutable c_unresolved : int;
-  mutable c_prefer : int;
-  mutable c_errors : (string * string) list;
-}
-
 let is_typedef_decl t (n : Node.t) =
   match n.Node.kind with
   | Node.Prod p ->
@@ -131,87 +149,150 @@ let typedef_name t (n : Node.t) =
     n.Node.kids;
   !result
 
+(* The decision computation, run by the engine when the cell is new or
+   its context input changed.  Mirrors the historical decide logic:
+   counters beyond [choices]/[typedefs] move only here, so a memoized
+   (validated-clean) choice contributes nothing to the run's report. *)
+let decide_compute t e nid =
+  let rs = match t.cur with Some rs -> rs | None -> assert false in
+  let n = Hashtbl.find rs.rs_nodes nid in
+  let ci =
+    match n.Node.kind with Node.Choice ci -> ci | _ -> assert false
+  in
+  let ctx =
+    match Query.read e t.ctx_in nid with Some c -> c | None -> assert false
+  in
+  let c = rs.rs_c in
+  let name = ctx.x_name in
+  let is_type = ctx.x_was_type in
+  let starts_with_id = leading_term n = Some t.id_term in
+  let find_alt kind =
+    let rec scan i =
+      if i >= Array.length n.Node.kids then None
+      else if alt_symbol t n.Node.kids.(i) = kind then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let target =
+    if not starts_with_id then
+      (* Ambiguity not rooted in the typedef problem: leave it to other
+         filters. *)
+      None
+    else if is_type then begin
+      match find_alt `Decl with
+      | Some i ->
+          if t.policy = Prefer_decl && find_alt `Expr <> None then
+            c.c_prefer <- c.c_prefer + 1;
+          Some i
+      | None ->
+          c.c_errors <-
+            ("type-in-expression-position", Option.value ~default:"?" name)
+            :: c.c_errors;
+          None
+    end
+    else begin
+      match find_alt `Expr with
+      | Some i -> Some i
+      | None ->
+          (* Only a declaration reading exists but the leading name is
+             not a type: a program error; retain interpretations. *)
+          c.c_errors <-
+            ("unknown-type-name", Option.value ~default:"?" name) :: c.c_errors;
+          None
+    end
+  in
+  let prev = ci.Node.selected in
+  (match target with
+  | Some i ->
+      ci.Node.selected <- i;
+      if prev >= 0 && prev <> i then c.c_reinterp <- c.c_reinterp + 1
+  | None ->
+      ci.Node.selected <- -1;
+      c.c_unresolved <- c.c_unresolved + 1);
+  let d =
+    { dec_name = name; dec_was_type = is_type; dec_selected = ci.Node.selected }
+  in
+  Hashtbl.replace t.decisions nid d;
+  if ci.Node.selected <> prev then
+    (match t.on_select with Some f -> f n | None -> ());
+  d
+
+let create ?(policy = Namespace_only) g =
+  (* The decision query's compute closure needs the analyzer record,
+     which itself stores the definition: tie the knot through a ref. *)
+  let tref = ref None in
+  let decide_q =
+    Query.define ~name:"typedefs.decide" (fun e nid ->
+        match !tref with
+        | Some t -> decide_compute t e nid
+        | None -> assert false)
+  in
+  let t =
+    {
+      g;
+      policy;
+      id_term = Cfg.find_terminal g "id";
+      typedef_term = Cfg.find_terminal g "typedef";
+      decl_nt = Cfg.find_nonterminal g "decl";
+      expr_nt = Cfg.find_nonterminal g "expr";
+      compound_nt = Cfg.find_nonterminal g "compound";
+      engine = Query.create ();
+      ctx_in = Query.input ~name:"typedefs.ctx" ();
+      decide_q;
+      decisions = Hashtbl.create 64;
+      force_ctr = 0;
+      globals = [];
+      cur = None;
+      on_select = None;
+    }
+  in
+  tref := Some t;
+  t
+
+(* Decide a choice node: establish its context input, then demand the
+   decision cell.  The cell recomputes exactly when the leading name's
+   namespace status changed, the selection was externally flipped, or
+   the choice is still unresolved (which re-decides every run so
+   semantic errors are re-reported, §4.3). *)
 let decide t (c : counters) (env : env) (n : Node.t) ci =
   c.c_choices <- c.c_choices + 1;
+  let rs = match t.cur with Some rs -> rs | None -> assert false in
+  Hashtbl.replace rs.rs_nodes n.Node.nid n;
   let name = leading_id t n in
-  let starts_with_id = leading_term n = Some t.id_term in
   let is_type = match name with Some x -> lookup env x | None -> false in
-  let memoized =
-    match Hashtbl.find_opt t.memo n.Node.nid with
-    | Some d
-      when ci.Node.selected >= 0 && d.dec_selected = ci.Node.selected
-           && d.dec_name = name
-           && d.dec_was_type = is_type ->
-        true
-    | _ -> false
+  let need_force =
+    match Hashtbl.find_opt t.decisions n.Node.nid with
+    | Some d -> not (d.dec_selected >= 0 && d.dec_selected = ci.Node.selected)
+    | None -> false  (* no cell yet: the first fetch computes anyway *)
   in
-  if not memoized then begin
-    c.c_decided <- c.c_decided + 1;
-    let find_alt kind =
-      let rec scan i =
-        if i >= Array.length n.Node.kids then None
-        else if alt_symbol t n.Node.kids.(i) = kind then Some i
-        else scan (i + 1)
-      in
-      scan 0
-    in
-    let target =
-      if not starts_with_id then
-        (* Ambiguity not rooted in the typedef problem: leave it to other
-           filters. *)
-        None
-      else if is_type then begin
-        match find_alt `Decl with
-        | Some i ->
-            if t.policy = Prefer_decl && find_alt `Expr <> None then
-              c.c_prefer <- c.c_prefer + 1;
-            Some i
-        | None ->
-            c.c_errors <-
-              ("type-in-expression-position", Option.value ~default:"?" name)
-              :: c.c_errors;
-            None
-      end
-      else begin
-        match find_alt `Expr with
-        | Some i -> Some i
-        | None ->
-            (* Only a declaration reading exists but the leading name is
-               not a type: a program error; retain interpretations. *)
-            c.c_errors <-
-              ("unknown-type-name", Option.value ~default:"?" name)
-              :: c.c_errors;
-            None
-      end
-    in
-    let prev = ci.Node.selected in
-    (match target with
-    | Some i ->
-        ci.Node.selected <- i;
-        if prev >= 0 && prev <> i then c.c_reinterp <- c.c_reinterp + 1
-    | None ->
-        ci.Node.selected <- -1;
-        c.c_unresolved <- c.c_unresolved + 1);
-    Hashtbl.replace t.memo n.Node.nid
-      {
-        dec_name = name;
-        dec_was_type = is_type;
-        dec_selected = ci.Node.selected;
-      }
-  end
+  let force =
+    match (need_force, Query.peek t.engine t.ctx_in n.Node.nid) with
+    | false, Some prev -> prev.x_force
+    | false, None -> 0
+    | true, prev ->
+        t.force_ctr <-
+          (max t.force_ctr (match prev with Some p -> p.x_force | None -> 0))
+          + 1;
+        t.force_ctr
+  in
+  Query.set t.engine t.ctx_in n.Node.nid
+    { x_name = name; x_was_type = is_type; x_force = force };
+  ignore (Query.fetch t.engine t.decide_q n.Node.nid)
 
 let analyze t root =
   let c =
     {
       c_typedefs = 0;
       c_choices = 0;
-      c_decided = 0;
       c_reinterp = 0;
       c_unresolved = 0;
       c_prefer = 0;
       c_errors = [];
     }
   in
+  let computes0 = (Query.stats t.engine).Query.computes in
+  t.cur <- Some { rs_c = c; rs_nodes = Hashtbl.create 64 };
   let is_compound (n : Node.t) =
     match n.Node.kind with
     | Node.Prod p -> (Cfg.production t.g p).Cfg.lhs = t.compound_nt
@@ -233,18 +314,28 @@ let analyze t root =
         walk env n.Node.kids.(pick)
     | Node.Term _ | Node.Bos | Node.Eos _ -> ()
     | Node.Prod _ | Node.Error _ | Node.Root ->
-        let env =
-          if is_compound n then Hashtbl.create 8 :: env else env
-        in
+        let env = if is_compound n then Hashtbl.create 8 :: env else env in
         Array.iter (walk env) n.Node.kids
   in
   let global_scope = Hashtbl.create 16 in
-  walk [ global_scope ] root;
+  let finish () = t.cur <- None in
+  (try walk [ global_scope ] root with e -> finish (); raise e);
+  finish ();
   t.globals <- Hashtbl.fold (fun k () acc -> k :: acc) global_scope [];
+  (* Sweep cells for choice nodes no longer in the tree (the engine's
+     dead-cell GC), and their mirror entries. *)
+  ignore (Query.collect t.engine);
+  let dead =
+    Hashtbl.fold
+      (fun nid _ acc ->
+        if Query.peek t.engine t.ctx_in nid = None then nid :: acc else acc)
+      t.decisions []
+  in
+  List.iter (Hashtbl.remove t.decisions) dead;
   {
     typedefs = c.c_typedefs;
     choices = c.c_choices;
-    decided = c.c_decided;
+    decided = (Query.stats t.engine).Query.computes - computes0;
     reinterpreted = c.c_reinterp;
     unresolved = c.c_unresolved;
     prefer_decl_applied = c.c_prefer;

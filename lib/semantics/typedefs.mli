@@ -41,6 +41,15 @@ type t
 val create : ?policy:policy -> Grammar.Cfg.t -> t
 val analyze : t -> Parsedag.Node.t -> report
 
+val engine : t -> Query.t
+(** The query engine backing the decisions (stats, tests). *)
+
+val on_select : t -> (Parsedag.Node.t -> unit) -> unit
+(** Install a hook invoked with each choice node whose selection a
+    decision actually changed — the push-invalidation bridge for
+    downstream analyses whose cells read selections of retained nodes
+    (they [Query.touch_node] the flipped choice on their own engine). *)
+
 (** The selected interpretation of a disambiguated choice node ([None]
     while unresolved).  After selection, tools can treat choice nodes as
     transparent: [chosen] is the embedded-tree view of §4.2(d). *)

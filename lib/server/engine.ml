@@ -11,6 +11,7 @@ let m_requests = Metrics.counter "server.requests"
 let m_errors = Metrics.counter "server.rpc_errors"
 let m_opens = Metrics.counter "server.opens"
 let m_parses = Metrics.counter "server.parses"
+let m_diags = Metrics.counter "server.diags"
 let m_shed = Metrics.counter "server.shed"
 let m_retried = Metrics.counter "server.retried"
 let m_cancelled = Metrics.counter "server.cancelled"
@@ -470,6 +471,7 @@ let do_open t ~req ~id ~doc ~lang_name lang ~text ~budget () =
           session;
           committed_text = text;
           poisoned = false;
+          analysis = None;
         };
       Metrics.incr m_opens;
       P.ok ~req ~id
@@ -605,6 +607,116 @@ let do_errors t ~req ~id ~doc () =
          ("doc", Json.String doc);
          ("regions", P.regions_to_json (Session.error_regions e.Pool.session));
        ])
+
+(* Semantic diagnostics: the analyzers live on the pool entry and stay
+   commit-subscribed to its session, so consecutive diag requests after
+   small edits validate cached query cells instead of re-analysing the
+   whole document.  Runs under the scheduler's per-document ordering
+   (it mutates the dag's choice selections and the query store). *)
+let do_diag t ~req ~id ~doc ~metrics () =
+  with_entry t ~req ~id doc @@ fun e ->
+  Metrics.incr m_diags;
+  let s = e.Pool.session in
+  let grammar = e.Pool.lang.Language.grammar in
+  if not (Semantics.Diag.supported grammar) then
+    P.err ~req ~id
+      {
+        P.code = P.e_unsupported;
+        message =
+          Printf.sprintf "language %s has no semantic analysis"
+            e.Pool.lang_name;
+      }
+  else begin
+    let analysis =
+      match e.Pool.analysis with
+      | Some a -> a
+      | None ->
+          let d = Semantics.Diag.create grammar in
+          let tds =
+            match Grammar.Cfg.find_terminal grammar "typedef" with
+            | _ ->
+                let tds =
+                  Semantics.Typedefs.create
+                    ?policy:e.Pool.lang.Language.ambig.Language.sem_policy
+                    grammar
+                in
+                Semantics.Typedefs.on_select tds (Semantics.Diag.touch d);
+                Some tds
+            | exception Not_found -> None
+          in
+          Session.on_commit s (fun ~watermark root ->
+              Semantics.Diag.commit d ~watermark root);
+          let a = { Pool.a_diag = d; a_tds = tds } in
+          e.Pool.analysis <- Some a;
+          a
+    in
+    (* [Session.measure] scopes the delta to this domain: the query.*
+       counters in it are exactly this request's compute/hit/backdate
+       activity. *)
+    let r, d =
+      Session.measure (fun () ->
+          let typedefs =
+            match analysis.Pool.a_tds with
+            | Some tds ->
+                ignore (Semantics.Typedefs.analyze tds (Session.root s));
+                Semantics.Typedefs.global_typedefs tds
+            | None -> []
+          in
+          Semantics.Diag.run analysis.Pool.a_diag ~typedefs (Session.root s))
+    in
+    let loc tok = Session.location_of_token s tok in
+    let engine = Semantics.Diag.engine analysis.Pool.a_diag in
+    let qs = Query.stats engine in
+    P.ok ~req ~id
+      (Json.Obj
+         ([
+            ("doc", Json.String doc);
+            ( "diagnostics",
+              Json.List
+                (List.map
+                   (fun (dg : Semantics.Diag.diag) ->
+                     let l = loc dg.Semantics.Diag.d_token in
+                     Json.Obj
+                       [
+                         ("code", Json.String dg.Semantics.Diag.d_code);
+                         ("line", Json.Int l.Session.line);
+                         ("col", Json.Int l.Session.col);
+                         ("token", Json.Int dg.Semantics.Diag.d_token);
+                         ("message", Json.String dg.Semantics.Diag.d_message);
+                       ])
+                   r.Semantics.Diag.diags) );
+            ( "bindings",
+              Json.List
+                (List.map
+                   (fun (b : Semantics.Diag.binding) ->
+                     Json.Obj
+                       [
+                         ("name", Json.String b.Semantics.Diag.b_name);
+                         ( "kind",
+                           Json.String
+                             (Semantics.Diag.kind_name b.Semantics.Diag.b_kind)
+                         );
+                         ( "type",
+                           Json.String
+                             (Semantics.Diag.ty_name b.Semantics.Diag.b_ty) );
+                       ])
+                   r.Semantics.Diag.bindings) );
+            ( "typedefs",
+              Json.List
+                (List.map
+                   (fun n -> Json.String n)
+                   r.Semantics.Diag.typedefs) );
+            ( "query",
+              Json.Obj
+                [
+                  ("cells", Json.Int (Query.cells engine));
+                  ("computes", Json.Int qs.Query.computes);
+                  ("hits", Json.Int qs.Query.hits);
+                  ("backdated", Json.Int qs.Query.backdated);
+                ] );
+          ]
+         @ if metrics then [ ("metrics", Metrics.to_json d) ] else []))
+  end
 
 (* Ambiguity reports are a property of the language, not of the
    document's current text: computed once per (language, K) and shared
@@ -803,6 +915,7 @@ let meth_name = function
   | P.Edit _ -> "edit"
   | P.Parse _ -> "parse"
   | P.Errors _ -> "errors"
+  | P.Diag _ -> "diag"
   | P.Ambig _ -> "ambig"
   | P.Stats _ -> "stats"
   | P.Telemetry _ -> "telemetry"
@@ -977,6 +1090,9 @@ let handle_line t line =
                       (do_parse ~req:seq ~id ~doc ~budget ~timing ~metrics t)
                 | P.Errors _ ->
                     submit t ~seq ~key:doc ~id (do_errors t ~req:seq ~id ~doc)
+                | P.Diag { metrics; _ } ->
+                    submit ~mutates:true t ~seq ~key:doc ~id
+                      (do_diag t ~req:seq ~id ~doc ~metrics)
                 | P.Ambig { max_len; _ } ->
                     submit t ~seq ~key:doc ~id
                       (do_ambig t ~req:seq ~id ~doc ~max_len)

@@ -1,3 +1,8 @@
+type analysis = {
+  a_diag : Semantics.Diag.t;
+  a_tds : Semantics.Typedefs.t option;
+}
+
 type entry = {
   doc : string;
   lang_name : string;
@@ -5,6 +10,7 @@ type entry = {
   mutable session : Iglr.Session.t;
   mutable committed_text : string;
   mutable poisoned : bool;
+  mutable analysis : analysis option;
 }
 
 type t = { m : Mutex.t; tbl : (string, entry) Hashtbl.t }
@@ -56,5 +62,8 @@ let heal e =
       e.committed_text
   in
   e.session <- session;
+  (* The analyzers' commit subscription died with the old session; the
+     next diag request rebuilds them from scratch. *)
+  e.analysis <- None;
   e.poisoned <- false;
   Metrics.incr m_rebuilt

@@ -19,6 +19,7 @@ type request =
       metrics : bool;
     }
   | Errors of { doc : string }
+  | Diag of { doc : string; metrics : bool }
   | Ambig of { doc : string; max_len : int }
   | Stats of { doc : string option; metrics : bool }
   | Telemetry of { view : string }
@@ -29,6 +30,7 @@ let doc_of = function
   | Edit { doc; _ }
   | Parse { doc; _ }
   | Errors { doc }
+  | Diag { doc; _ }
   | Ambig { doc; _ }
   | Close { doc } ->
       Some doc
@@ -50,6 +52,7 @@ let e_payload = -32005
 let e_worker = -32006
 let e_overloaded = -32007
 let e_shutting_down = -32008
+let e_unsupported = -32009
 
 (* ------------------------------------------------------------------ *)
 (* Decoding.                                                           *)
@@ -143,6 +146,12 @@ let request_of ~meth ~params =
           metrics = bool_field ~default:false "metrics" params;
         }
   | "errors" -> Errors { doc = str_field "doc" params }
+  | "diag" ->
+      Diag
+        {
+          doc = str_field "doc" params;
+          metrics = bool_field ~default:false "metrics" params;
+        }
   | "ambig" ->
       Ambig
         {

@@ -48,6 +48,13 @@ type request =
               ({!Iglr.Session.measure}) to the response *)
     }
   | Errors of { doc : string }
+  | Diag of { doc : string; metrics : bool }
+      (** Semantic diagnostics from the incremental query layer on the
+          committed dag: name resolution, unused bindings,
+          use-before-declaration, type mismatches.  [metrics] attaches
+          the request's exact domain-local metric delta
+          ({!Iglr.Session.measure}) — the [query.*] counters show how
+          much of the analysis was reused. *)
   | Ambig of { doc : string; max_len : int }
   | Stats of { doc : string option; metrics : bool }
   | Telemetry of { view : string }
@@ -96,6 +103,10 @@ val e_overloaded : int
 val e_shutting_down : int
 (** -32008: the engine is draining for shutdown and admits no new
     requests *)
+
+val e_unsupported : int
+(** -32009: the request's analysis is not available for the document's
+    language (e.g. [diag] on a language without semantic analysis) *)
 
 (** {1 Decoding} *)
 

@@ -18,7 +18,7 @@
 
 module Json = Metrics.Json
 
-type cat = Lex | Relex | Glr | Gss | Reuse | Commit | Filter | Session
+type cat = Lex | Relex | Glr | Gss | Reuse | Commit | Filter | Session | Query
 
 let cat_name = function
   | Lex -> "lex"
@@ -29,6 +29,7 @@ let cat_name = function
   | Commit -> "commit"
   | Filter -> "filter"
   | Session -> "session"
+  | Query -> "query"
 
 type arg = Int of int | Str of string | Float of float | Bool of bool
 

@@ -25,8 +25,9 @@
 (** Event categories, one per instrumented subsystem: initial lexing,
     incremental relexing, the GLR engine, the graph-structured stack,
     subtree-reuse decisions, dag commit/unshare maintenance, syntactic
-    filters, and session-level root spans. *)
-type cat = Lex | Relex | Glr | Gss | Reuse | Commit | Filter | Session
+    filters, session-level root spans, and the incremental semantic
+    query engine. *)
+type cat = Lex | Relex | Glr | Gss | Reuse | Commit | Filter | Session | Query
 
 val cat_name : cat -> string
 

@@ -351,6 +351,133 @@ let daemon_replay lang base (seed, count) =
     QCheck.Test.fail_report "daemon-side dag diverged from direct session";
   true
 
+(* Semantic-query differential mode: the same random edit scripts replay
+   through a Session with the Diag query layer subscribed to commits;
+   after every edit that commits a tree (clean parse or isolated
+   recovery — the flag-only fallback deliberately retains a damaged,
+   uncommitted tree), the incrementally-maintained analysis — bindings,
+   diagnostics, inferred types, and (for C) the typedef report — must
+   render identically to a from-scratch recompute by fresh analyzers on
+   the same dag.  This is the query engine's correctness contract:
+   validation, early cutoff and push-invalidation may skip work, never
+   change answers. *)
+module Diag = Semantics.Diag
+module Typedefs = Semantics.Typedefs
+
+let with_typedefs lang =
+  (* The C subsets need semantic disambiguation before name analysis;
+     calc has no choice nodes and no typedef namespace. *)
+  Languages.Registry.name_of lang <> "calc"
+
+let make_analyzers lang =
+  let d = Diag.create lang.Language.grammar in
+  let tds =
+    if with_typedefs lang then begin
+      let tds =
+        Typedefs.create ~policy:Typedefs.Namespace_only lang.Language.grammar
+      in
+      Typedefs.on_select tds (Diag.touch d);
+      Some tds
+    end
+    else None
+  in
+  (d, tds)
+
+let run_analysis (d, tds) root =
+  match tds with
+  | None -> (Diag.run d root, [])
+  | Some tds ->
+      let tr = Typedefs.analyze tds root in
+      ( Diag.run d ~typedefs:(Typedefs.global_typedefs tds) root,
+        [
+          ("typedefs", tr.Typedefs.typedefs);
+          ("choices", tr.Typedefs.choices);
+          ("unresolved", tr.Typedefs.unresolved);
+          ("errors", List.length tr.Typedefs.errors);
+        ] )
+
+let query_replay lang base (seed, count) =
+  let table = Language.table lang in
+  let script = Edit_gen.random_script ~seed ~count base in
+  let s, outcome0 =
+    Session.create ~table ~lexer:(Language.lexer lang) base
+  in
+  (match outcome0 with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> QCheck.Test.fail_report "base program rejected");
+  let inc = make_analyzers lang in
+  let d, _ = inc in
+  Session.on_commit s (fun ~watermark root -> Diag.commit d ~watermark root);
+  ignore (run_analysis inc (Session.root s));
+  let text = ref base in
+  List.for_all
+    (fun (e : Edit_gen.edit) ->
+      text := Edit_gen.apply e !text;
+      Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+        ~insert:e.Edit_gen.e_insert;
+      let committed =
+        match Session.reparse s with
+        | Session.Parsed _ -> true
+        | Session.Recovered { isolated; _ } -> isolated > 0
+      in
+      if committed then begin
+        let r, tsum = run_analysis inc (Session.root s) in
+        let scratch = make_analyzers lang in
+        let r0, tsum0 = run_analysis scratch (Session.root s) in
+        if not (String.equal (Diag.render r) (Diag.render r0)) then
+          QCheck.Test.fail_reportf
+            "incremental analysis diverged from scratch recompute\n\
+            \ text: %S\n incremental:\n%s\n scratch:\n%s" !text
+            (Diag.render r) (Diag.render r0);
+        if tsum <> tsum0 then
+          QCheck.Test.fail_reportf
+            "incremental typedef report diverged from scratch on %S" !text
+      end;
+      true)
+    script
+
+(* The §5 protocol on the query layer: syntactically-neutral single-token
+   edits must leave most semantic cells validating clean — the analysis
+   recomputes strictly fewer cells than it holds (early cutoff +
+   keyed-by-retained-nid reuse), while still agreeing with scratch. *)
+let query_reuse_replay lang base (seed, count) =
+  let table = Language.table lang in
+  let s, outcome0 =
+    Session.create ~table ~lexer:(Language.lexer lang) base
+  in
+  (match outcome0 with
+  | Session.Parsed _ -> ()
+  | Session.Recovered _ -> QCheck.Test.fail_report "base program rejected");
+  let inc = make_analyzers lang in
+  let d, _ = inc in
+  Session.on_commit s (fun ~watermark root -> Diag.commit d ~watermark root);
+  ignore (run_analysis inc (Session.root s));
+  let edits = Edit_gen.token_edits ~seed ~count (Session.text s) in
+  List.for_all
+    (fun (e : Edit_gen.edit) ->
+      Session.edit s ~pos:e.Edit_gen.e_pos ~del:e.Edit_gen.e_del
+        ~insert:e.Edit_gen.e_insert;
+      (match Session.reparse s with
+      | Session.Parsed _ -> ()
+      | Session.Recovered _ ->
+          QCheck.Test.fail_report "neutral token edit broke the parse");
+      let c0 = (Query.stats (Diag.engine d)).Query.computes in
+      let r, _ = run_analysis inc (Session.root s) in
+      let recomputed = (Query.stats (Diag.engine d)).Query.computes - c0 in
+      let total = Query.cells (Diag.engine d) in
+      if recomputed >= total then
+        QCheck.Test.fail_reportf
+          "no semantic reuse on a single-token edit: recomputed %d of %d \
+           cells"
+          recomputed total;
+      let scratch = make_analyzers lang in
+      let r0, _ = run_analysis scratch (Session.root s) in
+      if not (String.equal (Diag.render r) (Diag.render r0)) then
+        QCheck.Test.fail_report
+          "reuse run diverged from scratch recompute";
+      true)
+    edits
+
 let arb_script =
   QCheck.(pair (int_bound 1_000_000) (int_range 1 8))
 
@@ -383,6 +510,26 @@ let prop_daemon_c =
   QCheck.Test.make ~count:30
     ~name:"edit fuzz: C via RPC codec = direct session" arb_script
     (daemon_replay Languages.C_subset.language base_c)
+
+let prop_query_calc =
+  QCheck.Test.make ~count:40
+    ~name:"edit fuzz: calc incremental queries = scratch" arb_script
+    (query_replay Languages.Calc.language base_calc)
+
+let prop_query_c =
+  QCheck.Test.make ~count:40
+    ~name:"edit fuzz: C incremental queries = scratch" arb_script
+    (query_replay Languages.C_subset.language base_c)
+
+let prop_query_reuse_calc =
+  QCheck.Test.make ~count:25
+    ~name:"edit fuzz: calc semantic reuse on token edits" arb_script
+    (query_reuse_replay Languages.Calc.language base_calc)
+
+let prop_query_reuse_c =
+  QCheck.Test.make ~count:25
+    ~name:"edit fuzz: C semantic reuse on token edits" arb_script
+    (query_reuse_replay Languages.C_subset.language base_c)
 
 let prop_fault_calc =
   QCheck.Test.make ~count:40
@@ -437,6 +584,10 @@ let suite =
     Test_seed.to_alcotest prop_compiled_c;
     Test_seed.to_alcotest prop_daemon_calc;
     Test_seed.to_alcotest prop_daemon_c;
+    Test_seed.to_alcotest prop_query_calc;
+    Test_seed.to_alcotest prop_query_c;
+    Test_seed.to_alcotest prop_query_reuse_calc;
+    Test_seed.to_alcotest prop_query_reuse_c;
     Test_seed.to_alcotest prop_fault_calc;
     Test_seed.to_alcotest prop_fault_c;
     Alcotest.test_case "reuse invariant: single-token edit >= 90%" `Quick

@@ -101,7 +101,7 @@ let test_root_span_encloses () =
       | Trace.Glr | Trace.Gss | Trace.Reuse | Trace.Commit ->
           inside rep_b rep_e "reparse"
       | Trace.Relex -> inside edit_b edit_e "edit"
-      | Trace.Lex | Trace.Filter | Trace.Session -> ())
+      | Trace.Lex | Trace.Filter | Trace.Session | Trace.Query -> ())
     evs;
   Alcotest.(check bool) "engine events present" true
     (List.exists (fun (e : Trace.event) -> e.Trace.cat = Trace.Glr) evs)
